@@ -1,0 +1,215 @@
+// Command slrhsim runs one resource-management heuristic on one generated
+// ad hoc grid scenario and reports the resulting schedule metrics. It is
+// the single-run workhorse behind the experiment harness, exposed for
+// interactive exploration.
+//
+// Examples:
+//
+//	slrhsim -n 256 -case A -heuristic slrh1 -alpha 0.5 -beta 0.3
+//	slrhsim -n 256 -case A -heuristic slrh1 -alpha 0.5 -beta 0.3 -lose 1@40000
+//	slrhsim -n 128 -heuristic maxmax -alpha 1 -beta 0 -assignments out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"adhocgrid/internal/core"
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/maxmax"
+	"adhocgrid/internal/rng"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/sim"
+	"adhocgrid/internal/trace"
+	"adhocgrid/internal/workload"
+)
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "slrhsim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	n := flag.Int("n", 256, "number of subtasks")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	caseName := flag.String("case", "A", "grid configuration: A, B or C")
+	heuristic := flag.String("heuristic", "slrh1", "slrh1, slrh2, slrh3 or maxmax")
+	alpha := flag.Float64("alpha", 0.5, "objective weight for T100")
+	beta := flag.Float64("beta", 0.3, "objective weight for energy (gamma = 1-alpha-beta)")
+	deltaT := flag.Int64("deltat", core.DefaultDeltaT, "SLRH timestep in clock cycles")
+	horizon := flag.Int64("horizon", core.DefaultHorizon, "SLRH receding horizon in clock cycles")
+	adaptive := flag.Bool("adaptive", false, "enable on-the-fly weight adaptation (extension)")
+	lose := flag.String("lose", "", "machine loss events, comma-separated machine@cycle (e.g. 1@40000)")
+	traceFile := flag.String("trace", "", "write per-timestep trace CSV to this file")
+	assignFile := flag.String("assignments", "", "write the final mapping CSV to this file")
+	energyScale := flag.Float64("energyscale", 0, "battery multiplier (0 = auto |T|/1024)")
+	verify := flag.Bool("verify", true, "independently verify the schedule")
+	gantt := flag.Int("gantt", 0, "print a textual Gantt chart this many columns wide (0 = off)")
+	chain := flag.Bool("chain", false, "print the critical chain that determined the makespan")
+	flag.Parse()
+
+	var c grid.Case
+	switch strings.ToUpper(*caseName) {
+	case "A":
+		c = grid.CaseA
+	case "B":
+		c = grid.CaseB
+	case "C":
+		c = grid.CaseC
+	default:
+		fatalf("unknown case %q", *caseName)
+	}
+
+	params := workload.DefaultParams(*n)
+	params.EnergyScale = *energyScale
+	scn, err := workload.Generate(params, rng.New(*seed))
+	if err != nil {
+		fatalf("generate: %v", err)
+	}
+	inst, err := scn.Instantiate(c)
+	if err != nil {
+		fatalf("instantiate: %v", err)
+	}
+	w := sched.NewWeights(*alpha, *beta)
+
+	var (
+		metrics sched.Metrics
+		state   *sched.State
+		extra   string
+	)
+	switch strings.ToLower(*heuristic) {
+	case "slrh1", "slrh2", "slrh3":
+		variant := map[string]core.Variant{
+			"slrh1": core.SLRH1, "slrh2": core.SLRH2, "slrh3": core.SLRH3,
+		}[strings.ToLower(*heuristic)]
+		cfg := core.DefaultConfig(variant, w)
+		cfg.DeltaT = *deltaT
+		cfg.Horizon = *horizon
+		if *adaptive {
+			cfg.Adaptive = core.NewAdaptiveController(w)
+		}
+		if *lose != "" {
+			events, err := parseEvents(*lose)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			cfg.Events = events
+		}
+		var rec *trace.Recorder
+		if *traceFile != "" {
+			rec = trace.NewRecorder(1)
+			cfg.Observer = rec.Observe
+		}
+		res, err := core.Run(inst, cfg)
+		if err != nil {
+			fatalf("run: %v", err)
+		}
+		metrics, state = res.Metrics, res.State
+		extra = fmt.Sprintf("timesteps=%d requeued=%d elapsed=%s", res.Timesteps, res.Requeued, res.Elapsed)
+		if rec != nil {
+			if err := writeFile(*traceFile, rec.WriteCSV); err != nil {
+				fatalf("trace: %v", err)
+			}
+		}
+	case "maxmax":
+		if *lose != "" || *adaptive || *traceFile != "" {
+			fatalf("-lose/-adaptive/-trace apply to the SLRH variants only")
+		}
+		res, err := maxmax.Run(inst, maxmax.Config{Weights: w})
+		if err != nil {
+			fatalf("run: %v", err)
+		}
+		metrics, state = res.Metrics, res.State
+		extra = fmt.Sprintf("steps=%d elapsed=%s", res.Steps, res.Elapsed)
+	default:
+		fatalf("unknown heuristic %q", *heuristic)
+	}
+
+	fmt.Printf("heuristic   %s (alpha=%.2f beta=%.2f gamma=%.2f)\n", *heuristic, w.Alpha, w.Beta, w.Gamma)
+	fmt.Printf("scenario    |T|=%d case %s seed %d tau=%.0fs TSE=%.1f\n",
+		*n, c, *seed, grid.CyclesToSeconds(inst.TauCycles), inst.Grid.TSE())
+	fmt.Printf("mapped      %d/%d (complete=%v)\n", metrics.Mapped, *n, metrics.Complete)
+	fmt.Printf("T100        %d\n", metrics.T100)
+	fmt.Printf("AET         %.1fs (within tau: %v)\n", metrics.AETSeconds, metrics.MetTau)
+	fmt.Printf("TEC         %.2f energy units\n", metrics.TEC)
+	fmt.Printf("objective   %.4f\n", metrics.Objective)
+	fmt.Printf("run         %s\n", extra)
+	for j := 0; j < inst.Grid.M(); j++ {
+		status := "alive"
+		if !state.Alive(j) {
+			status = fmt.Sprintf("lost at cycle %d", state.DeadAt(j))
+		}
+		fmt.Printf("machine %d   %-5s remaining %.2f/%.2f energy (%s)\n",
+			j, inst.Grid.Machines[j].Class, state.Ledger.Remaining(j), inst.Grid.Machines[j].Battery, status)
+	}
+
+	if *gantt > 0 {
+		fmt.Println()
+		fmt.Print(state.Gantt(*gantt))
+	}
+	if *chain {
+		fmt.Println("\ncritical chain (origin -> AET):")
+		for _, link := range sim.CriticalChain(state) {
+			line := fmt.Sprintf("  subtask %4d on machine %d  [%7.1fs, %7.1fs)  via %s",
+				link.Subtask, link.Machine,
+				grid.CyclesToSeconds(link.Start), grid.CyclesToSeconds(link.End), link.Via)
+			if link.DataWaitCycles > 0 {
+				line += fmt.Sprintf(" (+%.1fs data wait)", grid.CyclesToSeconds(link.DataWaitCycles))
+			}
+			fmt.Println(line)
+		}
+	}
+	if *assignFile != "" {
+		if err := writeFile(*assignFile, func(w io.Writer) error {
+			return trace.WriteAssignmentsCSV(w, state)
+		}); err != nil {
+			fatalf("assignments: %v", err)
+		}
+	}
+	if *verify {
+		if violations := sim.Verify(state); len(violations) > 0 {
+			fmt.Printf("VERIFY      %d violations:\n", len(violations))
+			for _, v := range violations {
+				fmt.Printf("  %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("VERIFY      ok (independent replay found no violations)")
+	}
+}
+
+func parseEvents(s string) ([]core.Event, error) {
+	var events []core.Event
+	for _, part := range strings.Split(s, ",") {
+		bits := strings.Split(part, "@")
+		if len(bits) != 2 {
+			return nil, fmt.Errorf("bad event %q, want machine@cycle", part)
+		}
+		m, err := strconv.Atoi(bits[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad machine in %q: %v", part, err)
+		}
+		at, err := strconv.ParseInt(bits[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad cycle in %q: %v", part, err)
+		}
+		events = append(events, core.Event{At: at, Machine: m})
+	}
+	return events, nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

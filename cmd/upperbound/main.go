@@ -1,0 +1,84 @@
+// Command upperbound computes the paper's §VI equivalent-computing-cycles
+// upper bound (Tables 3 and 4) for generated ETC matrices, standalone from
+// the full experiment harness.
+//
+// Example:
+//
+//	upperbound -n 1024 -netc 10 -seed 20040426
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adhocgrid/internal/bound"
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/rng"
+	"adhocgrid/internal/stats"
+	"adhocgrid/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 1024, "number of subtasks")
+	netc := flag.Int("netc", 10, "number of ETC matrices")
+	seed := flag.Uint64("seed", 20040426, "generation seed")
+	energyScale := flag.Float64("energyscale", 0, "battery multiplier (0 = auto |T|/1024)")
+	flag.Parse()
+
+	params := workload.DefaultParams(*n)
+	params.EnergyScale = *energyScale
+	r := rng.New(*seed)
+
+	// MR samples per case: [case][machine>=1][etc]
+	mrSamples := map[grid.Case][][]float64{}
+	for _, c := range grid.AllCases {
+		g := grid.ForCase(c)
+		rows := make([][]float64, g.M()-1)
+		for k := range rows {
+			rows[k] = make([]float64, *netc)
+		}
+		mrSamples[c] = rows
+	}
+
+	fmt.Printf("Upper bound on T100 (|T| = %d, %d ETC matrices, seed %d)\n\n", *n, *netc, *seed)
+	fmt.Printf("%-5s %-10s %-10s %-10s\n", "ETC", "Case A", "Case B", "Case C")
+	sums := make([]float64, 3)
+	for e := 0; e < *netc; e++ {
+		scn, err := workload.Generate(params, r.Split())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "upperbound: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-5d", e)
+		for ci, c := range grid.AllCases {
+			inst, err := scn.Instantiate(c)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "upperbound: %v\n", err)
+				os.Exit(1)
+			}
+			res := bound.UpperBound(inst)
+			fmt.Printf(" %-10d", res.T100Bound)
+			sums[ci] += float64(res.T100Bound)
+			for k := 1; k < len(res.MR); k++ {
+				mrSamples[c][k-1][e] = res.MR[k]
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-5s %-10.1f %-10.1f %-10.1f\n\n", "mean",
+		sums[0]/float64(*netc), sums[1]/float64(*netc), sums[2]/float64(*netc))
+
+	fmt.Println("Average minimum relative speed MR(j), avg (std):")
+	for _, c := range grid.AllCases {
+		g := grid.ForCase(c)
+		fmt.Printf("Case %s:", c)
+		count := map[grid.Class]int{g.Machines[0].Class: 1}
+		for k := 1; k < g.M(); k++ {
+			cl := g.Machines[k].Class
+			count[cl]++
+			fmt.Printf("  %s %d: %s", cl, count[cl], stats.Summarize(mrSamples[c][k-1]).String())
+		}
+		fmt.Println()
+	}
+}

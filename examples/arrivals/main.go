@@ -1,0 +1,60 @@
+// Arrivals: the "truly dynamic environment" of the paper's §IV — subtasks
+// arrive over time as a Poisson process, and the dynamic SLRH heuristic
+// maps them as they appear, without knowledge of future arrivals. The
+// static mappers assume full advance knowledge (§I), so arrival pressure
+// is exactly where a dynamic heuristic earns its keep.
+//
+// Run with: go run ./examples/arrivals
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adhocgrid"
+)
+
+func main() {
+	const n = 192
+	for _, rate := range []float64{0, 0.5, 0.1, 0.05} {
+		params := adhocgrid.DefaultWorkloadParams(n)
+		params.ArrivalRate = rate // subtasks per second; 0 = all at t=0
+		scenario, err := adhocgrid.GenerateScenarioWith(params, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := scenario.Instantiate(adhocgrid.CaseA)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := adhocgrid.RunSLRH(inst, adhocgrid.SLRH1, adhocgrid.NewWeights(0.5, 0.3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v := adhocgrid.Verify(res.State); len(v) > 0 {
+			log.Fatalf("violations: %v", v)
+		}
+		var lastArrival int64
+		for i := 0; i < n; i++ {
+			if a := inst.ArrivalCycle(i); a > lastArrival {
+				lastArrival = a
+			}
+		}
+		label := "all at t=0"
+		if rate > 0 {
+			label = fmt.Sprintf("%.2f subtasks/s (last arrival %.0fs)",
+				rate, adhocgrid.CycleSeconds*float64(lastArrival))
+		}
+		m := res.Metrics
+		fmt.Printf("arrivals %-38s mapped %3d/%d  T100 %3d  AET %6.0fs  within tau %v\n",
+			label, m.Mapped, n, m.T100, m.AETSeconds, m.MetTau)
+	}
+
+	fmt.Println("\nSlower arrival rates stretch the makespan toward the deadline.")
+	fmt.Println("The receding-horizon heuristic absorbs each arrival as it lands,")
+	fmt.Println("with no re-planning of previously scheduled work — but note the")
+	fmt.Println("cost of not knowing the future: at the slowest rate it spends")
+	fmt.Println("battery on early primaries and can run short of energy for the")
+	fmt.Println("late arrivals, the dynamic-information penalty of §I (an adaptive")
+	fmt.Println("controller or a lower alpha hedges against it).")
+}

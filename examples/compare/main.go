@@ -1,0 +1,95 @@
+// Compare: run every resource manager in the repository head-to-head on
+// the same workload across the three grid configurations of the paper's
+// Table 1 — the dynamic SLRH variants, the static Max-Max baseline, and
+// the Lagrangian-relaxation static mapper — each at its own optimal
+// weights, against the upper bound.
+//
+// Run with: go run ./examples/compare
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"adhocgrid"
+)
+
+func main() {
+	scenario, err := adhocgrid.GenerateScenario(192, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type runner struct {
+		name string
+		run  func(*adhocgrid.Instance, adhocgrid.Weights) (adhocgrid.Metrics, *adhocgrid.Schedule, time.Duration, error)
+	}
+	slrh := func(v adhocgrid.SLRHVariant) func(*adhocgrid.Instance, adhocgrid.Weights) (adhocgrid.Metrics, *adhocgrid.Schedule, time.Duration, error) {
+		return func(inst *adhocgrid.Instance, w adhocgrid.Weights) (adhocgrid.Metrics, *adhocgrid.Schedule, time.Duration, error) {
+			r, err := adhocgrid.RunSLRH(inst, v, w)
+			if err != nil {
+				return adhocgrid.Metrics{}, nil, 0, err
+			}
+			return r.Metrics, r.State, r.Elapsed, nil
+		}
+	}
+	runners := []runner{
+		{"SLRH-1", slrh(adhocgrid.SLRH1)},
+		{"SLRH-2", slrh(adhocgrid.SLRH2)},
+		{"SLRH-3", slrh(adhocgrid.SLRH3)},
+		{"Max-Max", func(inst *adhocgrid.Instance, w adhocgrid.Weights) (adhocgrid.Metrics, *adhocgrid.Schedule, time.Duration, error) {
+			r, err := adhocgrid.RunMaxMax(inst, w)
+			if err != nil {
+				return adhocgrid.Metrics{}, nil, 0, err
+			}
+			return r.Metrics, r.State, r.Elapsed, nil
+		}},
+		{"LRNN", func(inst *adhocgrid.Instance, w adhocgrid.Weights) (adhocgrid.Metrics, *adhocgrid.Schedule, time.Duration, error) {
+			r, err := adhocgrid.RunLRNN(inst, w)
+			if err != nil {
+				return adhocgrid.Metrics{}, nil, 0, err
+			}
+			return r.Metrics, r.State, r.Elapsed, nil
+		}},
+	}
+
+	for _, c := range adhocgrid.AllCases {
+		inst, err := scenario.Instantiate(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bound := adhocgrid.UpperBound(inst)
+		fmt.Printf("== Case %s (%d machines, bound %d primaries) ==\n", c, inst.Grid.M(), bound.T100Bound)
+		fmt.Printf("%-9s %-7s %-9s %-7s %-9s %-10s %s\n",
+			"", "T100", "vs bound", "mapped", "AET(s)", "time", "weights")
+		for _, r := range runners {
+			// Each heuristic gets the paper's weight search on this
+			// scenario and configuration.
+			search, err := adhocgrid.OptimizeWeights(func(w adhocgrid.Weights) (adhocgrid.Metrics, error) {
+				m, _, _, err := r.run(inst, w)
+				return m, err
+			}, adhocgrid.SearchOptions{FineStep: 0.02})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !search.Found {
+				fmt.Printf("%-9s no feasible weight setting\n", r.name)
+				continue
+			}
+			m, state, elapsed, err := r.run(inst, search.Best)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if v := adhocgrid.Verify(state); len(v) > 0 {
+				log.Fatalf("%s: violations: %v", r.name, v)
+			}
+			fmt.Printf("%-9s %-7d %-9s %-7d %-9.0f %-10s a=%.2f b=%.2f\n",
+				r.name, m.T100,
+				fmt.Sprintf("%.0f%%", 100*float64(m.T100)/float64(bound.T100Bound)),
+				m.Mapped, m.AETSeconds, elapsed.Round(time.Microsecond),
+				search.Best.Alpha, search.Best.Beta)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,79 @@
+// Machine loss: the scenario that motivates ad hoc grid resource
+// management (paper §I) — machines disappear from the grid at
+// unanticipated times, and the dynamic heuristic must reschedule the
+// stranded work on the fly.
+//
+// The example runs the same workload three ways:
+//
+//  1. no loss (baseline);
+//  2. a fast machine lost mid-execution, fixed objective weights;
+//  3. the same loss with the adaptive multiplier controller (the paper's
+//     §VIII future work), which shifts weight off the T100 reward when
+//     the run falls behind schedule.
+//
+// Run with: go run ./examples/machineloss
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adhocgrid"
+)
+
+func main() {
+	scenario, err := adhocgrid.GenerateScenario(256, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := scenario.Instantiate(adhocgrid.CaseA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weights := adhocgrid.NewWeights(0.5, 0.3)
+	lossAt := inst.TauCycles / 6 // lose fast machine 1 early in the window
+
+	fmt.Printf("workload: %d subtasks on 4 machines, deadline %.0f s\n",
+		scenario.N(), adhocgrid.CycleSeconds*float64(inst.TauCycles))
+	fmt.Printf("event:    fast machine 1 is lost at t = %.0f s\n\n",
+		adhocgrid.CycleSeconds*float64(lossAt))
+
+	run := func(label string, cfg adhocgrid.Config) {
+		res, err := adhocgrid.RunSLRHConfig(inst, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v := adhocgrid.Verify(res.State); len(v) > 0 {
+			log.Fatalf("%s: schedule violations: %v", label, v)
+		}
+		m := res.Metrics
+		fmt.Printf("%-22s mapped %3d/%d  T100 %3d  AET %6.0fs  requeued %d\n",
+			label, m.Mapped, scenario.N(), m.T100, m.AETSeconds, res.Requeued)
+	}
+
+	// 1. Baseline: no loss.
+	run("no loss:", adhocgrid.DefaultConfig(adhocgrid.SLRH1, weights))
+
+	// 2. Loss with fixed weights: the heuristic keeps chasing primaries
+	// with three machines' worth of resources.
+	cfg := adhocgrid.DefaultConfig(adhocgrid.SLRH1, weights)
+	cfg.Events = []adhocgrid.Event{{At: lossAt, Machine: 1}}
+	run("loss, fixed weights:", cfg)
+
+	// 3. Loss with adaptive multipliers: when progress lags the clock the
+	// controller lowers alpha (more secondary versions, faster mapping)
+	// and raises beta when energy burns faster than progress.
+	cfg = adhocgrid.DefaultConfig(adhocgrid.SLRH1, weights)
+	cfg.Events = []adhocgrid.Event{{At: lossAt, Machine: 1}}
+	cfg.Adaptive = adhocgrid.NewAdaptiveController(weights)
+	run("loss, adaptive:", cfg)
+
+	fmt.Println("\nLosing a machine mid-run is expensive: results stranded on the")
+	fmt.Println("dead machine force re-execution of whole DAG cones, and partial")
+	fmt.Println("recovery within the original deadline is the expected outcome")
+	fmt.Println("(the paper notes recovering partial results 'may prove too")
+	fmt.Println("costly'). The paper's §VIII conclusion shows here: the T100")
+	fmt.Println("multiplier needs on-the-fly adjustment when the environment")
+	fmt.Println("changes — the adaptive controller remaps far more of the")
+	fmt.Println("requeued work than fixed weights do.")
+}

@@ -1,0 +1,206 @@
+package adhocgrid_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"adhocgrid"
+)
+
+func TestPublicGreedyBaselines(t *testing.T) {
+	inst := exampleInstance(t, 96, 21, adhocgrid.CaseA)
+	mct, err := adhocgrid.RunMCT(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mct.Metrics.Complete {
+		t.Fatalf("MCT mapped %d/96", mct.Metrics.Mapped)
+	}
+	mm, err := adhocgrid.RunMinMin(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mm.Metrics.Complete {
+		t.Fatalf("MinMin mapped %d/96", mm.Metrics.Mapped)
+	}
+	if v := adhocgrid.Verify(mct.State); len(v) != 0 {
+		t.Fatalf("MCT violations: %v", v)
+	}
+	if v := adhocgrid.Verify(mm.State); len(v) != 0 {
+		t.Fatalf("MinMin violations: %v", v)
+	}
+}
+
+func TestPublicCalibrateTau(t *testing.T) {
+	scn, err := adhocgrid.GenerateScenario(128, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, err := adhocgrid.CalibrateTau(scn, adhocgrid.CaseA, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau <= 0 {
+		t.Fatalf("tau = %d", tau)
+	}
+}
+
+func TestPublicGanttAndExport(t *testing.T) {
+	inst := exampleInstance(t, 64, 25, adhocgrid.CaseB)
+	res, err := adhocgrid.RunSLRH(inst, adhocgrid.SLRH1, adhocgrid.NewWeights(0.5, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := adhocgrid.Gantt(res.State, 60)
+	if !strings.Contains(g, "Gantt") || !strings.Contains(g, "m0") {
+		t.Fatalf("gantt output wrong:\n%s", g)
+	}
+	exp := adhocgrid.ExportSchedule(res.State)
+	if exp.Case != "B" || len(exp.Assignments) != res.Metrics.Mapped {
+		t.Fatalf("export wrong: %+v", exp.Metrics)
+	}
+}
+
+func TestPublicRecorderAndCSV(t *testing.T) {
+	inst := exampleInstance(t, 48, 27, adhocgrid.CaseA)
+	rec := adhocgrid.NewRecorder(1)
+	cfg := adhocgrid.DefaultConfig(adhocgrid.SLRH1, adhocgrid.NewWeights(0.5, 0.3))
+	cfg.Observer = rec.Observe
+	res, err := adhocgrid.RunSLRHConfig(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != res.Timesteps {
+		t.Fatalf("recorded %d of %d timesteps", rec.Len(), res.Timesteps)
+	}
+	var buf bytes.Buffer
+	if err := adhocgrid.WriteAssignmentsCSV(&buf, res.State); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != res.Metrics.Mapped+1 {
+		t.Fatalf("CSV lines = %d", lines)
+	}
+}
+
+func TestPublicExecuteAndEventLog(t *testing.T) {
+	inst := exampleInstance(t, 64, 29, adhocgrid.CaseA)
+	res, err := adhocgrid.RunSLRH(inst, adhocgrid.SLRH1, adhocgrid.NewWeights(0.5, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := adhocgrid.Execute(res.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != res.Metrics.Mapped {
+		t.Fatalf("executed %d, mapped %d", stats.Completed, res.Metrics.Mapped)
+	}
+	if len(adhocgrid.EventLog(res.State)) == 0 {
+		t.Fatal("empty event log")
+	}
+}
+
+func TestPublicLoseMachine(t *testing.T) {
+	inst := exampleInstance(t, 64, 31, adhocgrid.CaseA)
+	res, err := adhocgrid.RunSLRH(inst, adhocgrid.SLRH1, adhocgrid.NewWeights(0.5, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requeued, err := adhocgrid.LoseMachine(res.State, 0, res.State.AETCycles/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(requeued) == 0 {
+		t.Fatal("mid-run loss requeued nothing")
+	}
+	if v := adhocgrid.Verify(res.State); len(v) != 0 {
+		t.Fatalf("violations after loss: %v", v)
+	}
+}
+
+func TestPublicTauCycles(t *testing.T) {
+	if adhocgrid.TauCycles(1024) != 340750 {
+		t.Fatalf("TauCycles(1024) = %d", adhocgrid.TauCycles(1024))
+	}
+	if adhocgrid.SecondaryFraction != 0.1 {
+		t.Fatal("secondary fraction wrong")
+	}
+}
+
+func TestPublicCriticalChain(t *testing.T) {
+	inst := exampleInstance(t, 64, 33, adhocgrid.CaseA)
+	res, err := adhocgrid.RunSLRH(inst, adhocgrid.SLRH1, adhocgrid.NewWeights(0.5, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := adhocgrid.CriticalChain(res.State)
+	if len(chain) == 0 {
+		t.Fatal("empty chain")
+	}
+	if got := adhocgrid.CycleSeconds * float64(chain[len(chain)-1].End); got != res.Metrics.AETSeconds {
+		t.Fatalf("chain end %v != AET %v", got, res.Metrics.AETSeconds)
+	}
+}
+
+func TestPublicWeightSurface(t *testing.T) {
+	inst := exampleInstance(t, 48, 35, adhocgrid.CaseA)
+	points, err := adhocgrid.WeightSurface(func(w adhocgrid.Weights) (adhocgrid.Metrics, error) {
+		r, err := adhocgrid.RunSLRH(inst, adhocgrid.SLRH1, w)
+		if err != nil {
+			return adhocgrid.Metrics{}, err
+		}
+		return r.Metrics, nil
+	}, 0.25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simplex at step 0.25: sum_{a=0..4}(5-a) = 15 points.
+	if len(points) != 15 {
+		t.Fatalf("surface points = %d", len(points))
+	}
+	var buf bytes.Buffer
+	if err := adhocgrid.WriteSurfaceCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 16 {
+		t.Fatalf("CSV lines = %d", lines)
+	}
+}
+
+func TestPublicStudyNoise(t *testing.T) {
+	inst := exampleInstance(t, 64, 37, adhocgrid.CaseA)
+	res, err := adhocgrid.RunSLRH(inst, adhocgrid.SLRH1, adhocgrid.NewWeights(0.5, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	study, err := adhocgrid.StudyNoise(res.State, adhocgrid.DefaultNoise(), 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Trials != 10 {
+		t.Fatalf("study = %+v", study)
+	}
+}
+
+func TestPublicGenerateSuite(t *testing.T) {
+	suite, err := adhocgrid.GenerateSuite(64, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn, err := suite.Scenario(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := scn.Instantiate(adhocgrid.CaseC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := adhocgrid.RunSLRH(inst, adhocgrid.SLRH1, adhocgrid.NewWeights(0.5, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := adhocgrid.Verify(res.State); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}

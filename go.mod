@@ -1,0 +1,3 @@
+module adhocgrid
+
+go 1.22

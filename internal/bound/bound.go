@@ -1,0 +1,108 @@
+// Package bound implements the paper's §VI upper-bound estimate on the
+// number of primary-version subtasks a configuration can execute, using
+// the "equivalent computing cycles" method, together with the
+// minimum-relative-speed statistics of Table 3.
+package bound
+
+import (
+	"fmt"
+	"sort"
+
+	"adhocgrid/internal/etc"
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/workload"
+)
+
+// MinimumRatios returns MR(j) = min over subtasks i of ETC(i,j)/ETC(i,0)
+// for every machine column j of m. Machine 0 is the reference machine
+// (the paper's arbitrary choice). MR(0) is always <= 1 and typically
+// exactly 1.
+func MinimumRatios(m *etc.Matrix) ([]float64, error) {
+	if m.N == 0 || m.M() == 0 {
+		return nil, fmt.Errorf("bound: empty ETC matrix")
+	}
+	mr := make([]float64, m.M())
+	for j := range mr {
+		min := m.At(0, j) / m.At(0, 0)
+		for i := 1; i < m.N; i++ {
+			if r := m.At(i, j) / m.At(i, 0); r < min {
+				min = r
+			}
+		}
+		mr[j] = min
+	}
+	return mr, nil
+}
+
+// TECC returns the total available equivalent computing cycles of the
+// configuration: Σ_j τ/MR(j), expressed in reference-machine seconds.
+func TECC(mr []float64, tauSeconds float64) float64 {
+	total := 0.0
+	for _, r := range mr {
+		total += tauSeconds / r
+	}
+	return total
+}
+
+// Result reports one upper-bound computation.
+type Result struct {
+	T100Bound   int       // maximum primary versions executable
+	MR          []float64 // minimum ratio per machine
+	TECC        float64   // equivalent computing cycles available
+	UsedCycles  float64   // equivalent cycles consumed by the bound's greedy packing
+	UsedEnergy  float64   // energy consumed by the packing
+	TSE         float64   // total system energy available
+	CycleBound  bool      // packing stopped for lack of equivalent cycles
+	EnergyBound bool      // packing stopped for lack of energy
+}
+
+// UpperBound computes the §VI estimate for an instance: greedily take the
+// (subtask, machine) pair with the minimum primary-version energy, charge
+// its energy against total system energy and ETC(i,j)/MR(j) against the
+// equivalent-cycle pool, and count until either resource is insufficient
+// for the selected pair.
+func UpperBound(inst *workload.Instance) Result {
+	n := inst.Scenario.N()
+	m := inst.Grid.M()
+	tauSeconds := grid.CyclesToSeconds(inst.TauCycles)
+
+	mr, err := MinimumRatios(inst.ETC)
+	if err != nil {
+		return Result{}
+	}
+	res := Result{MR: mr, TECC: TECC(mr, tauSeconds), TSE: inst.Grid.TSE()}
+
+	// The greedy "global minimum-energy unused pair" order is exactly the
+	// per-subtask best pair sorted by ascending energy.
+	type pick struct {
+		energy float64
+		cycles float64
+	}
+	picks := make([]pick, n)
+	for i := 0; i < n; i++ {
+		best := pick{energy: -1}
+		for j := 0; j < m; j++ {
+			e := inst.ExecEnergy(i, j, workload.Primary)
+			if best.energy < 0 || e < best.energy {
+				best = pick{energy: e, cycles: inst.ETC.At(i, j) / mr[j]}
+			}
+		}
+		picks[i] = best
+	}
+	sort.Slice(picks, func(a, b int) bool { return picks[a].energy < picks[b].energy })
+
+	cycles, energy := res.TECC, res.TSE
+	for _, p := range picks {
+		if p.cycles > cycles || p.energy > energy {
+			res.CycleBound = p.cycles > cycles
+			res.EnergyBound = p.energy > energy
+			break
+		}
+		cycles -= p.cycles
+		energy -= p.energy
+		res.T100Bound++
+	}
+	res.UsedCycles = res.TECC - cycles
+	res.UsedEnergy = res.TSE - energy
+	return res
+}

@@ -1,0 +1,169 @@
+package bound
+
+import (
+	"math"
+	"testing"
+
+	"adhocgrid/internal/etc"
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/rng"
+	"adhocgrid/internal/workload"
+)
+
+func makeInstance(t *testing.T, n int, seed uint64, c grid.Case) *workload.Instance {
+	t.Helper()
+	s, err := workload.Generate(workload.DefaultParams(n), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Instantiate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestMinimumRatiosHandComputed(t *testing.T) {
+	m := &etc.Matrix{
+		N:       3,
+		Classes: []grid.Class{grid.Fast, grid.Slow},
+		Times: [][]float64{
+			{10, 50},  // ratios 1, 5
+			{20, 60},  // ratios 1, 3
+			{30, 240}, // ratios 1, 8
+		},
+	}
+	mr, err := MinimumRatios(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr[0] != 1 {
+		t.Fatalf("MR(0) = %v, want 1", mr[0])
+	}
+	if mr[1] != 3 {
+		t.Fatalf("MR(1) = %v, want 3", mr[1])
+	}
+}
+
+func TestMinimumRatiosReferenceAlwaysOne(t *testing.T) {
+	inst := makeInstance(t, 256, 1, grid.CaseA)
+	mr, err := MinimumRatios(inst.ETC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr[0] != 1 {
+		t.Fatalf("MR(0) = %v", mr[0])
+	}
+	// Fast peer's minimum ratio should be below 1 (some subtask runs
+	// faster there); slow machines well above 1.
+	if mr[1] >= 1 {
+		t.Fatalf("fast peer MR = %v, want < 1", mr[1])
+	}
+	for j := 2; j < 4; j++ {
+		if mr[j] <= 1 {
+			t.Fatalf("slow machine %d MR = %v, want > 1", j, mr[j])
+		}
+	}
+}
+
+func TestMinimumRatiosMatchPaperTable3Shape(t *testing.T) {
+	// At paper scale the calibrated ETC generator should land near the
+	// paper's Table 3: fast/fast MR ≈ 0.28 and slow/fast MR ≈ 1.6-1.75.
+	var fastSum, slowSum float64
+	const trials = 10
+	for k := 0; k < trials; k++ {
+		m, err := etc.Generate(etc.DefaultParams(1024), grid.ForCase(grid.CaseA), rng.New(uint64(100+k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr, err := MinimumRatios(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastSum += mr[1]
+		slowSum += (mr[2] + mr[3]) / 2
+	}
+	fastAvg, slowAvg := fastSum/trials, slowSum/trials
+	if fastAvg < 0.18 || fastAvg > 0.42 {
+		t.Errorf("fast/fast MR average = %v, paper reports ~0.28", fastAvg)
+	}
+	if slowAvg < 1.2 || slowAvg > 2.4 {
+		t.Errorf("slow/fast MR average = %v, paper reports ~1.65-1.74", slowAvg)
+	}
+}
+
+func TestTECC(t *testing.T) {
+	got := TECC([]float64{1, 2, 0.5}, 100)
+	if math.Abs(got-(100+50+200)) > 1e-9 {
+		t.Fatalf("TECC = %v", got)
+	}
+}
+
+func TestUpperBoundBasicProperties(t *testing.T) {
+	for _, c := range grid.AllCases {
+		inst := makeInstance(t, 256, 7, c)
+		res := UpperBound(inst)
+		if res.T100Bound < 0 || res.T100Bound > 256 {
+			t.Fatalf("case %v: bound %d out of range", c, res.T100Bound)
+		}
+		if res.T100Bound == 0 {
+			t.Fatalf("case %v: zero bound", c)
+		}
+		if res.UsedCycles > res.TECC+1e-6 || res.UsedEnergy > res.TSE+1e-6 {
+			t.Fatalf("case %v: packing overran resources: %+v", c, res)
+		}
+		if res.T100Bound < 256 && !res.CycleBound && !res.EnergyBound {
+			t.Fatalf("case %v: partial bound without a binding resource: %+v", c, res)
+		}
+	}
+}
+
+func TestUpperBoundCaseOrdering(t *testing.T) {
+	// Removing a machine can never raise the bound; losing the fast
+	// machine (Case C) should hurt at least as much as losing a slow one
+	// (Case B).
+	inst := func(c grid.Case) Result { return UpperBound(makeInstance(t, 256, 11, c)) }
+	a, b, cc := inst(grid.CaseA), inst(grid.CaseB), inst(grid.CaseC)
+	if b.T100Bound > a.T100Bound || cc.T100Bound > a.T100Bound {
+		t.Fatalf("bounds increased on machine loss: A=%d B=%d C=%d",
+			a.T100Bound, b.T100Bound, cc.T100Bound)
+	}
+	if cc.T100Bound > b.T100Bound {
+		t.Fatalf("losing a fast machine beat losing a slow one: B=%d C=%d",
+			b.T100Bound, cc.T100Bound)
+	}
+}
+
+func TestUpperBoundPaperScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale bound in -short mode")
+	}
+	// Paper Table 4: Cases A and B saturate at 1024; Case C is limited to
+	// roughly 650-900 by compute cycles.
+	p := workload.DefaultParams(1024)
+	s, err := workload.Generate(p, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := map[grid.Case]Result{}
+	for _, c := range grid.AllCases {
+		inst, err := s.Instantiate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds[c] = UpperBound(inst)
+	}
+	if got := bounds[grid.CaseA].T100Bound; got != 1024 {
+		t.Errorf("Case A bound = %d, paper reports 1024", got)
+	}
+	if got := bounds[grid.CaseB].T100Bound; got < 1000 {
+		t.Errorf("Case B bound = %d, paper reports ~1024", got)
+	}
+	if got := bounds[grid.CaseC].T100Bound; got < 550 || got > 1000 {
+		t.Errorf("Case C bound = %d, paper reports 654-900", got)
+	}
+	if !bounds[grid.CaseC].CycleBound {
+		t.Errorf("Case C should be cycle-bound (paper: 'lack of sufficient compute cycles'), got %+v",
+			bounds[grid.CaseC])
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/sched"
+)
+
+// AdaptiveController implements the on-the-fly multiplier adjustment the
+// paper identifies as necessary future work (§VIII): "the heuristic was
+// particularly sensitive to the T100 multiplier, thereby indicating that
+// this value requires adjustment whenever the system environment changes."
+//
+// The controller treats the run as a receding-horizon tracking problem on
+// two normalized progress signals measured at each activation:
+//
+//	schedule lag   L = now/τ − mapped/|T|   (positive: behind schedule)
+//	energy lead    E = TEC/TSE − mapped/|T| (positive: burning energy
+//	                                         faster than progress)
+//
+// A subgradient-style proportional rule then shifts weight out of the T100
+// reward (α) when the run is behind schedule — secondary versions are the
+// only lever that speeds the mapping up — and into the energy penalty (β)
+// when consumption outpaces progress. γ absorbs the remainder so the
+// weights always satisfy α+β+γ = 1. With both signals at zero the
+// controller returns the base weights, so on a static, well-provisioned
+// grid it reduces to the fixed-weight SLRH.
+type AdaptiveController struct {
+	Base      sched.Weights // operating point, e.g. the swept optimum
+	GainAlpha float64       // α response to schedule lag (per unit lag)
+	GainBeta  float64       // β response to energy lead (per unit lead)
+	MinAlpha  float64       // floor keeping some T100 pressure
+}
+
+// NewAdaptiveController returns a controller around base weights with the
+// default gains used in the ablation experiments.
+func NewAdaptiveController(base sched.Weights) *AdaptiveController {
+	return &AdaptiveController{Base: base, GainAlpha: 2.0, GainBeta: 1.0, MinAlpha: 0.02}
+}
+
+// Update returns the weights to use for the activation at cycle now.
+func (a *AdaptiveController) Update(st *sched.State, now int64) sched.Weights {
+	n := float64(st.N())
+	progress := float64(st.Mapped) / n
+	elapsed := grid.CyclesToSeconds(now) / grid.CyclesToSeconds(st.Inst.TauCycles)
+	lag := elapsed - progress
+
+	tse := st.Inst.Grid.TSE()
+	energyFrac := 0.0
+	if tse > 0 {
+		energyFrac = st.Ledger.Consumed(st.Inst.Grid) / tse
+	}
+	lead := energyFrac - progress
+
+	alpha := a.Base.Alpha
+	if lag > 0 {
+		alpha -= a.GainAlpha * lag
+	}
+	if alpha < a.MinAlpha {
+		alpha = a.MinAlpha
+	}
+	beta := a.Base.Beta
+	if lead > 0 {
+		beta += a.GainBeta * lead
+	}
+	// Project back onto the simplex α+β+γ=1 with all weights in [0,1].
+	if alpha > 1 {
+		alpha = 1
+	}
+	if beta > 1-alpha {
+		beta = 1 - alpha
+	}
+	if beta < 0 {
+		beta = 0
+	}
+	return sched.Weights{Alpha: alpha, Beta: beta, Gamma: 1 - alpha - beta}
+}

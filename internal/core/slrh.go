@@ -1,0 +1,452 @@
+// Package core implements the paper's primary contribution: the
+// Simplified Lagrangian Receding Horizon (SLRH) resource manager and its
+// three variants (§IV–V), plus the adaptive-multiplier extension the paper
+// names as future work (§VIII).
+//
+// The SLRH is a clock-driven dynamic heuristic. Every ΔT clock cycles it
+// visits each machine in numeric order; for every available machine it
+// builds a pool of feasible candidate subtasks, scores each candidate at
+// both versions with the Lagrangian objective function, and maps the
+// highest-scoring candidate that can start within the receding horizon H.
+// The variants differ only in how many assignments are made per machine
+// per timestep and when the pool is rebuilt:
+//
+//	SLRH-1: at most one assignment per machine per timestep.
+//	SLRH-2: keeps assigning from the same pool until it is exhausted or
+//	        nothing more can start within the horizon.
+//	SLRH-3: like SLRH-2, but recreates and rescores the pool after every
+//	        assignment, so children become candidates immediately.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/workload"
+)
+
+// Variant selects the SLRH flavor (§V).
+type Variant int
+
+const (
+	// SLRH1 is the baseline variant: one assignment per machine per timestep.
+	SLRH1 Variant = iota + 1
+	// SLRH2 drains the pool built at the start of the machine's turn.
+	SLRH2
+	// SLRH3 rebuilds and rescores the pool after every assignment.
+	SLRH3
+)
+
+// String returns "SLRH-1" etc.
+func (v Variant) String() string {
+	switch v {
+	case SLRH1:
+		return "SLRH-1"
+	case SLRH2:
+		return "SLRH-2"
+	case SLRH3:
+		return "SLRH-3"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Paper parameter defaults (§VII): ΔT = 10 clock cycles, H = 100 clock
+// cycles, established by the sweep reproduced in Figure 2.
+const (
+	DefaultDeltaT  = 10
+	DefaultHorizon = 100
+)
+
+// Config parameterizes one SLRH run.
+type Config struct {
+	Variant Variant
+	Weights sched.Weights
+	DeltaT  int64 // cycles between heuristic activations
+	Horizon int64 // receding horizon H, cycles
+
+	// Adaptive, when non-nil, re-derives the objective weights at every
+	// timestep (extension; see adaptive.go).
+	Adaptive *AdaptiveController
+
+	// Observer, when non-nil, is invoked after each timestep with the
+	// current clock and state (used by the trace recorder). It must not
+	// mutate the state.
+	Observer func(now int64, st *sched.State)
+
+	// Events, when non-nil, injects dynamic grid changes: before the
+	// timestep at cycle `now`, every event with At <= now that has not yet
+	// fired is applied (machine-loss extension).
+	Events []Event
+
+	// OptimisticComm switches the pool-feasibility test to the ablation
+	// variant that omits the worst-case child-communication energy
+	// reservation (§IV design choice; see BenchmarkAblationCommEnergy).
+	OptimisticComm bool
+
+	// ScoreWorkers > 1 prices pool candidates concurrently with the
+	// read-only planner — the software analogue of the parallel hardware
+	// (DSP/FPGA) evaluation the paper proposes (§II). Results are
+	// identical to sequential scoring. 0 or 1 scores sequentially.
+	ScoreWorkers int
+}
+
+// Event is a dynamic grid change injected during a run.
+type Event struct {
+	At      int64 // cycle at which the event fires
+	Machine int   // machine lost
+}
+
+// DefaultConfig returns the paper's baseline configuration for a variant.
+func DefaultConfig(v Variant, w sched.Weights) Config {
+	return Config{Variant: v, Weights: w, DeltaT: DefaultDeltaT, Horizon: DefaultHorizon}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch c.Variant {
+	case SLRH1, SLRH2, SLRH3:
+	default:
+		return fmt.Errorf("core: unknown variant %d", int(c.Variant))
+	}
+	if err := c.Weights.Validate(); err != nil {
+		return err
+	}
+	if c.DeltaT <= 0 {
+		return fmt.Errorf("core: DeltaT must be positive, got %d", c.DeltaT)
+	}
+	if c.Horizon < 0 {
+		return fmt.Errorf("core: Horizon must be non-negative, got %d", c.Horizon)
+	}
+	return nil
+}
+
+// Result reports one SLRH run.
+type Result struct {
+	Metrics   sched.Metrics
+	State     *sched.State
+	Timesteps int           // heuristic activations performed
+	Elapsed   time.Duration // heuristic wall time (Figs 2, 6, 7)
+	Requeued  int           // subtasks re-mapped after machine losses
+}
+
+// candidate is one pool entry: a subtask with its chosen version, its
+// priced plan, and its objective score.
+type candidate struct {
+	subtask int
+	version workload.Version
+	plan    sched.Plan
+	score   float64
+}
+
+// runner holds per-run scratch state so the hot loop does not allocate.
+type runner struct {
+	st       *sched.State
+	cfg      Config
+	readyBuf []int
+	eligible []int
+	pool     []candidate
+}
+
+// Run executes the SLRH heuristic on the instance and returns the
+// resulting schedule and metrics. The run is deterministic: machines are
+// visited in numeric order, pools are sorted by descending objective score
+// with subtask id as the tie-break, and ties between versions prefer the
+// primary.
+func Run(inst *workload.Instance, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := sched.NewState(inst, cfg.Weights)
+	return runOn(st, cfg)
+}
+
+// runOn drives the clock loop on an existing state (exported via Run and
+// reused by the adaptive extension and tests).
+func runOn(st *sched.State, cfg Config) (*Result, error) {
+	r := &runner{st: st, cfg: cfg}
+	inst := st.Inst
+	res := &Result{State: st}
+	eventIdx := 0
+	// The stall-detection fixpoint argument assumes every subtask is
+	// available; with an arrival process the last release bounds when the
+	// state can still change on its own.
+	var lastArrival int64
+	if inst.Scenario.Arrivals != nil {
+		for _, a := range inst.Scenario.Arrivals {
+			if a > lastArrival {
+				lastArrival = a
+			}
+		}
+	}
+
+	start := time.Now()
+	for now := int64(0); now <= inst.TauCycles; now += cfg.DeltaT {
+		// Fire dynamic events scheduled at or before this activation.
+		for eventIdx < len(cfg.Events) && cfg.Events[eventIdx].At <= now {
+			ev := cfg.Events[eventIdx]
+			requeued, err := st.LoseMachine(ev.Machine, ev.At)
+			if err != nil {
+				return nil, err
+			}
+			res.Requeued += len(requeued)
+			eventIdx++
+		}
+		if st.Done() {
+			// The mapping is complete, but execution continues until AET
+			// and a machine lost before then still invalidates scheduled
+			// work (§I). Fast-forward to the next event; stop when no
+			// event can still fire before everything has really finished.
+			if eventIdx >= len(cfg.Events) || cfg.Events[eventIdx].At > st.AETCycles {
+				break
+			}
+			if next := cfg.Events[eventIdx].At; next > now {
+				steps := (next - now + cfg.DeltaT - 1) / cfg.DeltaT
+				now += (steps - 1) * cfg.DeltaT // loop increment adds the last step
+				continue
+			}
+		}
+		if cfg.Adaptive != nil {
+			st.SetWeights(cfg.Adaptive.Update(st, now))
+		}
+
+		res.Timesteps++
+		mappedBefore := st.Mapped
+		for j := 0; j < inst.Grid.M(); j++ {
+			if !st.MachineAvailable(j, now) {
+				continue
+			}
+			switch cfg.Variant {
+			case SLRH1:
+				r.buildPool(j, now)
+				r.mapFirstStartable(now, false)
+			case SLRH2:
+				// SLRH-2 drains the pool built at the start of the
+				// machine's turn without re-evaluating it (§V): the
+				// horizon test keeps using each entry's originally-priced
+				// start, so the machine absorbs assignments its real
+				// timeline could only begin much later. This is the
+				// behavior behind the paper's finding that SLRH-2 rarely
+				// produced a feasible mapping.
+				r.buildPool(j, now)
+				for r.mapFirstStartable(now, true) {
+				}
+			case SLRH3:
+				for {
+					r.buildPool(j, now)
+					if !r.mapFirstStartable(now, false) {
+						break
+					}
+				}
+			}
+			if st.Done() {
+				break
+			}
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(now, st)
+		}
+		// Stall detection: once every execution has finished (all machines
+		// idle) and a full sweep mapped nothing, the state is a fixpoint —
+		// feasibility depends only on energy and readiness, both of which
+		// change only through commits — so no later timestep can differ.
+		// Pending loss events can still requeue work, so only bail when
+		// none remain.
+		if st.Mapped == mappedBefore && now >= st.AETCycles && now >= lastArrival &&
+			eventIdx == len(cfg.Events) {
+			break
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.Metrics = st.Metrics()
+	return res, nil
+}
+
+// buildPool collects the pool U of feasible candidates for machine j at
+// clock `now` (§IV): every unmapped subtask whose parents are all mapped
+// and whose secondary version (plus worst-case child communication) fits
+// the machine's remaining energy. Each pool entry carries the version that
+// maximizes the objective function and its priced plan. The pool is sorted
+// by descending score.
+func (r *runner) buildPool(j int, now int64) {
+	st := r.st
+	r.pool = r.pool[:0]
+	r.readyBuf = st.ReadySet(r.readyBuf)
+	r.eligible = r.eligible[:0]
+	for _, i := range r.readyBuf {
+		// Dynamic heuristics only see subtasks that have arrived (the
+		// static baselines have full advance knowledge and ignore this).
+		if st.Inst.ArrivalCycle(i) > now {
+			continue
+		}
+		if r.cfg.OptimisticComm {
+			if !st.FeasibleSLRHOptimistic(i, j) {
+				continue
+			}
+		} else if !st.FeasibleSLRH(i, j) {
+			continue
+		}
+		r.eligible = append(r.eligible, i)
+	}
+	if r.cfg.ScoreWorkers > 1 && len(r.eligible) > 1 {
+		r.scoreParallel(j, now)
+	} else {
+		for _, i := range r.eligible {
+			c, ok := r.scoreCandidate(i, j, now)
+			if !ok {
+				continue
+			}
+			r.pool = append(r.pool, c)
+		}
+	}
+	sort.Slice(r.pool, func(a, b int) bool {
+		pa, pb := &r.pool[a], &r.pool[b]
+		if pa.score != pb.score {
+			return pa.score > pb.score
+		}
+		return pa.subtask < pb.subtask
+	})
+}
+
+// scoreParallel prices the eligible candidates concurrently with the
+// read-only planner, preserving the sequential results and order.
+func (r *runner) scoreParallel(j int, now int64) {
+	workers := r.cfg.ScoreWorkers
+	if workers > len(r.eligible) {
+		workers = len(r.eligible)
+	}
+	results := make([]candidate, len(r.eligible))
+	valid := make([]bool, len(r.eligible))
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := g; k < len(r.eligible); k += workers {
+				results[k], valid[k] = r.scoreCandidateRO(r.eligible[k], j, now)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for k := range results {
+		if valid[k] {
+			r.pool = append(r.pool, results[k])
+		}
+	}
+}
+
+// scoreCandidateRO is scoreCandidate built on the read-only planner.
+func (r *runner) scoreCandidateRO(i, j int, now int64) (candidate, bool) {
+	st := r.st
+	planS, errS := st.PlanCandidateRO(i, j, workload.Secondary, now)
+	planP, errP := st.PlanCandidateRO(i, j, workload.Primary, now)
+	switch {
+	case errS != nil && errP != nil:
+		return candidate{}, false
+	case errP != nil:
+		return candidate{subtask: i, version: workload.Secondary, plan: planS, score: st.Hypothetical(planS)}, true
+	case errS != nil:
+		return candidate{subtask: i, version: workload.Primary, plan: planP, score: st.Hypothetical(planP)}, true
+	}
+	scoreP, scoreS := st.Hypothetical(planP), st.Hypothetical(planS)
+	if scoreP >= scoreS {
+		return candidate{subtask: i, version: workload.Primary, plan: planP, score: scoreP}, true
+	}
+	return candidate{subtask: i, version: workload.Secondary, plan: planS, score: scoreS}, true
+}
+
+// scoreCandidate prices subtask i on machine j at both versions and keeps
+// the one with the larger objective value (ties prefer the primary, which
+// serves the study's stated goal of maximizing T100).
+func (r *runner) scoreCandidate(i, j int, now int64) (candidate, bool) {
+	st := r.st
+	planP, errP, planS, errS := st.PlanCandidateVersions(i, j, now)
+	switch {
+	case errS != nil && errP != nil:
+		return candidate{}, false
+	case errP != nil:
+		return candidate{subtask: i, version: workload.Secondary, plan: planS, score: st.Hypothetical(planS)}, true
+	case errS != nil:
+		return candidate{subtask: i, version: workload.Primary, plan: planP, score: st.Hypothetical(planP)}, true
+	}
+	scoreP, scoreS := st.Hypothetical(planP), st.Hypothetical(planS)
+	if scoreP >= scoreS {
+		return candidate{subtask: i, version: workload.Primary, plan: planP, score: scoreP}, true
+	}
+	return candidate{subtask: i, version: workload.Secondary, plan: planS, score: scoreS}, true
+}
+
+// mapFirstStartable walks the ordered pool and commits the first candidate
+// whose earliest start lies within the receding horizon (§IV). Entries
+// whose cached plan has gone stale (because an earlier commit in this
+// timestep changed the timelines or energy) are re-priced before
+// committing; with cachedHorizon the horizon test still uses the stale
+// start (SLRH-2's no-re-evaluation semantics), otherwise the fresh one.
+// The mapped entry is removed from the pool. Returns whether an assignment
+// was made.
+func (r *runner) mapFirstStartable(now int64, cachedHorizon bool) bool {
+	st := r.st
+	deadline := now + r.cfg.Horizon
+	for k := 0; k < len(r.pool); k++ {
+		c := &r.pool[k]
+		if st.Assignments[c.subtask] != nil {
+			continue
+		}
+		plan := c.plan
+		if stale := st.Mapped > 0 && planStale(st, plan); stale {
+			fresh, err := st.PlanCandidate(c.subtask, plan.Machine, c.version, now)
+			if err != nil {
+				continue
+			}
+			if cachedHorizon {
+				// SLRH-2: the pool is not re-evaluated, so the horizon
+				// test sees the start priced when the pool was built.
+				if c.plan.Start > deadline {
+					continue
+				}
+			} else if fresh.Start > deadline {
+				continue
+			}
+			if err := st.Commit(fresh); err != nil {
+				continue
+			}
+			r.pool = append(r.pool[:k], r.pool[k+1:]...)
+			return true
+		}
+		if plan.Start > deadline {
+			continue
+		}
+		if err := st.Commit(plan); err != nil {
+			// A commit can still fail when a sender's energy was consumed
+			// by an earlier assignment this timestep; drop the candidate.
+			continue
+		}
+		r.pool = append(r.pool[:k], r.pool[k+1:]...)
+		return true
+	}
+	return false
+}
+
+// planStale reports whether a cached plan can no longer be committed
+// as-is: its execution slot or one of its transfer slots has been taken.
+func planStale(st *sched.State, plan sched.Plan) bool {
+	if st.ExecTL[plan.Machine].EarliestFit(plan.Start, plan.End-plan.Start) != plan.Start {
+		return true
+	}
+	for _, tr := range plan.Transfers {
+		dur := tr.End - tr.Start
+		if dur == 0 {
+			continue
+		}
+		if st.SendTL[tr.From].EarliestFit(tr.Start, dur) != tr.Start {
+			return true
+		}
+		if st.RecvTL[tr.To].EarliestFit(tr.Start, dur) != tr.Start {
+			return true
+		}
+	}
+	return false
+}

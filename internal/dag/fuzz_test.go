@@ -1,0 +1,38 @@
+package dag
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzGraphUnmarshal checks that arbitrary JSON never produces an invalid
+// graph: either unmarshalling errors or the result passes Validate.
+func FuzzGraphUnmarshal(f *testing.F) {
+	f.Add([]byte(`{"n":3,"edges":[[0,1],[1,2]]}`))
+	f.Add([]byte(`{"n":2,"edges":[[0,1],[1,0]]}`))
+	f.Add([]byte(`{"n":0,"edges":[]}`))
+	f.Add([]byte(`{"n":-1}`))
+	f.Add([]byte(`{"n":5,"edges":[[0,9]]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("unmarshal accepted invalid graph: %v", err)
+		}
+		// A valid graph must round-trip.
+		out, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("marshal of valid graph failed: %v", err)
+		}
+		var back Graph
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N() != g.N() || back.Edges() != g.Edges() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package dag
+
+import (
+	"fmt"
+
+	"adhocgrid/internal/rng"
+)
+
+// GenParams controls the layered random DAG generator. The generator is a
+// stand-in for the unpublished [ShC04] method (DESIGN.md substitution D1):
+// the properties the heuristics actually consume — precedence pressure
+// (ready-set width) and fan-in/out — are directly parameterized.
+type GenParams struct {
+	N            int     // number of subtasks (paper: 1024)
+	MeanLevels   int     // target number of precedence levels (depth)
+	MaxParents   int     // maximum fan-in per subtask
+	EdgeProb     float64 // probability of each potential extra parent edge
+	WidthJitter  float64 // fractional jitter of per-level width in [0,1)
+	SingleSource bool    // if true, level 0 is a single root subtask
+}
+
+// DefaultGenParams returns the parameters used for the paper-scale
+// workloads: ~32 levels at N=1024 with mean fan-out ≈ 2.
+func DefaultGenParams(n int) GenParams {
+	levels := 1
+	for l := 2; l*l <= n; l++ { // depth ≈ sqrt(N): 32 levels at N=1024
+		levels = l
+	}
+	if levels < 2 && n > 1 {
+		levels = 2
+	}
+	return GenParams{
+		N:            n,
+		MeanLevels:   levels,
+		MaxParents:   4,
+		EdgeProb:     0.25,
+		WidthJitter:  0.5,
+		SingleSource: false,
+	}
+}
+
+// Validate checks the parameters for internal consistency.
+func (p GenParams) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("dag: GenParams.N must be positive, got %d", p.N)
+	}
+	if p.MeanLevels <= 0 || p.MeanLevels > p.N {
+		return fmt.Errorf("dag: GenParams.MeanLevels %d out of range (1..%d)", p.MeanLevels, p.N)
+	}
+	if p.MaxParents < 1 {
+		return fmt.Errorf("dag: GenParams.MaxParents must be >= 1, got %d", p.MaxParents)
+	}
+	if p.EdgeProb < 0 || p.EdgeProb > 1 {
+		return fmt.Errorf("dag: GenParams.EdgeProb %v out of [0,1]", p.EdgeProb)
+	}
+	if p.WidthJitter < 0 || p.WidthJitter >= 1 {
+		return fmt.Errorf("dag: GenParams.WidthJitter %v out of [0,1)", p.WidthJitter)
+	}
+	return nil
+}
+
+// Generate builds a random layered DAG: subtasks are partitioned into
+// levels; every non-root subtask receives one mandatory parent from the
+// previous level (so the graph is connected level-to-level and every
+// non-root has at least one parent) and up to MaxParents-1 additional
+// parents drawn from earlier levels with probability EdgeProb each.
+// Subtask ids are assigned in level order, so id order is a topological
+// order by construction.
+func Generate(p GenParams, r *rng.Rand) (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	widths := levelWidths(p, r)
+	g := NewGraph(p.N)
+
+	// levelOf[i] = level index of subtask i; levelStart[k] = first id of level k.
+	levelStart := make([]int, len(widths)+1)
+	for k, w := range widths {
+		levelStart[k+1] = levelStart[k] + w
+	}
+
+	for k := 1; k < len(widths); k++ {
+		prevLo, prevHi := levelStart[k-1], levelStart[k]
+		for v := levelStart[k]; v < levelStart[k+1]; v++ {
+			// Mandatory parent from the immediately preceding level.
+			mand := prevLo + r.Intn(prevHi-prevLo)
+			if err := g.AddEdge(mand, v); err != nil {
+				return nil, err
+			}
+			// Extra parents from any earlier level.
+			extra := p.MaxParents - 1
+			for e := 0; e < extra; e++ {
+				if r.Float64() >= p.EdgeProb {
+					continue
+				}
+				cand := r.Intn(levelStart[k]) // any id in levels [0,k)
+				if cand == mand {
+					continue
+				}
+				if err := g.AddEdge(cand, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// levelWidths partitions N subtasks over approximately MeanLevels levels
+// with multiplicative jitter, guaranteeing every level has >= 1 subtask.
+func levelWidths(p GenParams, r *rng.Rand) []int {
+	levels := p.MeanLevels
+	if levels > p.N {
+		levels = p.N
+	}
+	widths := make([]int, levels)
+	base := float64(p.N) / float64(levels)
+	remaining := p.N
+	for k := 0; k < levels; k++ {
+		if k == levels-1 {
+			widths[k] = remaining
+			break
+		}
+		w := base
+		if p.WidthJitter > 0 {
+			w *= 1 + p.WidthJitter*(2*r.Float64()-1)
+		}
+		iw := int(w + 0.5)
+		if iw < 1 {
+			iw = 1
+		}
+		// Leave at least one subtask for each remaining level.
+		maxW := remaining - (levels - k - 1)
+		if iw > maxW {
+			iw = maxW
+		}
+		widths[k] = iw
+		remaining -= iw
+	}
+	if p.SingleSource && levels > 1 && widths[0] > 1 {
+		// Move the surplus of level 0 into level 1.
+		surplus := widths[0] - 1
+		widths[0] = 1
+		widths[1] += surplus
+	}
+	return widths
+}
+
+// Stats summarizes structural properties of a DAG; the experiment harness
+// reports these so workloads are comparable across runs (DESIGN.md D1).
+type Stats struct {
+	N          int
+	Edges      int
+	Depth      int
+	Roots      int
+	Sinks      int
+	MeanFanOut float64 // edges / non-sink subtasks
+	MaxFanIn   int
+	MaxFanOut  int
+}
+
+// ComputeStats returns structural statistics of g.
+func ComputeStats(g *Graph) (Stats, error) {
+	depth, err := g.Depth()
+	if err != nil {
+		return Stats{}, err
+	}
+	s := Stats{
+		N:     g.N(),
+		Edges: g.Edges(),
+		Depth: depth,
+		Roots: len(g.Roots()),
+		Sinks: len(g.Sinks()),
+	}
+	nonSink := 0
+	for i := 0; i < g.N(); i++ {
+		if len(g.Children(i)) > 0 {
+			nonSink++
+		}
+		if len(g.Children(i)) > s.MaxFanOut {
+			s.MaxFanOut = len(g.Children(i))
+		}
+		if len(g.Parents(i)) > s.MaxFanIn {
+			s.MaxFanIn = len(g.Parents(i))
+		}
+	}
+	if nonSink > 0 {
+		s.MeanFanOut = float64(s.Edges) / float64(nonSink)
+	}
+	return s, nil
+}

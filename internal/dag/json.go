@@ -1,0 +1,46 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonGraph is the serialized form: subtask count plus an edge list.
+type jsonGraph struct {
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+// MarshalJSON encodes the graph as {"n": N, "edges": [[p,c], ...]} with
+// edges in (parent, child) lexicographic order for stable output.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{N: g.n, Edges: make([][2]int, 0, g.Edges())}
+	for p := 0; p < g.n; p++ {
+		for _, c := range g.children[p] {
+			jg.Edges = append(jg.Edges, [2]int{p, c})
+		}
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes a graph and validates it (including acyclicity).
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	if jg.N < 0 {
+		return fmt.Errorf("dag: negative subtask count %d", jg.N)
+	}
+	ng := NewGraph(jg.N)
+	for _, e := range jg.Edges {
+		if err := ng.AddEdge(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	if err := ng.Validate(); err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
+}

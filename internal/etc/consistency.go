@@ -1,0 +1,178 @@
+package etc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/rng"
+)
+
+// Consistency classifies the machine heterogeneity of an ETC matrix,
+// following the taxonomy of the CVB method's literature [AlS00]:
+//
+//   - Consistent: if machine a is faster than machine b on one subtask, it
+//     is faster on every subtask (machines have a total order).
+//   - Inconsistent: no such order — a machine may be faster for one
+//     subtask and slower for another. The paper's per-subtask randomized
+//     fast/slow ratio produces inconsistent matrices within each class.
+//   - PartiallyConsistent: a consistent sub-structure embedded in an
+//     otherwise inconsistent matrix (here: the fast/slow class ordering
+//     holds everywhere, but ordering within a class does not).
+type Consistency int
+
+const (
+	// Inconsistent matrices impose no machine ordering.
+	Inconsistent Consistency = iota
+	// Consistent matrices order machines identically for every subtask.
+	Consistent
+	// PartiallyConsistent matrices order machine classes but not members.
+	PartiallyConsistent
+)
+
+// String names the consistency class.
+func (c Consistency) String() string {
+	switch c {
+	case Inconsistent:
+		return "inconsistent"
+	case Consistent:
+		return "consistent"
+	case PartiallyConsistent:
+		return "partially-consistent"
+	default:
+		return fmt.Sprintf("Consistency(%d)", int(c))
+	}
+}
+
+// MakeConsistent returns a copy of m whose rows are each sorted so that
+// the machine order (by column index) is identical for every subtask —
+// the "consistent" heterogeneity model. Class labels keep their column
+// positions; cells move.
+func (m *Matrix) MakeConsistent() *Matrix {
+	out := &Matrix{N: m.N, Classes: append([]grid.Class(nil), m.Classes...), Times: make([][]float64, m.N)}
+	for i := 0; i < m.N; i++ {
+		row := append([]float64(nil), m.Times[i]...)
+		sort.Float64s(row)
+		out.Times[i] = row
+	}
+	return out
+}
+
+// Classify reports the consistency class of the matrix: Consistent when
+// one machine ordering fits every row, PartiallyConsistent when the
+// class-level ordering (every fast column below every slow column) holds
+// for every row, and Inconsistent otherwise.
+func (m *Matrix) Classify() Consistency {
+	if m.N == 0 || m.M() < 2 {
+		return Consistent
+	}
+	// Full consistency: the column order of row 0 must fit all rows.
+	order := make([]int, m.M())
+	for j := range order {
+		order[j] = j
+	}
+	first := m.Times[0]
+	sort.Slice(order, func(a, b int) bool { return first[order[a]] < first[order[b]] })
+	consistent := true
+	for i := 1; i < m.N && consistent; i++ {
+		row := m.Times[i]
+		for k := 1; k < len(order); k++ {
+			if row[order[k-1]] > row[order[k]] {
+				consistent = false
+				break
+			}
+		}
+	}
+	if consistent {
+		return Consistent
+	}
+	// Class-level consistency: every fast cell below every slow cell, row
+	// by row.
+	for i := 0; i < m.N; i++ {
+		maxFast, minSlow := -1.0, -1.0
+		for j, cl := range m.Classes {
+			v := m.Times[i][j]
+			if cl == grid.Fast {
+				if v > maxFast {
+					maxFast = v
+				}
+			} else if minSlow < 0 || v < minSlow {
+				minSlow = v
+			}
+		}
+		if maxFast >= 0 && minSlow >= 0 && maxFast > minSlow {
+			return Inconsistent
+		}
+	}
+	return PartiallyConsistent
+}
+
+// Shuffle returns a copy of m with each row's cells randomly permuted —
+// the standard way to turn a (partially) consistent matrix fully
+// inconsistent while preserving its value distribution. Class labels stay
+// attached to columns, so class statistics change; use for taxonomy
+// experiments only.
+func (m *Matrix) Shuffle(r *rng.Rand) *Matrix {
+	out := &Matrix{N: m.N, Classes: append([]grid.Class(nil), m.Classes...), Times: make([][]float64, m.N)}
+	for i := 0; i < m.N; i++ {
+		row := append([]float64(nil), m.Times[i]...)
+		r.Shuffle(len(row), func(a, b int) { row[a], row[b] = row[b], row[a] })
+		out.Times[i] = row
+	}
+	return out
+}
+
+// Stats summarizes an ETC matrix: overall mean, task heterogeneity (CV of
+// per-subtask means) and machine heterogeneity (mean CV within rows).
+type Stats struct {
+	Mean      float64
+	TaskCV    float64
+	MachineCV float64
+}
+
+// ComputeStats returns heterogeneity statistics of the matrix.
+func (m *Matrix) ComputeStats() Stats {
+	if m.N == 0 || m.M() == 0 {
+		return Stats{}
+	}
+	rowMeans := make([]float64, m.N)
+	rowCVs := make([]float64, m.N)
+	for i, row := range m.Times {
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(len(row))
+		rowMeans[i] = mean
+		variance := 0.0
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(len(row))
+		if mean > 0 {
+			rowCVs[i] = math.Sqrt(variance) / mean
+		}
+	}
+	grand, taskVar := 0.0, 0.0
+	for _, v := range rowMeans {
+		grand += v
+	}
+	grand /= float64(m.N)
+	for _, v := range rowMeans {
+		d := v - grand
+		taskVar += d * d
+	}
+	taskVar /= float64(m.N)
+	machCV := 0.0
+	for _, v := range rowCVs {
+		machCV += v
+	}
+	machCV /= float64(m.N)
+	st := Stats{Mean: m.Mean(), MachineCV: machCV}
+	if grand > 0 {
+		st.TaskCV = math.Sqrt(taskVar) / grand
+	}
+	return st
+}

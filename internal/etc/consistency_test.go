@@ -1,0 +1,114 @@
+package etc
+
+import (
+	"math"
+	"testing"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/rng"
+)
+
+func TestConsistencyString(t *testing.T) {
+	if Consistent.String() != "consistent" || Inconsistent.String() != "inconsistent" ||
+		PartiallyConsistent.String() != "partially-consistent" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestMakeConsistentClassifies(t *testing.T) {
+	m := genA(t, 128, 31)
+	c := m.MakeConsistent()
+	if got := c.Classify(); got != Consistent {
+		t.Fatalf("MakeConsistent gave %v", got)
+	}
+	// Each row of the consistent copy is sorted.
+	for i := 0; i < c.N; i++ {
+		for j := 1; j < c.M(); j++ {
+			if c.At(i, j-1) > c.At(i, j) {
+				t.Fatalf("row %d not sorted", i)
+			}
+		}
+	}
+	// Original untouched.
+	if m.Classify() == Consistent {
+		t.Fatal("original matrix became consistent")
+	}
+}
+
+func TestGeneratedMatrixIsPartiallyConsistentOrInconsistent(t *testing.T) {
+	// The paper's generator keeps the fast/slow class ordering almost
+	// always (ratio >= 5x with small per-cell CV), but members within a
+	// class are unordered, so fully Consistent should never appear at
+	// realistic sizes.
+	m := genA(t, 256, 33)
+	if got := m.Classify(); got == Consistent {
+		t.Fatalf("generated 256x4 matrix classified as fully consistent")
+	}
+}
+
+func TestShuffleBecomesInconsistent(t *testing.T) {
+	m := genA(t, 256, 35)
+	s := m.MakeConsistent().Shuffle(rng.New(1))
+	if got := s.Classify(); got != Inconsistent {
+		t.Fatalf("shuffled matrix classified %v", got)
+	}
+	// Value multiset per row is preserved.
+	for i := 0; i < m.N; i++ {
+		var sumA, sumB float64
+		for j := 0; j < m.M(); j++ {
+			sumA += m.At(i, j)
+			sumB += s.At(i, j)
+		}
+		if math.Abs(sumA-sumB) > 1e-9 {
+			t.Fatalf("row %d changed values", i)
+		}
+	}
+}
+
+func TestClassifyTinyMatrices(t *testing.T) {
+	single := &Matrix{N: 1, Classes: []grid.Class{grid.Fast}, Times: [][]float64{{5}}}
+	if single.Classify() != Consistent {
+		t.Fatal("1x1 matrix should be trivially consistent")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	m := &Matrix{
+		N:       2,
+		Classes: []grid.Class{grid.Fast, grid.Fast},
+		Times:   [][]float64{{1, 3}, {2, 6}},
+	}
+	st := m.ComputeStats()
+	if math.Abs(st.Mean-3) > 1e-12 {
+		t.Fatalf("mean = %v", st.Mean)
+	}
+	// Row means 2 and 4: task CV = std/mean = 1/3.
+	if math.Abs(st.TaskCV-1.0/3.0) > 1e-12 {
+		t.Fatalf("task CV = %v", st.TaskCV)
+	}
+	// Both rows have CV = 1/2 (values a, 3a).
+	if math.Abs(st.MachineCV-0.5) > 1e-12 {
+		t.Fatalf("machine CV = %v", st.MachineCV)
+	}
+}
+
+func TestComputeStatsTracksGenerationParams(t *testing.T) {
+	// The generator's MachCV parameter should be visible (within the
+	// sampling noise of 4 columns) in the computed machine CV... the class
+	// split dominates, so just check the ensemble mean and positivity.
+	m := genA(t, 2048, 37)
+	st := m.ComputeStats()
+	if math.Abs(st.Mean-131)/131 > 0.05 {
+		t.Fatalf("mean = %v", st.Mean)
+	}
+	if st.TaskCV <= 0 || st.MachineCV <= 0 {
+		t.Fatalf("degenerate CVs: %+v", st)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	m := &Matrix{}
+	if st := m.ComputeStats(); st != (Stats{}) {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}

@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"adhocgrid/internal/grid"
+)
+
+// CSV writers for every experiment result, so external plotting tools can
+// regenerate the paper's figures from the same data the text renderers
+// print.
+
+// WriteCSV emits the Table 3 statistics as case,machine,mean,std,min,max.
+func (t *Table3Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"case", "machine", "mr_mean", "mr_std", "mr_min", "mr_max"}); err != nil {
+		return err
+	}
+	for _, c := range grid.AllCases {
+		for k, s := range t.PerCase[c] {
+			rec := []string{
+				c.String(), t.Labels[c][k],
+				fmtF(s.Mean), fmtF(s.Std), fmtF(s.Min), fmtF(s.Max),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Table 4 bounds as etc,caseA,caseB,caseC.
+func (t *Table4Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"etc", "case_a", "case_b", "case_c"}); err != nil {
+		return err
+	}
+	for e, row := range t.Bounds {
+		rec := []string{strconv.Itoa(e)}
+		for _, b := range row {
+			rec = append(rec, strconv.Itoa(b))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the ΔT sweep as deltat,dag,t100,elapsed_us.
+func (f *Fig2Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"deltat", "dag", "t100", "elapsed_us"}); err != nil {
+		return err
+	}
+	for _, row := range f.Rows {
+		for k, d := range f.DAGs {
+			rec := []string{
+				strconv.FormatInt(row.DeltaT, 10),
+				strconv.Itoa(d),
+				strconv.Itoa(row.T100[k]),
+				strconv.FormatInt(row.Elapsed[k].Microseconds(), 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the horizon sweep as horizon,dag,t100,elapsed_us.
+func (f *HorizonResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"horizon", "dag", "t100", "elapsed_us"}); err != nil {
+		return err
+	}
+	for _, row := range f.Rows {
+		for k, d := range f.DAGs {
+			rec := []string{
+				strconv.FormatInt(row.Horizon, 10),
+				strconv.Itoa(d),
+				strconv.Itoa(row.T100[k]),
+				strconv.FormatInt(row.Elapsed[k].Microseconds(), 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the optimal-weight summary as
+// heuristic,case,alpha_*,beta_*,feasible,total,weight_feasible_rate.
+func (f *Fig3Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"heuristic", "case",
+		"alpha_mean", "alpha_min", "alpha_max",
+		"beta_mean", "beta_min", "beta_max",
+		"feasible", "total", "weight_feasible_rate"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, h := range AllHeuristics {
+		for _, c := range grid.AllCases {
+			cell := f.Cells[h][c]
+			rec := []string{h.String(), c.String(),
+				fmtF(cell.Alpha.Mean), fmtF(cell.Alpha.Min), fmtF(cell.Alpha.Max),
+				fmtF(cell.Beta.Mean), fmtF(cell.Beta.Min), fmtF(cell.Beta.Max),
+				strconv.Itoa(cell.Found), strconv.Itoa(cell.Total),
+				fmtF(cell.WeightFeasibleRate)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figures 4-7 aggregation as one row per
+// heuristic x case.
+func (p *PerfResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"heuristic", "case", "t100_mean", "t100_std",
+		"vs_bound", "elapsed_us_mean", "t100_per_second", "feasible", "total"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, h := range StudyHeuristics {
+		for _, c := range grid.AllCases {
+			cell := p.Cells[h][c]
+			rec := []string{h.String(), c.String(),
+				fmtF(cell.T100Mean), fmtF(cell.T100Summary.Std),
+				fmtF(cell.VsBoundMean),
+				strconv.FormatInt(cell.ElapsedMean.Microseconds(), 10),
+				fmtF(cell.MetricMean),
+				strconv.Itoa(cell.Found), strconv.Itoa(cell.Total)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%g", v) }

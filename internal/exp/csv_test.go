@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, data string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(data)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestTable3CSV(t *testing.T) {
+	env := testEnv(t)
+	t3, err := env.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := t3.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	// Header + 3 (case A) + 2 (B) + 2 (C).
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "case" || len(rows[1]) != 6 {
+		t.Fatalf("bad header/shape: %v", rows[0])
+	}
+}
+
+func TestTable4CSV(t *testing.T) {
+	env := testEnv(t)
+	var buf bytes.Buffer
+	if err := env.Table4().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != env.Scale.NumETC+1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestFig2CSV(t *testing.T) {
+	env := testEnv(t)
+	f2, err := env.Fig2([]int64{10, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f2.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 1+2*len(f2.DAGs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestHorizonCSV(t *testing.T) {
+	env := testEnv(t)
+	fh, err := env.HorizonSweep([]int64{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fh.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(parseCSV(t, buf.String())) != 1+2*len(fh.DAGs) {
+		t.Fatal("row count wrong")
+	}
+}
+
+func TestFig3CSV(t *testing.T) {
+	env := testEnv(t)
+	var buf bytes.Buffer
+	if err := env.Fig3().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	// Header + 4 heuristics x 3 cases.
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestPerfCSV(t *testing.T) {
+	env := testEnv(t)
+	var buf bytes.Buffer
+	if err := env.Performance().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	// Header + 3 heuristics x 3 cases.
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}

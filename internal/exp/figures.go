@@ -1,0 +1,291 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"adhocgrid/internal/core"
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/stats"
+)
+
+// DefaultDeltaTSweep is the ΔT grid (in clock cycles) of Figure 2.
+var DefaultDeltaTSweep = []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+
+// Fig2Row is one ΔT setting of the Figure 2 sweep.
+type Fig2Row struct {
+	DeltaT  int64
+	T100    []int           // per DAG
+	Elapsed []time.Duration // per DAG
+}
+
+// Fig2Result holds the ΔT sensitivity sweep: SLRH-1 on ETC 0 of Case A
+// for two DAGs (paper Figure 2).
+type Fig2Result struct {
+	Rows    []Fig2Row
+	Weights sched.Weights
+	DAGs    []int
+}
+
+// Fig2 runs the ΔT sweep. Weights are fixed across the sweep; they come
+// from a coarse search at the paper's baseline ΔT=10 so every setting is
+// compared under the same objective.
+func (e *Env) Fig2(deltaTs []int64) (*Fig2Result, error) {
+	if len(deltaTs) == 0 {
+		deltaTs = DefaultDeltaTSweep
+	}
+	dags := []int{0, 1}
+	if e.Scale.NumDAG < 2 {
+		dags = []int{0}
+	}
+	// Fix the weights from the scenario (ETC 0, DAG 0) optimum.
+	opts := e.Optima(HeurSLRH1, grid.CaseA)
+	w := opts[0].Weights
+	if !opts[0].Found {
+		w = sched.NewWeights(0.5, 0.3)
+	}
+
+	res := &Fig2Result{Weights: w, DAGs: dags, Rows: make([]Fig2Row, len(deltaTs))}
+	e.parMap(len(deltaTs), func(k int) {
+		row := Fig2Row{DeltaT: deltaTs[k]}
+		for _, d := range dags {
+			inst := e.Instance(grid.CaseA, 0, d)
+			cfg := core.DefaultConfig(core.SLRH1, w)
+			cfg.DeltaT = deltaTs[k]
+			r, err := core.Run(inst, cfg)
+			if err != nil {
+				row.T100 = append(row.T100, -1)
+				row.Elapsed = append(row.Elapsed, 0)
+				continue
+			}
+			row.T100 = append(row.T100, r.Metrics.T100)
+			row.Elapsed = append(row.Elapsed, r.Elapsed)
+		}
+		res.Rows[k] = row
+	})
+	return res, nil
+}
+
+// Render prints the sweep.
+func (f *Fig2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2. Impact of dT on SLRH-1 (ETC 0, Case A; alpha=%.2f beta=%.2f)\n",
+		f.Weights.Alpha, f.Weights.Beta)
+	fmt.Fprintf(&b, "%-8s", "dT")
+	for _, d := range f.DAGs {
+		fmt.Fprintf(&b, " %-12s %-14s", fmt.Sprintf("T100(DAG%d)", d), fmt.Sprintf("time(DAG%d)", d))
+	}
+	fmt.Fprintln(&b)
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "%-8d", row.DeltaT)
+		for k := range f.DAGs {
+			fmt.Fprintf(&b, " %-12d %-14s", row.T100[k], row.Elapsed[k].Round(time.Microsecond))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Fig3Cell summarizes the optimal weight statistics of one heuristic in
+// one case (paper Figure 3): the average/min/max of the per-scenario
+// optimal α and β, plus how many scenarios admitted a feasible mapping.
+type Fig3Cell struct {
+	Alpha, Beta stats.Summary
+	Found       int // scenarios with a feasible mapping
+	Total       int
+	// WeightFeasibleRate is the mean, over scenarios, of the fraction of
+	// evaluated (α,β) settings that produced a feasible mapping — the
+	// quantity behind the paper's observation that SLRH-2 "rarely produced
+	// a successful mapping ... regardless of the choice of α and β".
+	WeightFeasibleRate float64
+}
+
+// Fig3Result maps heuristic -> case -> summary.
+type Fig3Result struct {
+	Cells map[Heuristic]map[grid.Case]Fig3Cell
+}
+
+// Fig3 computes the weight-sensitivity analysis for every heuristic and
+// case. SLRH-2 is included; the paper found it rarely produced a feasible
+// mapping, which appears here as a low Found count.
+func (e *Env) Fig3() *Fig3Result {
+	res := &Fig3Result{Cells: make(map[Heuristic]map[grid.Case]Fig3Cell)}
+	for _, h := range AllHeuristics {
+		res.Cells[h] = make(map[grid.Case]Fig3Cell)
+		for _, c := range grid.AllCases {
+			optima := e.Optima(h, c)
+			var alphas, betas []float64
+			found := 0
+			rateSum := 0.0
+			for _, o := range optima {
+				if o.TotalPoints > 0 {
+					rateSum += float64(o.FeasiblePoints) / float64(o.TotalPoints)
+				}
+				if !o.Found {
+					continue
+				}
+				found++
+				alphas = append(alphas, o.Weights.Alpha)
+				betas = append(betas, o.Weights.Beta)
+			}
+			cell := Fig3Cell{Found: found, Total: len(optima),
+				WeightFeasibleRate: rateSum / float64(len(optima))}
+			if found > 0 {
+				cell.Alpha = stats.Summarize(alphas)
+				cell.Beta = stats.Summarize(betas)
+			}
+			res.Cells[h][c] = cell
+		}
+	}
+	return res
+}
+
+// Render prints the per-case optimal-weight ranges.
+func (f *Fig3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3. Optimal objective-function weights (avg [min, max] over scenarios)\n")
+	for _, h := range AllHeuristics {
+		fmt.Fprintf(&b, "%s:\n", h)
+		for _, c := range grid.AllCases {
+			cell := f.Cells[h][c]
+			if cell.Found == 0 {
+				fmt.Fprintf(&b, "  Case %s: no feasible mapping in %d scenarios\n", c, cell.Total)
+				continue
+			}
+			fmt.Fprintf(&b, "  Case %s: alpha %s  beta %s  (feasible %d/%d scenarios, %.0f%% of weight settings)\n",
+				c, cell.Alpha.RangeString(), cell.Beta.RangeString(), cell.Found, cell.Total,
+				100*cell.WeightFeasibleRate)
+		}
+	}
+	return b.String()
+}
+
+// PerfCell aggregates one heuristic in one case at per-scenario optimal
+// weights: the inputs behind Figures 4, 5, 6 and 7.
+type PerfCell struct {
+	T100Mean      float64       // Figure 4
+	VsBoundMean   float64       // Figure 5: mean of T100/bound
+	ElapsedMean   time.Duration // Figure 6
+	MetricMean    float64       // Figure 7: mean of T100 per second of heuristic time
+	Found         int
+	Total         int
+	T100Summary   stats.Summary
+	ElapsedPoints []time.Duration
+}
+
+// PerfResult holds the Figures 4-7 aggregation.
+type PerfResult struct {
+	Cells map[Heuristic]map[grid.Case]PerfCell
+	N     int
+}
+
+// Performance aggregates the study heuristics across cases at their
+// per-scenario optimal weights. Scenarios with no feasible mapping are
+// excluded from the averages (their count is reported).
+func (e *Env) Performance() *PerfResult {
+	t4 := e.Table4()
+	res := &PerfResult{Cells: make(map[Heuristic]map[grid.Case]PerfCell), N: e.Scale.N}
+	for _, h := range StudyHeuristics {
+		res.Cells[h] = make(map[grid.Case]PerfCell)
+		for ci, c := range grid.AllCases {
+			optima := e.Optima(h, c)
+			var t100s, vsBound, metric []float64
+			var elapsed []time.Duration
+			var elapsedSum time.Duration
+			for _, o := range optima {
+				if !o.Found {
+					continue
+				}
+				t100s = append(t100s, float64(o.Metrics.T100))
+				bnd := t4.Bounds[o.ETCIndex][ci]
+				if bnd > 0 {
+					vsBound = append(vsBound, float64(o.Metrics.T100)/float64(bnd))
+				}
+				elapsed = append(elapsed, o.Elapsed)
+				elapsedSum += o.Elapsed
+				if sec := o.Elapsed.Seconds(); sec > 0 {
+					metric = append(metric, float64(o.Metrics.T100)/sec)
+				}
+			}
+			cell := PerfCell{Found: len(t100s), Total: len(optima), ElapsedPoints: elapsed}
+			if len(t100s) > 0 {
+				cell.T100Mean = stats.Mean(t100s)
+				cell.T100Summary = stats.Summarize(t100s)
+				cell.VsBoundMean = stats.Mean(vsBound)
+				cell.ElapsedMean = elapsedSum / time.Duration(len(elapsed))
+				cell.MetricMean = stats.Mean(metric)
+			}
+			res.Cells[h][c] = cell
+		}
+	}
+	return res
+}
+
+// renderPerf prints one Figure's series.
+func (p *PerfResult) renderPerf(title string, value func(PerfCell) string) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "%-10s", "")
+	for _, c := range grid.AllCases {
+		fmt.Fprintf(&b, " %-18s", "Case "+c.String())
+	}
+	fmt.Fprintln(&b)
+	for _, h := range StudyHeuristics {
+		fmt.Fprintf(&b, "%-10s", h)
+		for _, c := range grid.AllCases {
+			fmt.Fprintf(&b, " %-18s", value(p.Cells[h][c]))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// RenderFig4 prints the mean T100 comparison (paper Figure 4).
+func (p *PerfResult) RenderFig4() string {
+	return p.renderPerf(
+		fmt.Sprintf("Figure 4. Mean number of primary versions mapped (|T| = %d)", p.N),
+		func(c PerfCell) string {
+			if c.Found == 0 {
+				return "infeasible"
+			}
+			return fmt.Sprintf("%.1f (%d/%d ok)", c.T100Mean, c.Found, c.Total)
+		})
+}
+
+// RenderFig5 prints performance relative to the upper bound (Figure 5).
+func (p *PerfResult) RenderFig5() string {
+	return p.renderPerf(
+		"Figure 5. Mean T100 as a fraction of the upper bound",
+		func(c PerfCell) string {
+			if c.Found == 0 {
+				return "infeasible"
+			}
+			return fmt.Sprintf("%.1f%%", 100*c.VsBoundMean)
+		})
+}
+
+// RenderFig6 prints the mean heuristic execution times (Figure 6).
+func (p *PerfResult) RenderFig6() string {
+	return p.renderPerf(
+		"Figure 6. Mean heuristic execution time",
+		func(c PerfCell) string {
+			if c.Found == 0 {
+				return "infeasible"
+			}
+			return c.ElapsedMean.Round(time.Microsecond).String()
+		})
+}
+
+// RenderFig7 prints the T100-per-unit-execution-time metric (Figure 7).
+func (p *PerfResult) RenderFig7() string {
+	return p.renderPerf(
+		"Figure 7. Mean T100 per second of heuristic execution time",
+		func(c PerfCell) string {
+			if c.Found == 0 {
+				return "infeasible"
+			}
+			return fmt.Sprintf("%.0f", c.MetricMean)
+		})
+}

@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"adhocgrid/internal/core"
+	"adhocgrid/internal/maxmax"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/workload"
+)
+
+// Heuristic identifies one of the compared resource managers (§V).
+type Heuristic int
+
+const (
+	// HeurSLRH1 is the baseline SLRH variant.
+	HeurSLRH1 Heuristic = iota
+	// HeurSLRH2 drains one pool per machine per timestep.
+	HeurSLRH2
+	// HeurSLRH3 rebuilds the pool after every assignment.
+	HeurSLRH3
+	// HeurMaxMax is the static baseline.
+	HeurMaxMax
+)
+
+// StudyHeuristics is the set carried through Figures 4-7 (SLRH-2 is
+// dropped after Figure 3, as in the paper).
+var StudyHeuristics = []Heuristic{HeurSLRH1, HeurSLRH3, HeurMaxMax}
+
+// AllHeuristics is the Figure-3 set.
+var AllHeuristics = []Heuristic{HeurSLRH1, HeurSLRH2, HeurSLRH3, HeurMaxMax}
+
+// String returns the paper's name for the heuristic.
+func (h Heuristic) String() string {
+	switch h {
+	case HeurSLRH1:
+		return "SLRH-1"
+	case HeurSLRH2:
+		return "SLRH-2"
+	case HeurSLRH3:
+		return "SLRH-3"
+	case HeurMaxMax:
+		return "Max-Max"
+	default:
+		return fmt.Sprintf("Heuristic(%d)", int(h))
+	}
+}
+
+// variant maps an SLRH heuristic id to its core variant.
+func (h Heuristic) variant() (core.Variant, bool) {
+	switch h {
+	case HeurSLRH1:
+		return core.SLRH1, true
+	case HeurSLRH2:
+		return core.SLRH2, true
+	case HeurSLRH3:
+		return core.SLRH3, true
+	default:
+		return 0, false
+	}
+}
+
+// RunHeuristic executes heuristic h on the instance with the given
+// weights and the paper's baseline parameters (ΔT=10, H=100 for the SLRH
+// variants), returning the schedule metrics and the heuristic's own wall
+// time.
+func RunHeuristic(h Heuristic, inst *workload.Instance, w sched.Weights) (sched.Metrics, time.Duration, error) {
+	if v, ok := h.variant(); ok {
+		res, err := core.Run(inst, core.DefaultConfig(v, w))
+		if err != nil {
+			return sched.Metrics{}, 0, err
+		}
+		return res.Metrics, res.Elapsed, nil
+	}
+	res, err := maxmax.Run(inst, maxmax.Config{Weights: w})
+	if err != nil {
+		return sched.Metrics{}, 0, err
+	}
+	return res.Metrics, res.Elapsed, nil
+}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"adhocgrid/internal/core"
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/sched"
+)
+
+// DefaultHorizonSweep is the H grid (in clock cycles) of the §VII horizon
+// analysis. The paper reports the impact of H on both T100 and execution
+// time was negligible; the sweep exists to demonstrate that.
+var DefaultHorizonSweep = []int64{0, 10, 50, 100, 500, 1000, 10000}
+
+// HorizonRow is one H setting of the sweep.
+type HorizonRow struct {
+	Horizon int64
+	T100    []int
+	Elapsed []time.Duration
+}
+
+// HorizonResult holds the H sensitivity sweep: SLRH-1 on ETC 0 of Case A
+// for up to two DAGs, mirroring the Figure 2 setup.
+type HorizonResult struct {
+	Rows    []HorizonRow
+	Weights sched.Weights
+	DAGs    []int
+}
+
+// HorizonSweep runs the §VII receding-horizon analysis with fixed weights
+// taken from the scenario's optimum at the baseline parameters.
+func (e *Env) HorizonSweep(horizons []int64) (*HorizonResult, error) {
+	if len(horizons) == 0 {
+		horizons = DefaultHorizonSweep
+	}
+	dags := []int{0, 1}
+	if e.Scale.NumDAG < 2 {
+		dags = []int{0}
+	}
+	opts := e.Optima(HeurSLRH1, grid.CaseA)
+	w := opts[0].Weights
+	if !opts[0].Found {
+		w = sched.NewWeights(0.5, 0.3)
+	}
+	res := &HorizonResult{Weights: w, DAGs: dags, Rows: make([]HorizonRow, len(horizons))}
+	e.parMap(len(horizons), func(k int) {
+		row := HorizonRow{Horizon: horizons[k]}
+		for _, d := range dags {
+			inst := e.Instance(grid.CaseA, 0, d)
+			cfg := core.DefaultConfig(core.SLRH1, w)
+			cfg.Horizon = horizons[k]
+			r, err := core.Run(inst, cfg)
+			if err != nil {
+				row.T100 = append(row.T100, -1)
+				row.Elapsed = append(row.Elapsed, 0)
+				continue
+			}
+			row.T100 = append(row.T100, r.Metrics.T100)
+			row.Elapsed = append(row.Elapsed, r.Elapsed)
+		}
+		res.Rows[k] = row
+	})
+	return res, nil
+}
+
+// Render prints the sweep.
+func (f *HorizonResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Horizon sweep (SLRH-1, ETC 0, Case A; alpha=%.2f beta=%.2f)\n",
+		f.Weights.Alpha, f.Weights.Beta)
+	fmt.Fprintf(&b, "%-8s", "H")
+	for _, d := range f.DAGs {
+		fmt.Fprintf(&b, " %-12s %-14s", fmt.Sprintf("T100(DAG%d)", d), fmt.Sprintf("time(DAG%d)", d))
+	}
+	fmt.Fprintln(&b)
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "%-8d", row.Horizon)
+		for k := range f.DAGs {
+			fmt.Fprintf(&b, " %-12d %-14s", row.T100[k], row.Elapsed[k].Round(time.Microsecond))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

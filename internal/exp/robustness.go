@@ -1,0 +1,190 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"adhocgrid/internal/dag"
+	"adhocgrid/internal/etc"
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/rng"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/workload"
+)
+
+// Robustness checks that the heuristic ordering observed on the paper's
+// layered DAGs is not an artifact of that one precedence structure
+// (DESIGN.md substitution D1): the same ETC model is run over four DAG
+// families — the layered generator plus out-tree, in-tree and fork-join —
+// and each heuristic's best-weight T100 is reported per family.
+
+// Family identifies a DAG generator family.
+type Family int
+
+const (
+	// FamilyLayered is the default generator calibrated to the paper.
+	FamilyLayered Family = iota
+	// FamilyOutTree is a rooted fan-out tree.
+	FamilyOutTree
+	// FamilyInTree is a reduction tree with a single sink.
+	FamilyInTree
+	// FamilyForkJoin is a sequence of fork-join stages.
+	FamilyForkJoin
+)
+
+// AllFamilies lists the DAG families in report order.
+var AllFamilies = []Family{FamilyLayered, FamilyOutTree, FamilyInTree, FamilyForkJoin}
+
+// String names the family.
+func (f Family) String() string {
+	switch f {
+	case FamilyLayered:
+		return "layered"
+	case FamilyOutTree:
+		return "out-tree"
+	case FamilyInTree:
+		return "in-tree"
+	case FamilyForkJoin:
+		return "fork-join"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// generate builds one DAG of the family.
+func (f Family) generate(n int, r *rng.Rand) (*dag.Graph, error) {
+	switch f {
+	case FamilyLayered:
+		return dag.Generate(dag.DefaultGenParams(n), r)
+	case FamilyOutTree:
+		return dag.GenerateOutTree(n, 4, r)
+	case FamilyInTree:
+		return dag.GenerateInTree(n, 4, r)
+	case FamilyForkJoin:
+		width := n / 16
+		if width < 2 {
+			width = 2
+		}
+		return dag.GenerateForkJoin(n, width, r)
+	default:
+		return nil, fmt.Errorf("exp: unknown family %d", int(f))
+	}
+}
+
+// RobustnessCell is one (family, heuristic) outcome.
+type RobustnessCell struct {
+	T100    int
+	Found   bool
+	Weights sched.Weights
+}
+
+// RobustnessResult holds the family sweep on Case A.
+type RobustnessResult struct {
+	N     int
+	Cells map[Family]map[Heuristic]RobustnessCell
+	Stats map[Family]dag.Stats
+}
+
+// Robustness runs SLRH-1, SLRH-3 and Max-Max over one scenario per DAG
+// family (Case A), each with a coarse weight search.
+func (e *Env) Robustness() (*RobustnessResult, error) {
+	sc := e.Scale
+	res := &RobustnessResult{
+		N:     sc.N,
+		Cells: make(map[Family]map[Heuristic]RobustnessCell),
+		Stats: make(map[Family]dag.Stats),
+	}
+	base := rng.New(sc.Seed ^ 0x0b0b0b0b)
+	caseA := grid.ForCase(grid.CaseA)
+	for _, fam := range AllFamilies {
+		g, err := fam.generate(sc.N, base.Split())
+		if err != nil {
+			return nil, err
+		}
+		st, err := dag.ComputeStats(g)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats[fam] = st
+		m, err := etc.Generate(etc.DefaultParams(sc.N), caseA, base.Split())
+		if err != nil {
+			return nil, err
+		}
+		// Per-edge data items for this DAG.
+		dr := base.Split()
+		data := make([][]float64, sc.N)
+		for i := 0; i < sc.N; i++ {
+			kids := g.Children(i)
+			row := make([]float64, len(kids))
+			for k := range kids {
+				row[k] = dr.UniformRange(1e5, 1e6)
+			}
+			data[i] = row
+		}
+		scn := &workload.Scenario{
+			Graph: g, ETC: m, Data: data,
+			TauCycles:   grid.TauCycles(sc.N),
+			EnergyScale: float64(sc.N) / float64(grid.PaperSubtasks),
+		}
+		inst, err := scn.Instantiate(grid.CaseA)
+		if err != nil {
+			return nil, err
+		}
+		res.Cells[fam] = make(map[Heuristic]RobustnessCell)
+		for _, h := range StudyHeuristics {
+			best := RobustnessCell{}
+			for _, w := range coarseGrid(sc.CoarseStep) {
+				metrics, _, err := RunHeuristic(h, inst, w)
+				if err != nil || !metrics.Feasible() {
+					continue
+				}
+				if !best.Found || metrics.T100 > best.T100 {
+					best = RobustnessCell{T100: metrics.T100, Found: true, Weights: w}
+				}
+			}
+			res.Cells[fam][h] = best
+		}
+	}
+	return res, nil
+}
+
+// coarseGrid enumerates the (α, β) simplex at the given step.
+func coarseGrid(step float64) []sched.Weights {
+	if step <= 0 {
+		step = 0.1
+	}
+	var out []sched.Weights
+	steps := int(1/step + 0.5)
+	for a := 0; a <= steps; a++ {
+		for b := 0; a+b <= steps; b++ {
+			out = append(out, sched.NewWeights(float64(a)*step, float64(b)*step))
+		}
+	}
+	return out
+}
+
+// Render prints the family sweep.
+func (r *RobustnessResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DAG-family robustness (Case A, |T| = %d, best coarse-grid T100)\n", r.N)
+	fmt.Fprintf(&b, "%-11s %-28s", "family", "shape (depth/edges/fan-out)")
+	for _, h := range StudyHeuristics {
+		fmt.Fprintf(&b, " %-10s", h)
+	}
+	fmt.Fprintln(&b)
+	for _, fam := range AllFamilies {
+		st := r.Stats[fam]
+		fmt.Fprintf(&b, "%-11s %-28s", fam,
+			fmt.Sprintf("d=%d e=%d f=%.1f", st.Depth, st.Edges, st.MeanFanOut))
+		for _, h := range StudyHeuristics {
+			cell := r.Cells[fam][h]
+			if !cell.Found {
+				fmt.Fprintf(&b, " %-10s", "infeasible")
+				continue
+			}
+			fmt.Fprintf(&b, " %-10d", cell.T100)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

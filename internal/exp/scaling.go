@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"adhocgrid/internal/bound"
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/rng"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/workload"
+)
+
+// Scaling (beyond the paper) measures how each heuristic's wall time and
+// achieved T100 fraction grow with the application size |T|, holding the
+// paper's per-|T| deadline/battery scaling (DESIGN.md §6). The paper
+// motivates the SLRH by real-time constraints (§II: DSP/FPGA deployment);
+// this experiment quantifies the cost curve that motivation rests on.
+
+// ScalingRow is one application size.
+type ScalingRow struct {
+	N       int
+	T100    map[Heuristic]int
+	Frac    map[Heuristic]float64 // T100 / upper bound
+	Elapsed map[Heuristic]time.Duration
+}
+
+// ScalingResult holds the |T| sweep on Case A.
+type ScalingResult struct {
+	Rows    []ScalingRow
+	Weights sched.Weights
+}
+
+// DefaultScalingSizes is the |T| grid of the scaling experiment.
+var DefaultScalingSizes = []int{64, 128, 256, 512, 1024}
+
+// Scaling runs each study heuristic once per size with fixed mid-band
+// weights (the per-size optimum would conflate search effects with
+// scaling; fixed weights isolate the cost curve).
+func (e *Env) Scaling(sizes []int) (*ScalingResult, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultScalingSizes
+	}
+	w := sched.NewWeights(0.5, 0.3)
+	res := &ScalingResult{Weights: w, Rows: make([]ScalingRow, len(sizes))}
+	base := rng.New(e.Scale.Seed ^ 0x5ca1e)
+	seeds := make([]uint64, len(sizes))
+	for k := range seeds {
+		seeds[k] = base.Uint64()
+	}
+	e.parMap(len(sizes), func(k int) {
+		n := sizes[k]
+		row := ScalingRow{
+			N:       n,
+			T100:    make(map[Heuristic]int),
+			Frac:    make(map[Heuristic]float64),
+			Elapsed: make(map[Heuristic]time.Duration),
+		}
+		scn, err := workload.Generate(workload.DefaultParams(n), rng.New(seeds[k]))
+		if err != nil {
+			res.Rows[k] = row
+			return
+		}
+		inst, err := scn.Instantiate(grid.CaseA)
+		if err != nil {
+			res.Rows[k] = row
+			return
+		}
+		bnd := boundFor(inst)
+		for _, h := range StudyHeuristics {
+			m, elapsed, err := RunHeuristic(h, inst, w)
+			if err != nil {
+				continue
+			}
+			row.T100[h] = m.T100
+			row.Elapsed[h] = elapsed
+			if bnd > 0 {
+				row.Frac[h] = float64(m.T100) / float64(bnd)
+			}
+		}
+		res.Rows[k] = row
+	})
+	return res, nil
+}
+
+// Render prints the sweep.
+func (r *ScalingResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scaling with |T| (Case A, alpha=%.2f beta=%.2f, fixed weights)\n",
+		r.Weights.Alpha, r.Weights.Beta)
+	fmt.Fprintf(&b, "%-7s", "|T|")
+	for _, h := range StudyHeuristics {
+		fmt.Fprintf(&b, " %-22s", h.String()+" T100/bound,time")
+	}
+	fmt.Fprintln(&b)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-7d", row.N)
+		for _, h := range StudyHeuristics {
+			if _, ok := row.Elapsed[h]; !ok {
+				fmt.Fprintf(&b, " %-22s", "error")
+				continue
+			}
+			fmt.Fprintf(&b, " %-22s", fmt.Sprintf("%d (%.0f%%), %s",
+				row.T100[h], 100*row.Frac[h], row.Elapsed[h].Round(time.Microsecond)))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// boundFor computes the §VI upper bound of an instance.
+func boundFor(inst *workload.Instance) int {
+	return bound.UpperBound(inst).T100Bound
+}

@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"adhocgrid/internal/bound"
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/stats"
+)
+
+// Table1 renders the simulation configurations (paper Table 1).
+func Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1. Simulation configurations\n")
+	fmt.Fprintf(&b, "%-14s %-15s %-15s\n", "Configuration", `# "Fast" mach.`, `# "Slow" mach.`)
+	for _, c := range grid.AllCases {
+		f, s := c.Counts()
+		fmt.Fprintf(&b, "Case %-9s %-15d %-15d\n", c, f, s)
+	}
+	return b.String()
+}
+
+// Table2 renders the machine parameters (paper Table 2).
+func Table2() string {
+	f, s := grid.FastMachine(), grid.SlowMachine()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2. Machine parameters B(j), C(j), E(j), BW(j)\n")
+	fmt.Fprintf(&b, "%-6s %-22s %-22s\n", "", `"Fast" machines`, `"Slow" machines`)
+	fmt.Fprintf(&b, "%-6s %-22s %-22s\n", "B(j)", fmt.Sprintf("%.0f energy units", f.Battery), fmt.Sprintf("%.0f energy units", s.Battery))
+	fmt.Fprintf(&b, "%-6s %-22s %-22s\n", "C(j)", fmt.Sprintf("%.3g units/sec", f.CommRate), fmt.Sprintf("%.3g units/sec", s.CommRate))
+	fmt.Fprintf(&b, "%-6s %-22s %-22s\n", "E(j)", fmt.Sprintf("%.3g units/sec", f.ExecRate), fmt.Sprintf("%.3g units/sec", s.ExecRate))
+	fmt.Fprintf(&b, "%-6s %-22s %-22s\n", "BW(j)", fmt.Sprintf("%.0f megabits/sec", f.Bandwidth/1e6), fmt.Sprintf("%.0f megabits/sec", s.Bandwidth/1e6))
+	return b.String()
+}
+
+// Table3Result holds the average minimum relative speed (MR) per non-
+// reference machine per case, across the suite's ETC matrices (paper
+// Table 3).
+type Table3Result struct {
+	// PerCase[case][k] is the Summary of MR for machine k+1 of the case's
+	// grid (machine 0 is the reference and is omitted, as in the paper).
+	PerCase map[grid.Case][]stats.Summary
+	// Labels[case][k] is a human-readable machine label, e.g. "fast 1".
+	Labels map[grid.Case][]string
+}
+
+// Table3 computes the minimum-relative-speed statistics.
+func (e *Env) Table3() (*Table3Result, error) {
+	res := &Table3Result{
+		PerCase: make(map[grid.Case][]stats.Summary),
+		Labels:  make(map[grid.Case][]string),
+	}
+	for _, c := range grid.AllCases {
+		g := grid.ForCase(c)
+		numMach := g.M()
+		// samples[k][e] = MR of machine k+1 under ETC e.
+		samples := make([][]float64, numMach-1)
+		for e2 := range samples {
+			samples[e2] = make([]float64, e.Scale.NumETC)
+		}
+		for eIdx := 0; eIdx < e.Scale.NumETC; eIdx++ {
+			inst := e.Instance(c, eIdx, 0) // MR depends only on the ETC view
+			mr, err := bound.MinimumRatios(inst.ETC)
+			if err != nil {
+				return nil, err
+			}
+			for k := 1; k < numMach; k++ {
+				samples[k-1][eIdx] = mr[k]
+			}
+		}
+		sums := make([]stats.Summary, numMach-1)
+		labels := make([]string, numMach-1)
+		classCount := map[grid.Class]int{}
+		classCount[g.Machines[0].Class]++
+		for k := 1; k < numMach; k++ {
+			sums[k-1] = stats.Summarize(samples[k-1])
+			cl := g.Machines[k].Class
+			classCount[cl]++
+			labels[k-1] = fmt.Sprintf("%s %d", cl, classCount[cl])
+		}
+		res.PerCase[c] = sums
+		res.Labels[c] = labels
+	}
+	return res, nil
+}
+
+// Render prints the table in the paper's "avg (std)" style.
+func (t *Table3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3. Average minimum relative speed MR(j) (reference: machine 0)\n")
+	fmt.Fprintf(&b, "%-6s %s\n", "Case", "machine: avg (std)")
+	for _, c := range grid.AllCases {
+		fmt.Fprintf(&b, "%-6s", c)
+		for k, s := range t.PerCase[c] {
+			fmt.Fprintf(&b, " %s: %s ", t.Labels[c][k], s.String())
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Table4Result holds the §VI upper bound for every ETC matrix and case
+// (paper Table 4).
+type Table4Result struct {
+	// Bounds[etc][case index in grid.AllCases]
+	Bounds  [][]int
+	Results [][]bound.Result
+	N       int
+}
+
+// Table4 computes the upper-bound table.
+func (e *Env) Table4() *Table4Result {
+	res := &Table4Result{
+		Bounds:  make([][]int, e.Scale.NumETC),
+		Results: make([][]bound.Result, e.Scale.NumETC),
+		N:       e.Scale.N,
+	}
+	for eIdx := 0; eIdx < e.Scale.NumETC; eIdx++ {
+		res.Bounds[eIdx] = make([]int, len(grid.AllCases))
+		res.Results[eIdx] = make([]bound.Result, len(grid.AllCases))
+		for ci, c := range grid.AllCases {
+			r := bound.UpperBound(e.Instance(c, eIdx, 0))
+			res.Bounds[eIdx][ci] = r.T100Bound
+			res.Results[eIdx][ci] = r
+		}
+	}
+	return res
+}
+
+// Mean returns the mean bound for a case index.
+func (t *Table4Result) Mean(ci int) float64 {
+	vals := make([]float64, len(t.Bounds))
+	for e, row := range t.Bounds {
+		vals[e] = float64(row[ci])
+	}
+	return stats.Mean(vals)
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4. Upper bound on T100 (|T| = %d)\n", t.N)
+	fmt.Fprintf(&b, "%-5s %-22s %-22s %-22s\n", "ETC",
+		"Case A (2 fast, 2 slow)", "Case B (2 fast, 1 slow)", "Case C (1 fast, 2 slow)")
+	for e, row := range t.Bounds {
+		fmt.Fprintf(&b, "%-5d %-22d %-22d %-22d\n", e, row[0], row[1], row[2])
+	}
+	fmt.Fprintf(&b, "%-5s %-22.1f %-22.1f %-22.1f\n", "mean", t.Mean(0), t.Mean(1), t.Mean(2))
+	return b.String()
+}

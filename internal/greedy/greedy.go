@@ -1,0 +1,131 @@
+// Package greedy implements two classic list-scheduling baselines used by
+// the paper's methodology:
+//
+//   - MCT (minimum completion time): the "simple greedy static heuristic"
+//     the paper used to select the time constraint τ (§III) — every
+//     subtask goes, in a precedence-respecting order, to the machine where
+//     it finishes earliest, at the primary version while energy allows and
+//     the secondary version otherwise;
+//   - MinMin: the Ibarra-Kim Min-Min heuristic [IbK77] the paper derives
+//     its Max-Max baseline from — at every step, for each ready subtask
+//     find its minimum-completion-time placement, then commit the subtask
+//     whose minimum completion time is smallest.
+//
+// Both construct schedules on the shared sched substrate, so their output
+// is verifiable by sim.Verify and comparable with the SLRH variants.
+package greedy
+
+import (
+	"time"
+
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/workload"
+)
+
+// Result reports one greedy run.
+type Result struct {
+	Metrics sched.Metrics
+	State   *sched.State
+	Elapsed time.Duration
+}
+
+// neutralWeights gives a valid objective for state bookkeeping; the greedy
+// heuristics do not consult it for their decisions.
+var neutralWeights = sched.Weights{Alpha: 1, Beta: 0, Gamma: 0}
+
+// bestPlacement returns the earliest-finishing feasible plan for subtask i
+// at version v across all machines, or ok=false.
+func bestPlacement(st *sched.State, i int, v workload.Version) (sched.Plan, bool) {
+	var best sched.Plan
+	found := false
+	for j := 0; j < st.Inst.Grid.M(); j++ {
+		plan, err := st.PlanCandidate(i, j, v, 0)
+		if err != nil {
+			continue
+		}
+		if !found || plan.End < best.End ||
+			(plan.End == best.End && plan.Machine < best.Machine) {
+			best, found = plan, true
+		}
+	}
+	return best, found
+}
+
+// placeBestEffort finds the earliest-finishing placement of i, trying the
+// primary version first and falling back to the secondary. With reserve >
+// 0, a primary placement on machine j is only accepted while it leaves at
+// least reserve*B(j) energy behind — headroom that keeps enough battery
+// for the remaining subtasks' secondary versions.
+func placeBestEffort(st *sched.State, i int, reserve float64) (sched.Plan, bool) {
+	if plan, ok := bestPlacement(st, i, workload.Primary); ok {
+		j := plan.Machine
+		floor := reserve * st.Inst.Grid.Machines[j].Battery
+		if reserve <= 0 || st.Ledger.Remaining(j)-plan.ExecEnergy >= floor {
+			return plan, true
+		}
+	}
+	return bestPlacement(st, i, workload.Secondary)
+}
+
+// MCT maps the application in topological order, committing every subtask
+// to its earliest-finishing feasible placement (primary preferred).
+func MCT(inst *workload.Instance) (*Result, error) {
+	return MCTWithReserve(inst, 0)
+}
+
+// MCTWithReserve is MCT with a per-machine primary-energy reservation: a
+// primary placement must leave reserve*B(j) battery behind. The
+// calibration procedure uses this to keep the greedy mapping completable
+// on energy-tight workloads.
+func MCTWithReserve(inst *workload.Instance, reserve float64) (*Result, error) {
+	st := sched.NewState(inst, neutralWeights)
+	order, err := inst.Scenario.Graph.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for _, i := range order {
+		plan, ok := placeBestEffort(st, i, reserve)
+		if !ok {
+			continue // unschedulable under energy/τ; metrics report the gap
+		}
+		if err := st.Commit(plan); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Metrics: st.Metrics(), State: st, Elapsed: time.Since(start)}, nil
+}
+
+// MinMin repeatedly takes, over all ready subtasks, the one whose
+// earliest-finishing feasible placement (primary preferred per subtask)
+// completes soonest, and commits it. Ties break on smaller subtask id.
+func MinMin(inst *workload.Instance) (*Result, error) {
+	st := sched.NewState(inst, neutralWeights)
+	start := time.Now()
+	var ready []int
+	for !st.Done() {
+		ready = st.ReadySet(ready)
+		if len(ready) == 0 {
+			break
+		}
+		var best sched.Plan
+		found := false
+		for _, i := range ready {
+			plan, ok := placeBestEffort(st, i, 0)
+			if !ok {
+				continue
+			}
+			if !found || plan.End < best.End ||
+				(plan.End == best.End && plan.Subtask < best.Subtask) {
+				best, found = plan, true
+			}
+		}
+		if !found {
+			break // nothing ready is schedulable
+		}
+		if err := st.Commit(best); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Metrics: st.Metrics(), State: st, Elapsed: time.Since(start)}, nil
+}

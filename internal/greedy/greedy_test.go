@@ -1,0 +1,197 @@
+package greedy
+
+import (
+	"testing"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/rng"
+	"adhocgrid/internal/sim"
+	"adhocgrid/internal/workload"
+)
+
+func makeInstance(t testing.TB, n int, seed uint64, c grid.Case, energyScale float64) *workload.Instance {
+	t.Helper()
+	p := workload.DefaultParams(n)
+	p.EnergyScale = energyScale
+	s, err := workload.Generate(p, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Instantiate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestMCTCompletesAndVerifies(t *testing.T) {
+	for _, c := range grid.AllCases {
+		inst := makeInstance(t, 96, 42, c, 1)
+		res, err := MCT(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Metrics.Complete {
+			t.Fatalf("case %v: mapped %d/96", c, res.Metrics.Mapped)
+		}
+		if !res.Metrics.MetTau {
+			t.Fatalf("case %v: missed deadline", c)
+		}
+		if v := sim.Verify(res.State); len(v) != 0 {
+			t.Fatalf("case %v: violations: %v", c, v)
+		}
+	}
+}
+
+func TestMinMinCompletesAndVerifies(t *testing.T) {
+	for _, c := range grid.AllCases {
+		inst := makeInstance(t, 96, 42, c, 1)
+		res, err := MinMin(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Metrics.Complete {
+			t.Fatalf("case %v: mapped %d/96", c, res.Metrics.Mapped)
+		}
+		if v := sim.Verify(res.State); len(v) != 0 {
+			t.Fatalf("case %v: violations: %v", c, v)
+		}
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	inst := makeInstance(t, 96, 7, grid.CaseA, 1)
+	a, err := MCT(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MCT(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics.AETSeconds != b.Metrics.AETSeconds || a.Metrics.T100 != b.Metrics.T100 {
+		t.Fatal("MCT nondeterministic")
+	}
+	ma, err := MinMin(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := MinMin(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Metrics.AETSeconds != mb.Metrics.AETSeconds {
+		t.Fatal("MinMin nondeterministic")
+	}
+}
+
+func TestMinMinMakespanCompetitive(t *testing.T) {
+	// Min-Min considers all ready subtasks and picks the globally earliest
+	// finisher, so it should not produce a wildly worse makespan than the
+	// per-subtask MCT order on the same workload.
+	inst := makeInstance(t, 128, 11, grid.CaseA, 1)
+	mct, err := MCT(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := MinMin(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.Metrics.AETSeconds > 2*mct.Metrics.AETSeconds {
+		t.Fatalf("MinMin makespan %v far above MCT %v", mm.Metrics.AETSeconds, mct.Metrics.AETSeconds)
+	}
+}
+
+func TestGreedyFallsBackToSecondary(t *testing.T) {
+	// With paper-scaled batteries the energy budget cannot hold 128
+	// primaries; the reserving variant must fall back to secondaries and
+	// still complete the mapping.
+	inst := makeInstance(t, 128, 13, grid.CaseA, 0)
+	res, err := MCTWithReserve(inst, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Metrics.Complete {
+		t.Fatalf("mapped %d/128", res.Metrics.Mapped)
+	}
+	if res.Metrics.T100 == 128 {
+		t.Fatal("expected some secondary fallbacks under scaled batteries")
+	}
+	if res.Metrics.T100 == 0 {
+		t.Fatal("no primaries at all")
+	}
+	if v := sim.Verify(res.State); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestCalibrateTau(t *testing.T) {
+	p := workload.DefaultParams(128)
+	s, err := workload.Generate(p, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, err := CalibrateTau(s, grid.CaseA, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau <= 0 {
+		t.Fatalf("tau = %d", tau)
+	}
+	// Slack scales the result.
+	tau2, err := CalibrateTau(s, grid.CaseA, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau2 < 2*tau-2 || tau2 > 2*tau+2 {
+		t.Fatalf("slack 2 gave %d, want ~%d", tau2, 2*tau)
+	}
+	// The calibrated deadline must be loose enough that the greedy itself
+	// completes under it.
+	cal := *s
+	cal.TauCycles = tau2
+	inst, err := cal.Instantiate(grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MCTWithReserve(inst, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Metrics.Complete || !res.Metrics.MetTau {
+		t.Fatalf("greedy infeasible under its own calibrated deadline: %+v", res.Metrics)
+	}
+}
+
+func TestCalibrateTauNearLinearModel(t *testing.T) {
+	// The linear scale model used by grid.TauCycles should be within a
+	// small factor of the calibration procedure on a Case A workload —
+	// this pins DESIGN.md §6's claim.
+	p := workload.DefaultParams(256)
+	s, err := workload.Generate(p, rng.New(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calibrated, err := CalibrateTau(s, grid.CaseA, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linear := grid.TauCycles(256)
+	ratio := float64(linear) / float64(calibrated)
+	if ratio < 0.8 || ratio > 8 {
+		t.Fatalf("linear tau %d vs calibrated %d (ratio %.2f) diverge beyond the documented range",
+			linear, calibrated, ratio)
+	}
+}
+
+func TestCalibrateTauRejectsBadSlack(t *testing.T) {
+	p := workload.DefaultParams(32)
+	s, err := workload.Generate(p, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CalibrateTau(s, grid.CaseA, 0); err == nil {
+		t.Fatal("zero slack accepted")
+	}
+}

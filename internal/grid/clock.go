@@ -1,0 +1,41 @@
+package grid
+
+// Timing model (§IV): the SLRH heuristic is clock driven; one clock cycle
+// represents 0.1 seconds of simulated time. All schedule bookkeeping is in
+// integer cycles so that repeated runs are exactly reproducible.
+
+// CycleSeconds is the simulated duration of one clock cycle.
+const CycleSeconds = 0.1
+
+// DefaultTauSeconds is the paper's time constraint τ for completing the
+// full |T|=1024 application (§III): 34,075 seconds, chosen by the authors
+// from greedy-heuristic experiments so the deadline forces load balancing.
+const DefaultTauSeconds = 34075.0
+
+// PaperSubtasks is the paper's application size |T|.
+const PaperSubtasks = 1024
+
+// SecondsToCycles converts a duration in seconds to a whole number of
+// clock cycles, rounding up so that a booked interval always covers the
+// real duration.
+func SecondsToCycles(sec float64) int64 {
+	if sec <= 0 {
+		return 0
+	}
+	c := int64(sec / CycleSeconds)
+	if float64(c)*CycleSeconds < sec-1e-12 {
+		c++
+	}
+	return c
+}
+
+// CyclesToSeconds converts clock cycles back to seconds.
+func CyclesToSeconds(c int64) float64 { return float64(c) * CycleSeconds }
+
+// TauCycles returns the deadline in cycles for an application of n
+// subtasks: the paper's τ scaled linearly with n relative to the paper's
+// 1024-subtask application (DESIGN.md §6).
+func TauCycles(n int) int64 {
+	sec := DefaultTauSeconds * float64(n) / float64(PaperSubtasks)
+	return SecondsToCycles(sec)
+}

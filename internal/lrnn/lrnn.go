@@ -1,0 +1,190 @@
+// Package lrnn implements a simplified Lagrangian-relaxation static
+// mapper in the spirit of the Lagrangian relaxation neural network (LRNN)
+// of Luh et al. [LuZ00] and the authors' prior static mapper [CaS03] —
+// the lineage the paper's §II describes as its starting point.
+//
+// The relaxation dualizes the two coupling constraints — per-machine time
+// capacity (τ) and per-machine battery energy — with non-negative
+// multipliers. Given multipliers, the subproblem separates per subtask:
+// each picks the (machine, version) minimizing priced cost minus the
+// primary-version reward. A subgradient ascent step then raises the price
+// of overloaded machines and drained batteries. As in [LuH93], the
+// relaxed solution generally violates precedence and capacity, so a final
+// list-scheduling pass repairs it into a feasible schedule, preserving
+// the relaxed choices where possible and downgrading to the secondary
+// version or migrating machines where not.
+//
+// This mapper is the repository's second static comparator (extension;
+// DESIGN.md §8): it demonstrates the limitation §II attributes to the
+// static LRNN family — it must re-solve from scratch when the grid
+// changes, where the SLRH simply keeps running.
+package lrnn
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/workload"
+)
+
+// Config parameterizes the relaxation.
+type Config struct {
+	Weights    sched.Weights // same objective as the other heuristics
+	Iterations int           // subgradient iterations (default 60)
+	Step       float64       // initial subgradient step (default 0.5)
+	// PrimaryReward scales the benefit of choosing the primary version in
+	// the subproblem; the T100 weight α multiplies it. Default 1.
+	PrimaryReward float64
+}
+
+// DefaultConfig returns the configuration used by the ablation benches.
+func DefaultConfig(w sched.Weights) Config {
+	return Config{Weights: w, Iterations: 60, Step: 0.5, PrimaryReward: 1}
+}
+
+// Result reports one LRNN run.
+type Result struct {
+	Metrics    sched.Metrics
+	State      *sched.State
+	Iterations int
+	// DualViolation is the final relative constraint violation of the
+	// relaxed solution (0 = the relaxation itself was feasible).
+	DualViolation float64
+	Elapsed       time.Duration
+}
+
+// choice is the relaxed per-subtask decision.
+type choice struct {
+	machine int
+	version workload.Version
+}
+
+// Run performs the relaxation and repair on an instance.
+func Run(inst *workload.Instance, cfg Config) (*Result, error) {
+	if err := cfg.Weights.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 60
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = 0.5
+	}
+	if cfg.PrimaryReward <= 0 {
+		cfg.PrimaryReward = 1
+	}
+
+	n := inst.Scenario.N()
+	m := inst.Grid.M()
+	tauSec := grid.CyclesToSeconds(inst.TauCycles)
+
+	start := time.Now()
+	// Multipliers: lambda prices machine time (per second relative to τ),
+	// mu prices machine energy (per unit relative to battery).
+	lambda := make([]float64, m)
+	mu := make([]float64, m)
+	choices := make([]choice, n)
+	bestChoices := make([]choice, n)
+	bestViolation := math.Inf(1)
+	iterations := 0
+
+	for it := 0; it < cfg.Iterations; it++ {
+		iterations++
+		// Subproblem: independent per-subtask minimization.
+		for i := 0; i < n; i++ {
+			bestCost := math.Inf(1)
+			for j := 0; j < m; j++ {
+				for _, v := range [2]workload.Version{workload.Primary, workload.Secondary} {
+					execSec := inst.ExecSeconds(i, j, v)
+					energy := inst.ExecEnergy(i, j, v)
+					cost := (1+lambda[j])*execSec/tauSec + (1+mu[j])*energy/inst.Grid.Machines[j].Battery
+					if v == workload.Primary {
+						cost -= cfg.PrimaryReward * cfg.Weights.Alpha / float64(n) * 10
+					}
+					cost += cfg.Weights.Beta * energy / inst.Grid.TSE()
+					if cost < bestCost {
+						bestCost = cost
+						choices[i] = choice{machine: j, version: v}
+					}
+				}
+			}
+		}
+		// Measure constraint violation of the relaxed solution.
+		load := make([]float64, m)
+		energy := make([]float64, m)
+		for i, c := range choices {
+			load[c.machine] += inst.ExecSeconds(i, c.machine, c.version)
+			energy[c.machine] += inst.ExecEnergy(i, c.machine, c.version)
+		}
+		violation := 0.0
+		step := cfg.Step / math.Sqrt(float64(it+1))
+		for j := 0; j < m; j++ {
+			timeOver := (load[j] - tauSec) / tauSec
+			energyOver := (energy[j] - inst.Grid.Machines[j].Battery) / inst.Grid.Machines[j].Battery
+			if timeOver > 0 {
+				violation += timeOver
+			}
+			if energyOver > 0 {
+				violation += energyOver
+			}
+			lambda[j] = math.Max(0, lambda[j]+step*timeOver)
+			mu[j] = math.Max(0, mu[j]+step*energyOver)
+		}
+		if violation < bestViolation {
+			bestViolation = violation
+			copy(bestChoices, choices)
+			if violation == 0 {
+				break
+			}
+		}
+	}
+
+	// Repair: list-schedule the relaxed choices in topological order,
+	// downgrading or migrating when the relaxed choice is infeasible.
+	st := sched.NewState(inst, cfg.Weights)
+	order, err := inst.Scenario.Graph.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range order {
+		c := bestChoices[i]
+		plan, err := st.PlanCandidate(i, c.machine, c.version, 0)
+		if err != nil && c.version == workload.Primary {
+			// Downgrade to the secondary version on the chosen machine.
+			plan, err = st.PlanCandidate(i, c.machine, workload.Secondary, 0)
+		}
+		if err != nil {
+			// Migrate: earliest-finishing feasible placement anywhere.
+			found := false
+			for j := 0; j < m; j++ {
+				for _, v := range [2]workload.Version{c.version, workload.Secondary} {
+					p, perr := st.PlanCandidate(i, j, v, 0)
+					if perr != nil {
+						continue
+					}
+					if !found || p.End < plan.End {
+						plan, found = p, true
+					}
+				}
+			}
+			if !found {
+				// Unschedulable: leave unmapped; metrics report the gap.
+				continue
+			}
+		}
+		if cerr := st.Commit(plan); cerr != nil {
+			return nil, fmt.Errorf("lrnn: commit: %w", cerr)
+		}
+	}
+
+	return &Result{
+		Metrics:       st.Metrics(),
+		State:         st,
+		Iterations:    iterations,
+		DualViolation: bestViolation,
+		Elapsed:       time.Since(start),
+	}, nil
+}

@@ -1,0 +1,213 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator used by every stochastic component of the repository
+// (ETC matrix generation, DAG generation, data-size sampling).
+//
+// The generator is xoshiro256** seeded through SplitMix64, the combination
+// recommended by its authors. It is intentionally independent of math/rand
+// so that generated datasets are reproducible across Go releases: the
+// experiment tables in EXPERIMENTS.md depend on stable streams.
+//
+// Generators are not safe for concurrent use; parallel sweeps derive one
+// generator per task via Split or New with a task-specific seed.
+package rng
+
+import "math"
+
+// Rand is a deterministic xoshiro256** generator.
+type Rand struct {
+	s [4]uint64
+}
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used only for seeding, as recommended by Blackman & Vigna.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given seed. Distinct seeds give
+// statistically independent streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// A state of all zeros is invalid for xoshiro; splitMix64 of any seed
+	// cannot produce four zero words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Split derives a new, statistically independent generator from r,
+// advancing r. It is the supported way to hand independent streams to
+// parallel workers.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() ^ 0xa3cc7d5a2b8f1e47)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0,1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0,n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0,n) using Lemire's unbiased
+// multiply-shift rejection method. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	threshold := -n % n // (2^64 - n) mod n
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	x0, x1 := x&mask, x>>32
+	y0, y1 := y&mask, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+// UniformRange returns a uniform float64 in [lo, hi). It panics if hi < lo.
+func (r *Rand) UniformRange(lo, hi float64) float64 {
+	if hi < lo {
+		panic("rng: UniformRange with hi < lo")
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Normal returns a standard normal variate via the Marsaglia polar method.
+func (r *Rand) Normal() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Exponential returns an Exp(1) variate.
+func (r *Rand) Exponential() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Gamma returns a Gamma(shape, scale) variate with mean shape*scale using
+// the Marsaglia–Tsang squeeze method (with the standard boost for
+// shape < 1). It panics if shape or scale is not positive.
+func (r *Rand) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Gamma requires positive shape and scale")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.Normal()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// GammaMeanCV returns a Gamma variate parameterized by its mean and
+// coefficient of variation (cv = stddev/mean), the parameterization used by
+// the CVB ETC-generation method of Ali et al. [AlS00]:
+// shape = 1/cv², scale = mean·cv².
+func (r *Rand) GammaMeanCV(mean, cv float64) float64 {
+	if mean <= 0 || cv <= 0 {
+		panic("rng: GammaMeanCV requires positive mean and cv")
+	}
+	shape := 1 / (cv * cv)
+	scale := mean * cv * cv
+	return r.Gamma(shape, scale)
+}
+
+// Perm returns a uniformly random permutation of [0,n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher–Yates shuffle of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,233 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"adhocgrid/internal/workload"
+)
+
+// Dynamic machine loss (paper §I: assets "appear and disappear from the
+// grid at unanticipated times"; §VIII future work). A lost machine takes
+// with it every result that has not already left it: the paper notes that
+// recovering partial results "may prove too costly", so loss is modeled
+// pessimistically — anything stranded on the dead machine, and every
+// mapped descendant of it, is discarded and must be re-mapped.
+
+// aliveForever marks a machine that has not been lost.
+const aliveForever = int64(math.MaxInt64)
+
+// Alive reports whether machine j is still part of the grid.
+func (s *State) Alive(j int) bool {
+	return s.deadAt == nil || s.deadAt[j] == aliveForever
+}
+
+// DeadAt returns the cycle at which machine j was lost, or MaxInt64.
+func (s *State) DeadAt(j int) int64 {
+	if s.deadAt == nil {
+		return aliveForever
+	}
+	return s.deadAt[j]
+}
+
+// SunkEnergy returns the energy machine j spent on work that was later
+// discarded by a machine loss (executions that had started and transfers
+// that completed before the loss voided their consumers). The ledger's
+// consumption equals the live schedule's energy plus this sunk cost.
+func (s *State) SunkEnergy(j int) float64 {
+	if s.sunk == nil {
+		return 0
+	}
+	return s.sunk[j]
+}
+
+// LoseMachine removes machine j from the grid at cycle `now` and unwinds
+// every assignment invalidated by the loss. It returns the ids of the
+// subtasks that must be re-mapped, in increasing order.
+//
+// Voiding rules (conservative — see DESIGN.md §8):
+//
+//   - any assignment on j that has not completed by now is void;
+//   - any completed assignment on j whose output is still needed (an
+//     unmapped child, a child transfer that had not completed, or a voided
+//     child that will need the data again) is void — the result is
+//     stranded on the dead machine;
+//   - every mapped descendant of a void assignment is void, so the
+//     invariant "mapped implies all parents mapped" always holds.
+//
+// Work that really happened before the loss keeps its energy charge and is
+// accounted in SunkEnergy; bookings for future work are released and their
+// energy refunded to live machines.
+func (s *State) LoseMachine(j int, now int64) ([]int, error) {
+	if j < 0 || j >= s.Inst.Grid.M() {
+		return nil, fmt.Errorf("sched: LoseMachine(%d) out of range", j)
+	}
+	if s.deadAt == nil {
+		s.deadAt = make([]int64, s.Inst.Grid.M())
+		for k := range s.deadAt {
+			s.deadAt[k] = aliveForever
+		}
+	}
+	if s.deadAt[j] != aliveForever {
+		return nil, fmt.Errorf("sched: machine %d already lost", j)
+	}
+	if s.sunk == nil {
+		s.sunk = make([]float64, s.Inst.Grid.M())
+	}
+	s.deadAt[j] = now
+
+	graph := s.Inst.Scenario.Graph
+	order, err := graph.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	void := make([]bool, s.N())
+
+	// Pass 1: incomplete work on the dead machine.
+	for i, a := range s.Assignments {
+		if a != nil && a.Machine == j && a.End > now {
+			void[i] = true
+		}
+	}
+	// Passes 2 and 3 feed each other — a descendant voided by propagation
+	// can strand a completed output on the dead machine, which voids more
+	// descendants — so iterate both to a fixpoint. The void set only
+	// grows, so this terminates.
+	for changed := true; changed; {
+		changed = false
+		// Pass 2 (reverse topological): completed work on the dead machine
+		// whose output is still needed by an unmapped, unfinished-transfer,
+		// or voided consumer. Reverse order so a voided child marks its
+		// on-dead-machine parent before the parent is inspected.
+		for k := len(order) - 1; k >= 0; k-- {
+			i := order[k]
+			a := s.Assignments[i]
+			if a == nil || a.Machine != j || void[i] {
+				continue
+			}
+			for _, c := range graph.Children(i) {
+				ca := s.Assignments[c]
+				if ca == nil || void[c] {
+					void[i] = true
+					changed = true
+					break
+				}
+				if ca.Machine != j {
+					if tr := findTransfer(ca, i); tr == nil || tr.End > now {
+						void[i] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		// Pass 3 (forward topological): every mapped descendant of a void
+		// assignment is void.
+		for _, i := range order {
+			if s.Assignments[i] == nil || void[i] {
+				continue
+			}
+			for _, p := range graph.Parents(i) {
+				if void[p] {
+					void[i] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	var requeued []int
+	for _, i := range order {
+		if void[i] {
+			s.unwind(i, now)
+			requeued = append(requeued, i)
+		}
+	}
+	s.recomputeAggregates()
+	sortInts(requeued)
+	return requeued, nil
+}
+
+// findTransfer returns the transfer in a's incoming list whose parent is
+// p, or nil.
+func findTransfer(a *Assignment, p int) *Transfer {
+	for k := range a.Transfers {
+		if a.Transfers[k].Parent == p {
+			return &a.Transfers[k]
+		}
+	}
+	return nil
+}
+
+// unwind removes assignment i from the schedule at loss time `now`.
+// Executions that had started and transfers that had completed keep their
+// energy charges (recorded as sunk); future bookings are released and
+// refunded on live machines.
+func (s *State) unwind(i int, now int64) {
+	a := s.Assignments[i]
+	if a == nil {
+		return
+	}
+	if s.Alive(a.Machine) {
+		if err := s.ExecTL[a.Machine].Unbook(a.Start, a.End-a.Start); err != nil {
+			panic("sched: unwind exec unbook failed: " + err.Error())
+		}
+		if a.Start >= now {
+			s.Ledger.Refund(a.Machine, a.ExecEnergy)
+		} else {
+			// The execution had started; its energy is genuinely spent.
+			s.sunk[a.Machine] += a.ExecEnergy
+		}
+	} else {
+		s.sunk[a.Machine] += a.ExecEnergy
+	}
+	for _, tr := range a.Transfers {
+		dur := tr.End - tr.Start
+		if s.Alive(tr.From) {
+			if dur > 0 {
+				if err := s.SendTL[tr.From].Unbook(tr.Start, dur); err != nil {
+					panic("sched: unwind send unbook failed: " + err.Error())
+				}
+			}
+			if tr.Start >= now {
+				s.Ledger.Refund(tr.From, tr.Energy)
+			} else {
+				s.sunk[tr.From] += tr.Energy
+			}
+		} else {
+			s.sunk[tr.From] += tr.Energy
+		}
+		if s.Alive(tr.To) && dur > 0 {
+			if err := s.RecvTL[tr.To].Unbook(tr.Start, dur); err != nil {
+				panic("sched: unwind recv unbook failed: " + err.Error())
+			}
+		}
+	}
+	s.Assignments[i] = nil
+	s.Mapped--
+	if a.Version == workload.Primary {
+		s.T100--
+	}
+	for _, c := range s.Inst.Scenario.Graph.Children(i) {
+		s.unmappedParent[c]++
+	}
+}
+
+// recomputeAggregates re-derives AET from the surviving assignments.
+func (s *State) recomputeAggregates() {
+	s.AETCycles = 0
+	for _, a := range s.Assignments {
+		if a != nil && a.End > s.AETCycles {
+			s.AETCycles = a.End
+		}
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for k := i; k > 0 && a[k] < a[k-1]; k-- {
+			a[k], a[k-1] = a[k-1], a[k]
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"adhocgrid/internal/grid"
+)
+
+// Weights holds the Lagrangian multipliers (α, β, γ) of the paper's global
+// objective function. The SLRH is "simplified" because these are held
+// constant during a run; the adaptive extension re-derives them online.
+type Weights struct {
+	Alpha float64 // weight of the T100 reward term
+	Beta  float64 // weight of the energy-consumption penalty term
+	Gamma float64 // weight of the application-execution-time term
+}
+
+// NewWeights builds Weights with γ = 1−α−β, the convention used by the
+// paper's sweep (only two weights are free).
+func NewWeights(alpha, beta float64) Weights {
+	return Weights{Alpha: alpha, Beta: beta, Gamma: 1 - alpha - beta}
+}
+
+// Validate enforces the paper's constraints: each weight in [0,1] and
+// α+β+γ = 1 (within floating-point tolerance).
+func (w Weights) Validate() error {
+	const tol = 1e-9
+	for _, v := range []float64{w.Alpha, w.Beta, w.Gamma} {
+		if v < -tol || v > 1+tol || math.IsNaN(v) {
+			return fmt.Errorf("sched: weight %v outside [0,1]", v)
+		}
+	}
+	if s := w.Alpha + w.Beta + w.Gamma; math.Abs(s-1) > 1e-6 {
+		return fmt.Errorf("sched: weights sum to %v, want 1", s)
+	}
+	return nil
+}
+
+// Objective evaluates the paper's global objective function
+//
+//	ObjFn(α,β,γ) = α·T100/|T| − β·TEC/TSE + γ·AET/τ
+//
+// for a (possibly partial) mapping. Each term is normalized to [0,1]; the
+// AET term enters with a positive sign to encourage using the full time
+// budget rather than producing short, low-T100 mappings (§IV).
+type Objective struct {
+	Weights    Weights
+	T          int     // |T|: total subtasks in the application
+	TSE        float64 // total system energy of the configuration
+	TauSeconds float64 // time constraint τ in seconds
+}
+
+// NewObjective builds the objective for an application of n subtasks on
+// grid g with deadline tauCycles.
+func NewObjective(w Weights, n int, g *grid.Grid, tauCycles int64) Objective {
+	return Objective{
+		Weights:    w,
+		T:          n,
+		TSE:        g.TSE(),
+		TauSeconds: grid.CyclesToSeconds(tauCycles),
+	}
+}
+
+// Value returns ObjFn for the given aggregate state.
+func (o Objective) Value(t100 int, tec float64, aetSeconds float64) float64 {
+	return o.Weights.Alpha*float64(t100)/float64(o.T) -
+		o.Weights.Beta*tec/o.TSE +
+		o.Weights.Gamma*aetSeconds/o.TauSeconds
+}

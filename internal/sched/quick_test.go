@@ -1,0 +1,196 @@
+package sched_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/rng"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/sim"
+	"adhocgrid/internal/workload"
+)
+
+// randomState builds a schedule by committing uniformly random feasible
+// (subtask, machine, version) choices until count subtasks are mapped or
+// nothing fits. It exercises planner/committer paths no heuristic takes.
+func randomState(seed uint64, n, count int, c grid.Case) (*sched.State, error) {
+	p := workload.DefaultParams(n)
+	p.EnergyScale = 1
+	scn, err := workload.Generate(p, rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	inst, err := scn.Instantiate(c)
+	if err != nil {
+		return nil, err
+	}
+	st := sched.NewState(inst, sched.NewWeights(0.5, 0.3))
+	r := rng.New(seed ^ 0xabcdef)
+	var ready []int
+	for st.Mapped < count {
+		ready = st.ReadySet(ready)
+		if len(ready) == 0 {
+			break
+		}
+		i := ready[r.Intn(len(ready))]
+		j := r.Intn(inst.Grid.M())
+		v := workload.Primary
+		if r.Intn(2) == 1 {
+			v = workload.Secondary
+		}
+		plan, err := st.PlanCandidate(i, j, v, int64(r.Intn(1000)))
+		if err != nil {
+			// Try the secondary anywhere as a fallback; skip on failure.
+			committed := false
+			for jj := 0; jj < inst.Grid.M() && !committed; jj++ {
+				if p2, err2 := st.PlanCandidate(i, jj, workload.Secondary, 0); err2 == nil {
+					if st.Commit(p2) == nil {
+						committed = true
+					}
+				}
+			}
+			if !committed {
+				break
+			}
+			continue
+		}
+		if err := st.Commit(plan); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func TestQuickRandomCommitsAlwaysVerify(t *testing.T) {
+	cases := []grid.Case{grid.CaseA, grid.CaseB, grid.CaseC}
+	f := func(seed uint64, caseIdx uint8) bool {
+		st, err := randomState(seed, 48, 48, cases[int(caseIdx)%3])
+		if err != nil {
+			return false
+		}
+		return len(sim.Verify(st)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPlanNeverMutates(t *testing.T) {
+	f := func(seed uint64, subtaskPick, machinePick uint8) bool {
+		st, err := randomState(seed, 32, 16, grid.CaseA)
+		if err != nil {
+			return false
+		}
+		ready := st.ReadySet(nil)
+		if len(ready) == 0 {
+			return true
+		}
+		i := ready[int(subtaskPick)%len(ready)]
+		j := int(machinePick) % st.Inst.Grid.M()
+		snapshotEnergy := make([]float64, st.Inst.Grid.M())
+		snapshotLens := make([][3]int, st.Inst.Grid.M())
+		for m := range snapshotEnergy {
+			snapshotEnergy[m] = st.Ledger.Remaining(m)
+			snapshotLens[m] = [3]int{st.ExecTL[m].Len(), st.SendTL[m].Len(), st.RecvTL[m].Len()}
+		}
+		mappedBefore := st.Mapped
+		_, _ = st.PlanCandidate(i, j, workload.Primary, 0)
+		_, _ = st.PlanCandidate(i, j, workload.Secondary, 500)
+		if st.Mapped != mappedBefore {
+			return false
+		}
+		for m := range snapshotEnergy {
+			if st.Ledger.Remaining(m) != snapshotEnergy[m] {
+				return false
+			}
+			if snapshotLens[m] != [3]int{st.ExecTL[m].Len(), st.SendTL[m].Len(), st.RecvTL[m].Len()} {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLoseMachineKeepsInvariants(t *testing.T) {
+	f := func(seed uint64, machinePick uint8, when uint16) bool {
+		st, err := randomState(seed, 48, 48, grid.CaseA)
+		if err != nil {
+			return false
+		}
+		j := int(machinePick) % st.Inst.Grid.M()
+		at := int64(when)
+		if st.AETCycles > 0 {
+			at = int64(when) % (2 * st.AETCycles)
+		}
+		requeued, err := st.LoseMachine(j, at)
+		if err != nil {
+			return false
+		}
+		// Requeued subtasks are unmapped; mapped count agrees; the
+		// surviving schedule verifies.
+		for _, i := range requeued {
+			if st.Assignments[i] != nil {
+				return false
+			}
+		}
+		count := 0
+		for _, a := range st.Assignments {
+			if a != nil {
+				count++
+			}
+		}
+		if count != st.Mapped {
+			return false
+		}
+		return len(sim.Verify(st)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAETIsMaxAssignmentEnd(t *testing.T) {
+	f := func(seed uint64) bool {
+		st, err := randomState(seed, 40, 40, grid.CaseB)
+		if err != nil {
+			return false
+		}
+		var max int64
+		for _, a := range st.Assignments {
+			if a != nil && a.End > max {
+				max = a.End
+			}
+		}
+		return st.AETCycles == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEnergyConservation(t *testing.T) {
+	// Consumed + remaining == battery for every machine, under any commit
+	// sequence.
+	f := func(seed uint64) bool {
+		st, err := randomState(seed, 40, 40, grid.CaseA)
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for j, m := range st.Inst.Grid.Machines {
+			if st.Ledger.Remaining(j) > m.Battery {
+				return false
+			}
+			total += m.Battery - st.Ledger.Remaining(j)
+		}
+		diff := total - st.Ledger.Consumed(st.Inst.Grid)
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

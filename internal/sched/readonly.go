@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"fmt"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/workload"
+)
+
+// Read-only candidate planning. PlanCandidate serializes multi-parent
+// transfers by tentatively booking them into the shared timelines and
+// rolling back; that is fast but makes concurrent scoring of independent
+// candidates unsafe. PlanCandidateRO produces byte-identical plans while
+// keeping all tentative state in plan-local scratch, so any number of
+// goroutines can price candidates against the same schedule concurrently —
+// the software analogue of the parallel hardware evaluation the paper
+// names as future work (§II: mapping the algorithm onto DSPs/FPGAs).
+
+// EarliestFitWith behaves like EarliestFit but also avoids the extra
+// intervals (a small, unsorted, plan-local set).
+func (t *Timeline) EarliestFitWith(extra []Interval, after, dur int64) int64 {
+	if dur <= 0 {
+		return after
+	}
+	s := after
+	for {
+		s = t.EarliestFit(s, dur)
+		moved := false
+		for _, iv := range extra {
+			if s < iv.End && iv.Start < s+dur {
+				s = iv.End
+				moved = true
+			}
+		}
+		if !moved {
+			return s
+		}
+	}
+}
+
+// roScratch keeps the tentative link occupancy of one plan under
+// construction, keyed by machine.
+type roScratch struct {
+	send map[int][]Interval
+	recv map[int][]Interval
+}
+
+func (sc *roScratch) addSend(machine int, iv Interval) {
+	if sc.send == nil {
+		sc.send = make(map[int][]Interval, 4)
+	}
+	sc.send[machine] = append(sc.send[machine], iv)
+}
+
+func (sc *roScratch) addRecv(machine int, iv Interval) {
+	if sc.recv == nil {
+		sc.recv = make(map[int][]Interval, 2)
+	}
+	sc.recv[machine] = append(sc.recv[machine], iv)
+}
+
+// PlanCandidateRO prices mapping subtask i at version v onto machine j
+// exactly like PlanCandidate, but without mutating any shared state. It
+// is safe to call concurrently with other PlanCandidateRO calls on the
+// same State; it must not race with Commit.
+func (s *State) PlanCandidateRO(i, j int, v workload.Version, now int64) (Plan, error) {
+	var plan Plan
+	if s.Assignments[i] != nil {
+		return plan, fmt.Errorf("sched: subtask %d already mapped", i)
+	}
+	if s.unmappedParent[i] != 0 {
+		return plan, fmt.Errorf("sched: subtask %d has unmapped parents", i)
+	}
+	if !s.Alive(j) {
+		return plan, fmt.Errorf("sched: machine %d has been lost", j)
+	}
+	graph := s.Inst.Scenario.Graph
+
+	execEnergy := s.Inst.ExecEnergy(i, j, v)
+	if s.Ledger.Remaining(j) < execEnergy+s.Inst.WorstChildCommEnergy(i, j, v) {
+		return plan, fmt.Errorf("sched: machine %d lacks energy for subtask %d %v", j, i, v)
+	}
+
+	var scratch roScratch
+	arrival := now
+	var transfers []Transfer
+	senderCost := make(map[int]float64)
+	for _, p := range graph.Parents(i) {
+		pa := s.Assignments[p]
+		if pa == nil {
+			return plan, fmt.Errorf("sched: parent %d of %d unmapped", p, i)
+		}
+		if !s.Alive(pa.Machine) {
+			return plan, fmt.Errorf("sched: parent %d of %d stranded on lost machine %d", p, i, pa.Machine)
+		}
+		if pa.Machine == j {
+			if pa.End > arrival {
+				arrival = pa.End
+			}
+			continue
+		}
+		k := s.Inst.ChildIndex(p, i)
+		bits := s.Inst.OutBits(p, k, pa.Version)
+		durSec := s.Inst.Grid.CommTime(bits, pa.Machine, j)
+		dur := grid.SecondsToCycles(durSec)
+		energy := s.Inst.Grid.Machines[pa.Machine].CommRate * durSec
+
+		senderCost[pa.Machine] += energy
+		if s.Ledger.Remaining(pa.Machine) < senderCost[pa.Machine] {
+			return plan, fmt.Errorf("sched: sender machine %d out of energy for transfer %d->%d",
+				pa.Machine, p, i)
+		}
+
+		start := pa.End
+		if start < now {
+			start = now
+		}
+		send, recv := s.SendTL[pa.Machine], s.RecvTL[j]
+		sendExtra := scratch.send[pa.Machine]
+		recvExtra := scratch.recv[j]
+		for {
+			s1 := send.EarliestFitWith(sendExtra, start, dur)
+			s2 := recv.EarliestFitWith(recvExtra, s1, dur)
+			if s2 == s1 {
+				start = s1
+				break
+			}
+			start = s2
+		}
+		if dur > 0 {
+			scratch.addSend(pa.Machine, Interval{start, start + dur})
+			scratch.addRecv(j, Interval{start, start + dur})
+		}
+		end := start + dur
+		if end > arrival {
+			arrival = end
+		}
+		transfers = append(transfers, Transfer{
+			Parent: p, Child: i, From: pa.Machine, To: j,
+			Start: start, End: end, Bits: bits, Energy: energy,
+		})
+	}
+
+	execDur := s.Inst.ExecCycles(i, j, v)
+	execStart := s.ExecTL[j].EarliestFit(arrival, execDur)
+	if execStart+execDur > s.Inst.TauCycles {
+		return plan, fmt.Errorf("sched: subtask %d on machine %d would finish at %d, past tau %d",
+			i, j, execStart+execDur, s.Inst.TauCycles)
+	}
+	plan.Assignment = Assignment{
+		Subtask: i, Machine: j, Version: v,
+		Start: execStart, End: execStart + execDur,
+		ExecEnergy: execEnergy,
+		Transfers:  transfers,
+	}
+	return plan, nil
+}

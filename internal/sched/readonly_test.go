@@ -1,0 +1,108 @@
+package sched_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/workload"
+)
+
+func TestEarliestFitWith(t *testing.T) {
+	tl := &sched.Timeline{}
+	tl.Book(10, 10) // committed [10,20)
+	extra := []sched.Interval{{Start: 25, End: 35}}
+	cases := []struct{ after, dur, want int64 }{
+		{0, 5, 0},
+		{0, 10, 0},
+		{5, 10, 35}, // blocked by committed then by extra ([20,25) too small)
+		{20, 5, 20}, // fits between committed and extra
+		{20, 6, 35}, // gap too small
+		{40, 3, 40},
+	}
+	for _, c := range cases {
+		if got := tl.EarliestFitWith(extra, c.after, c.dur); got != c.want {
+			t.Errorf("EarliestFitWith(after=%d,dur=%d) = %d, want %d", c.after, c.dur, got, c.want)
+		}
+	}
+	if got := tl.EarliestFitWith(nil, 3, 0); got != 3 {
+		t.Errorf("zero-dur = %d", got)
+	}
+}
+
+// TestROPlanEquivalence: the read-only planner must produce exactly the
+// plan the mutating planner produces, for every candidate reachable from
+// randomly built schedules.
+func TestROPlanEquivalence(t *testing.T) {
+	f := func(seed uint64, nowPick uint16) bool {
+		st, err := randomState(seed, 48, 24, grid.CaseA)
+		if err != nil {
+			return false
+		}
+		now := int64(nowPick)
+		ready := st.ReadySet(nil)
+		for _, i := range ready {
+			for j := 0; j < st.Inst.Grid.M(); j++ {
+				for _, v := range []workload.Version{workload.Primary, workload.Secondary} {
+					a, errA := st.PlanCandidate(i, j, v, now)
+					b, errB := st.PlanCandidateRO(i, j, v, now)
+					if (errA == nil) != (errB == nil) {
+						t.Logf("error mismatch i=%d j=%d v=%v: %v vs %v", i, j, v, errA, errB)
+						return false
+					}
+					if errA != nil {
+						continue
+					}
+					if !reflect.DeepEqual(a, b) {
+						t.Logf("plan mismatch i=%d j=%d v=%v:\n%+v\nvs\n%+v", i, j, v, a, b)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestROPlanConcurrentSafe prices many candidates from many goroutines
+// against one state; run with -race this verifies the read-only claim.
+func TestROPlanConcurrentSafe(t *testing.T) {
+	st, err := randomState(99, 64, 32, grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := st.ReadySet(nil)
+	if len(ready) == 0 {
+		t.Skip("no ready subtasks")
+	}
+	var wg sync.WaitGroup
+	plans := make([]sched.Plan, len(ready))
+	errs := make([]error, len(ready))
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := g; k < len(ready); k += 4 {
+				i := ready[k]
+				plans[k], errs[k] = st.PlanCandidateRO(i, i%st.Inst.Grid.M(), workload.Secondary, 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every plan must match the sequential result.
+	for k, i := range ready {
+		want, wantErr := st.PlanCandidate(i, i%st.Inst.Grid.M(), workload.Secondary, 0)
+		if (wantErr == nil) != (errs[k] == nil) {
+			t.Fatalf("candidate %d error mismatch", i)
+		}
+		if wantErr == nil && !reflect.DeepEqual(plans[k], want) {
+			t.Fatalf("candidate %d plan mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/workload"
+)
+
+// Gantt renders a textual Gantt chart of the schedule: one row per
+// machine, `width` character columns spanning [0, max(AET, τ)]. Primary
+// executions print as 'P', secondary as 's', link activity rows as '-'
+// (sending) and '.' (receiving). Dead machines are marked at their loss
+// cycle with 'X' from the loss onward.
+func (s *State) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	span := s.AETCycles
+	if s.Inst.TauCycles > span {
+		span = s.Inst.TauCycles
+	}
+	if span == 0 {
+		span = 1
+	}
+	col := func(cycle int64) int {
+		c := int(int64(width) * cycle / span)
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Gantt: %d cycles (%.0fs) per %d columns; tau at column %d\n",
+		span, grid.CyclesToSeconds(span), width, col(s.Inst.TauCycles))
+	for j := 0; j < s.Inst.Grid.M(); j++ {
+		exec := make([]byte, width)
+		link := make([]byte, width)
+		for k := range exec {
+			exec[k], link[k] = ' ', ' '
+		}
+		for _, a := range s.Assignments {
+			if a == nil || a.Machine != j {
+				continue
+			}
+			ch := byte('P')
+			if a.Version == workload.Secondary {
+				ch = 's'
+			}
+			for c := col(a.Start); c <= col(a.End-1); c++ {
+				exec[c] = ch
+			}
+			for _, tr := range a.Transfers {
+				if tr.End == tr.Start {
+					continue
+				}
+				if tr.To == j {
+					for c := col(tr.Start); c <= col(tr.End-1); c++ {
+						if link[c] == ' ' {
+							link[c] = '.'
+						}
+					}
+				}
+			}
+		}
+		// Outgoing transfers live on the sender's link row.
+		for _, a := range s.Assignments {
+			if a == nil {
+				continue
+			}
+			for _, tr := range a.Transfers {
+				if tr.From != j || tr.End == tr.Start {
+					continue
+				}
+				for c := col(tr.Start); c <= col(tr.End-1); c++ {
+					link[c] = '-'
+				}
+			}
+		}
+		if !s.Alive(j) {
+			for c := col(s.DeadAt(j)); c < width; c++ {
+				exec[c] = 'X'
+			}
+		}
+		fmt.Fprintf(&b, "m%d %-4s exec |%s|\n", j, s.Inst.Grid.Machines[j].Class, exec)
+		fmt.Fprintf(&b, "        link |%s|\n", link)
+	}
+	return b.String()
+}
+
+// Export is the serializable form of a completed schedule: the assignment
+// list plus summary metrics, suitable for external analysis tools.
+type Export struct {
+	Case        string       `json:"case"`
+	N           int          `json:"n"`
+	TauCycles   int64        `json:"tau_cycles"`
+	Metrics     Metrics      `json:"metrics"`
+	Assignments []Assignment `json:"assignments"`
+}
+
+// Export captures the schedule's mapped assignments in subtask order.
+func (s *State) Export() Export {
+	out := Export{
+		Case:      s.Inst.Case.String(),
+		N:         s.N(),
+		TauCycles: s.Inst.TauCycles,
+		Metrics:   s.Metrics(),
+	}
+	for _, a := range s.Assignments {
+		if a != nil {
+			out.Assignments = append(out.Assignments, *a)
+		}
+	}
+	sort.Slice(out.Assignments, func(i, k int) bool {
+		return out.Assignments[i].Subtask < out.Assignments[k].Subtask
+	})
+	return out
+}
+
+// MarshalJSON gives Export a stable JSON form.
+func (e Export) MarshalJSON() ([]byte, error) {
+	type alias Export
+	return json.Marshal(alias(e))
+}

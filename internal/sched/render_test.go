@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/rng"
+	"adhocgrid/internal/workload"
+)
+
+// buildSmallSchedule maps a few subtasks across machines for rendering.
+func buildSmallSchedule(t *testing.T) *State {
+	t.Helper()
+	p := workload.DefaultParams(24)
+	p.EnergyScale = 1
+	s, err := workload.Generate(p, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Instantiate(grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(inst, NewWeights(0.5, 0.3))
+	order, err := s.Graph.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, i := range order {
+		v := workload.Primary
+		if k%2 == 1 {
+			v = workload.Secondary
+		}
+		committed := false
+		for j := 0; j < inst.Grid.M(); j++ {
+			plan, err := st.PlanCandidate(i, (k+j)%inst.Grid.M(), v, 0)
+			if err != nil {
+				continue
+			}
+			if err := st.Commit(plan); err == nil {
+				committed = true
+				break
+			}
+		}
+		if !committed {
+			t.Fatalf("could not place subtask %d", i)
+		}
+	}
+	return st
+}
+
+func TestGanttRendersAllMachines(t *testing.T) {
+	st := buildSmallSchedule(t)
+	out := st.Gantt(80)
+	for j := 0; j < st.Inst.Grid.M(); j++ {
+		if !strings.Contains(out, "m"+string(rune('0'+j))) {
+			t.Fatalf("machine %d missing from gantt:\n%s", j, out)
+		}
+	}
+	if !strings.Contains(out, "P") {
+		t.Fatal("no primary executions rendered")
+	}
+	if !strings.Contains(out, "s") {
+		t.Fatal("no secondary executions rendered")
+	}
+}
+
+func TestGanttMarksDeadMachine(t *testing.T) {
+	st := buildSmallSchedule(t)
+	if _, err := st.LoseMachine(1, st.AETCycles/2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st.Gantt(60), "X") {
+		t.Fatal("loss marker missing")
+	}
+}
+
+func TestGanttTinyWidthClamped(t *testing.T) {
+	st := buildSmallSchedule(t)
+	out := st.Gantt(1) // clamped to 10
+	if len(out) == 0 {
+		t.Fatal("empty gantt")
+	}
+}
+
+func TestGanttEmptySchedule(t *testing.T) {
+	p := workload.DefaultParams(8)
+	s, err := workload.Generate(p, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := s.Instantiate(grid.CaseA)
+	st := NewState(inst, NewWeights(0.5, 0.3))
+	if out := st.Gantt(40); !strings.Contains(out, "Gantt") {
+		t.Fatal("empty schedule failed to render")
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	st := buildSmallSchedule(t)
+	exp := st.Export()
+	if exp.N != 24 || len(exp.Assignments) != st.Mapped {
+		t.Fatalf("export shape: %d assignments for %d mapped", len(exp.Assignments), st.Mapped)
+	}
+	for k := 1; k < len(exp.Assignments); k++ {
+		if exp.Assignments[k-1].Subtask >= exp.Assignments[k].Subtask {
+			t.Fatal("assignments not in subtask order")
+		}
+	}
+	data, err := json.Marshal(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Export
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Case != "A" || back.N != exp.N || len(back.Assignments) != len(exp.Assignments) {
+		t.Fatal("round trip changed export")
+	}
+	if back.Metrics.T100 != exp.Metrics.T100 {
+		t.Fatal("metrics changed in round trip")
+	}
+}

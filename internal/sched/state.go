@@ -1,0 +1,480 @@
+package sched
+
+import (
+	"fmt"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/workload"
+)
+
+// Transfer records one scheduled inter-machine communication: the global
+// data item a parent sends to a child (§III). Energy is charged to the
+// sending machine at rate C(from).
+type Transfer struct {
+	Parent, Child int     // subtask ids
+	From, To      int     // machine ids
+	Start, End    int64   // cycles on both the sender's out-link and receiver's in-link
+	Bits          float64 // item size actually transmitted
+	Energy        float64 // C(From) * transfer seconds
+}
+
+// Assignment records one mapped subtask/version pair.
+type Assignment struct {
+	Subtask    int
+	Machine    int
+	Version    workload.Version
+	Start, End int64 // execution interval, cycles
+	ExecEnergy float64
+	Transfers  []Transfer // incoming communications booked for this subtask
+}
+
+// Plan is a fully-priced tentative assignment produced by PlanCandidate;
+// Commit applies it atomically.
+type Plan struct {
+	Assignment
+}
+
+// State is the mutable schedule under construction. It is shared by every
+// heuristic (SLRH variants, Max-Max, LRNN repair) so that all of them
+// operate under exactly the same resource model.
+type State struct {
+	Inst *workload.Instance
+	Obj  Objective
+
+	Assignments []*Assignment // indexed by subtask; nil while unmapped
+	ExecTL      []*Timeline   // per machine: execution unit
+	SendTL      []*Timeline   // per machine: outgoing link
+	RecvTL      []*Timeline   // per machine: incoming link
+	Ledger      *grid.EnergyLedger
+
+	Mapped         int
+	T100           int
+	AETCycles      int64
+	unmappedParent []int     // remaining unmapped parents per subtask
+	deadAt         []int64   // loss cycle per machine; nil or MaxInt64 = alive
+	sunk           []float64 // energy spent on work later discarded by a loss
+}
+
+// NewState returns an empty schedule for the instance under objective
+// weights w.
+func NewState(inst *workload.Instance, w Weights) *State {
+	n := inst.Scenario.N()
+	m := inst.Grid.M()
+	s := &State{
+		Inst:           inst,
+		Obj:            NewObjective(w, n, inst.Grid, inst.TauCycles),
+		Assignments:    make([]*Assignment, n),
+		ExecTL:         make([]*Timeline, m),
+		SendTL:         make([]*Timeline, m),
+		RecvTL:         make([]*Timeline, m),
+		Ledger:         grid.NewEnergyLedger(inst.Grid),
+		unmappedParent: make([]int, n),
+	}
+	for j := 0; j < m; j++ {
+		s.ExecTL[j] = &Timeline{}
+		s.SendTL[j] = &Timeline{}
+		s.RecvTL[j] = &Timeline{}
+	}
+	for i := 0; i < n; i++ {
+		s.unmappedParent[i] = len(inst.Scenario.Graph.Parents(i))
+	}
+	return s
+}
+
+// N returns the number of subtasks.
+func (s *State) N() int { return len(s.Assignments) }
+
+// SetWeights replaces the objective weights; subsequent candidate scoring
+// uses the new values. Used by the adaptive-multiplier extension.
+func (s *State) SetWeights(w Weights) { s.Obj.Weights = w }
+
+// Done reports whether every subtask has been mapped.
+func (s *State) Done() bool { return s.Mapped == s.N() }
+
+// Ready reports whether subtask i is unmapped and all its parents are
+// mapped — the precedence half of the paper's pool-feasibility test.
+func (s *State) Ready(i int) bool {
+	return s.Assignments[i] == nil && s.unmappedParent[i] == 0
+}
+
+// ReadySet appends all ready subtasks to buf and returns it. Iteration is
+// in subtask-id order for determinism.
+func (s *State) ReadySet(buf []int) []int {
+	buf = buf[:0]
+	for i := 0; i < s.N(); i++ {
+		if s.Ready(i) {
+			buf = append(buf, i)
+		}
+	}
+	return buf
+}
+
+// FeasibleSLRH implements the paper's §IV pool-feasibility energy test for
+// subtask i on machine j: the machine's remaining energy must cover the
+// SECONDARY version's execution energy plus the worst-case cost of
+// communicating its (secondary) output to every child across the grid's
+// lowest-bandwidth link. Precedence readiness is checked separately.
+func (s *State) FeasibleSLRH(i, j int) bool {
+	if !s.Alive(j) {
+		return false
+	}
+	need := s.Inst.ExecEnergy(i, j, workload.Secondary) +
+		s.Inst.WorstChildCommEnergy(i, j, workload.Secondary)
+	return s.Ledger.Remaining(j) >= need
+}
+
+// FeasibleSLRHOptimistic is the ablation variant of FeasibleSLRH that
+// omits the worst-case child-communication reservation (children assumed
+// co-located, costing nothing). The paper argues the worst-case
+// reservation "was not found to significantly affect the mapping process"
+// because communication energy is negligible; BenchmarkAblationCommEnergy
+// measures exactly that claim.
+func (s *State) FeasibleSLRHOptimistic(i, j int) bool {
+	if !s.Alive(j) {
+		return false
+	}
+	return s.Ledger.Remaining(j) >= s.Inst.ExecEnergy(i, j, workload.Secondary)
+}
+
+// FeasibleVersion implements the Max-Max variant of the feasibility test
+// (§V): each version is assessed independently at its own execution and
+// worst-case communication cost.
+func (s *State) FeasibleVersion(i, j int, v workload.Version) bool {
+	if !s.Alive(j) {
+		return false
+	}
+	need := s.Inst.ExecEnergy(i, j, v) + s.Inst.WorstChildCommEnergy(i, j, v)
+	return s.Ledger.Remaining(j) >= need
+}
+
+// MachineAvailable reports whether machine j is alive and its execution
+// unit is idle at cycle `now` — the paper's per-timestep availability gate.
+func (s *State) MachineAvailable(j int, now int64) bool {
+	return s.Alive(j) && !s.ExecTL[j].BusyAt(now)
+}
+
+// PlanCandidate prices mapping subtask i at version v onto machine j with
+// no action scheduled before cycle `now` (the scheduler never looks
+// backward in time, §IV). It returns the complete Plan — execution
+// interval, all incoming transfers with their link bookings, and energy
+// charges — or an error if the candidate cannot be scheduled (unmapped
+// parent, sender out of energy, target out of energy for this version, or
+// a completion past the deadline).
+//
+// PlanCandidate does not mutate the state: tentative link bookings made
+// while packing multi-parent transfers are rolled back before returning.
+func (s *State) PlanCandidate(i, j int, v workload.Version, now int64) (Plan, error) {
+	var plan Plan
+	if err := s.planChecks(i, j); err != nil {
+		return plan, err
+	}
+	execEnergy, err := s.versionGuard(i, j, v)
+	if err != nil {
+		return plan, err
+	}
+	arrival, transfers, err := s.planIncoming(i, j, now)
+	if err != nil {
+		return plan, err
+	}
+	return s.finishPlan(i, j, v, execEnergy, arrival, transfers)
+}
+
+// PlanCandidateVersions prices both versions of subtask i on machine j in
+// one pass. The incoming transfers are identical for the two versions
+// (they depend only on the parents' placements), so packing them once
+// halves the cost of the SLRH's per-candidate version comparison.
+// Each version carries its own error; both plans share the same transfer
+// slice contents.
+func (s *State) PlanCandidateVersions(i, j int, now int64) (primary Plan, perr error, secondary Plan, serr error) {
+	if err := s.planChecks(i, j); err != nil {
+		return primary, err, secondary, err
+	}
+	priEnergy, priErr := s.versionGuard(i, j, workload.Primary)
+	secEnergy, secErr := s.versionGuard(i, j, workload.Secondary)
+	if priErr != nil && secErr != nil {
+		return primary, priErr, secondary, secErr
+	}
+	arrival, transfers, err := s.planIncoming(i, j, now)
+	if err != nil {
+		return primary, err, secondary, err
+	}
+	if priErr == nil {
+		primary, priErr = s.finishPlan(i, j, workload.Primary, priEnergy, arrival, transfers)
+	}
+	if secErr == nil {
+		secondary, secErr = s.finishPlan(i, j, workload.Secondary, secEnergy, arrival, transfers)
+	}
+	return primary, priErr, secondary, secErr
+}
+
+// planChecks performs the version-independent candidate checks.
+func (s *State) planChecks(i, j int) error {
+	if s.Assignments[i] != nil {
+		return fmt.Errorf("sched: subtask %d already mapped", i)
+	}
+	if s.unmappedParent[i] != 0 {
+		return fmt.Errorf("sched: subtask %d has unmapped parents", i)
+	}
+	if !s.Alive(j) {
+		return fmt.Errorf("sched: machine %d has been lost", j)
+	}
+	return nil
+}
+
+// versionGuard enforces the DESIGN.md D3 energy guard: executing at v plus
+// worst-case child communication must fit machine j's remaining energy.
+// It returns the execution energy on success.
+func (s *State) versionGuard(i, j int, v workload.Version) (float64, error) {
+	execEnergy := s.Inst.ExecEnergy(i, j, v)
+	if s.Ledger.Remaining(j) < execEnergy+s.Inst.WorstChildCommEnergy(i, j, v) {
+		return 0, fmt.Errorf("sched: machine %d lacks energy for subtask %d %v", j, i, v)
+	}
+	return execEnergy, nil
+}
+
+// planIncoming packs subtask i's incoming transfers onto machine j. Each
+// transfer is tentatively booked so later parents see earlier siblings'
+// link usage; all bookings are rolled back before returning, so the state
+// is unchanged. It returns the data-arrival cycle and the transfer records.
+func (s *State) planIncoming(i, j int, now int64) (int64, []Transfer, error) {
+	graph := s.Inst.Scenario.Graph
+	type booking struct {
+		tl         *Timeline
+		start, dur int64
+	}
+	var booked []booking
+	defer func() {
+		for k := len(booked) - 1; k >= 0; k-- {
+			b := booked[k]
+			if err := b.tl.Unbook(b.start, b.dur); err != nil {
+				panic("sched: tentative unbook failed: " + err.Error())
+			}
+		}
+	}()
+
+	arrival := now
+	var transfers []Transfer
+	senderCost := make(map[int]float64)
+	for _, p := range graph.Parents(i) {
+		pa := s.Assignments[p]
+		if pa == nil {
+			return 0, nil, fmt.Errorf("sched: parent %d of %d unmapped", p, i)
+		}
+		if !s.Alive(pa.Machine) {
+			return 0, nil, fmt.Errorf("sched: parent %d of %d stranded on lost machine %d", p, i, pa.Machine)
+		}
+		if pa.Machine == j {
+			// Same machine: data available when the parent completes,
+			// at no time or energy cost (§III assumption (a)).
+			if pa.End > arrival {
+				arrival = pa.End
+			}
+			continue
+		}
+		k := s.Inst.ChildIndex(p, i)
+		bits := s.Inst.OutBits(p, k, pa.Version)
+		durSec := s.Inst.Grid.CommTime(bits, pa.Machine, j)
+		dur := grid.SecondsToCycles(durSec)
+		energy := s.Inst.Grid.Machines[pa.Machine].CommRate * durSec
+
+		// The sending machine must still have energy for this transfer.
+		senderCost[pa.Machine] += energy
+		if s.Ledger.Remaining(pa.Machine) < senderCost[pa.Machine] {
+			return 0, nil, fmt.Errorf("sched: sender machine %d out of energy for transfer %d->%d",
+				pa.Machine, p, i)
+		}
+
+		// Find the earliest slot free on BOTH the sender's out-link and
+		// the receiver's in-link, at or after the parent's completion and
+		// the current clock.
+		start := pa.End
+		if start < now {
+			start = now
+		}
+		send, recv := s.SendTL[pa.Machine], s.RecvTL[j]
+		for {
+			s1 := send.EarliestFit(start, dur)
+			s2 := recv.EarliestFit(s1, dur)
+			if s2 == s1 {
+				start = s1
+				break
+			}
+			start = s2
+		}
+		if dur > 0 {
+			if err := send.Book(start, dur); err != nil {
+				return 0, nil, fmt.Errorf("sched: internal send booking: %w", err)
+			}
+			booked = append(booked, booking{send, start, dur})
+			if err := recv.Book(start, dur); err != nil {
+				return 0, nil, fmt.Errorf("sched: internal recv booking: %w", err)
+			}
+			booked = append(booked, booking{recv, start, dur})
+		}
+		end := start + dur
+		if end > arrival {
+			arrival = end
+		}
+		transfers = append(transfers, Transfer{
+			Parent: p, Child: i, From: pa.Machine, To: j,
+			Start: start, End: end, Bits: bits, Energy: energy,
+		})
+	}
+	return arrival, transfers, nil
+}
+
+// finishPlan places the execution for one version and applies the ongoing
+// deadline check (§IV: dynamic solutions "must be checked for constraint
+// violation on an ongoing basis"): a candidate whose execution would
+// complete after the deadline can never be part of a feasible mapping, so
+// it is rejected at planning time. Without this guard the positive-sign
+// AET term actively drives both heuristics past τ.
+func (s *State) finishPlan(i, j int, v workload.Version, execEnergy float64, arrival int64, transfers []Transfer) (Plan, error) {
+	var plan Plan
+	execDur := s.Inst.ExecCycles(i, j, v)
+	execStart := s.ExecTL[j].EarliestFit(arrival, execDur)
+	if execStart+execDur > s.Inst.TauCycles {
+		return plan, fmt.Errorf("sched: subtask %d on machine %d would finish at %d, past tau %d",
+			i, j, execStart+execDur, s.Inst.TauCycles)
+	}
+	plan.Assignment = Assignment{
+		Subtask: i, Machine: j, Version: v,
+		Start: execStart, End: execStart + execDur,
+		ExecEnergy: execEnergy,
+		Transfers:  transfers,
+	}
+	return plan, nil
+}
+
+// Hypothetical returns the objective value the schedule would have after
+// committing plan: T100, TEC and AET updated with the plan's contribution.
+func (s *State) Hypothetical(plan Plan) float64 {
+	t100 := s.T100
+	if plan.Version == workload.Primary {
+		t100++
+	}
+	tec := s.Ledger.Consumed(s.Inst.Grid) + plan.ExecEnergy
+	for _, tr := range plan.Transfers {
+		tec += tr.Energy
+	}
+	aet := s.AETCycles
+	if plan.End > aet {
+		aet = plan.End
+	}
+	return s.Obj.Value(t100, tec, grid.CyclesToSeconds(aet))
+}
+
+// Objective returns the objective value of the current (partial) mapping.
+func (s *State) Objective() float64 {
+	return s.Obj.Value(s.T100, s.Ledger.Consumed(s.Inst.Grid), grid.CyclesToSeconds(s.AETCycles))
+}
+
+// Commit applies a plan: books the execution interval and all transfer
+// intervals, charges execution energy to the target machine and
+// communication energy to the sending machines, and updates readiness
+// bookkeeping. Commit is atomic: on error the state is unchanged.
+func (s *State) Commit(plan Plan) error {
+	i, j := plan.Subtask, plan.Machine
+	if s.Assignments[i] != nil {
+		return fmt.Errorf("sched: subtask %d already mapped", i)
+	}
+
+	// Charge energy first (cheap to roll back).
+	if err := s.Ledger.Charge(j, plan.ExecEnergy); err != nil {
+		return err
+	}
+	var charged []Transfer
+	rollbackEnergy := func() {
+		s.Ledger.Refund(j, plan.ExecEnergy)
+		for _, tr := range charged {
+			s.Ledger.Refund(tr.From, tr.Energy)
+		}
+	}
+	for _, tr := range plan.Transfers {
+		if err := s.Ledger.Charge(tr.From, tr.Energy); err != nil {
+			rollbackEnergy()
+			return err
+		}
+		charged = append(charged, tr)
+	}
+
+	// Book intervals.
+	type booking struct {
+		tl         *Timeline
+		start, dur int64
+	}
+	var booked []booking
+	rollbackAll := func() {
+		for k := len(booked) - 1; k >= 0; k-- {
+			b := booked[k]
+			if err := b.tl.Unbook(b.start, b.dur); err != nil {
+				panic("sched: rollback unbook failed: " + err.Error())
+			}
+		}
+		rollbackEnergy()
+	}
+	for _, tr := range plan.Transfers {
+		dur := tr.End - tr.Start
+		if dur == 0 {
+			continue
+		}
+		if err := s.SendTL[tr.From].Book(tr.Start, dur); err != nil {
+			rollbackAll()
+			return err
+		}
+		booked = append(booked, booking{s.SendTL[tr.From], tr.Start, dur})
+		if err := s.RecvTL[tr.To].Book(tr.Start, dur); err != nil {
+			rollbackAll()
+			return err
+		}
+		booked = append(booked, booking{s.RecvTL[tr.To], tr.Start, dur})
+	}
+	if err := s.ExecTL[j].Book(plan.Start, plan.End-plan.Start); err != nil {
+		rollbackAll()
+		return err
+	}
+
+	a := plan.Assignment // copy
+	s.Assignments[i] = &a
+	s.Mapped++
+	if a.Version == workload.Primary {
+		s.T100++
+	}
+	if a.End > s.AETCycles {
+		s.AETCycles = a.End
+	}
+	for _, c := range s.Inst.Scenario.Graph.Children(i) {
+		s.unmappedParent[c]--
+	}
+	return nil
+}
+
+// Metrics summarizes a completed (or partial) schedule.
+type Metrics struct {
+	Mapped     int
+	T100       int
+	TEC        float64 // total energy consumed, all machines
+	AETSeconds float64 // application execution time
+	Objective  float64
+	Complete   bool // all subtasks mapped
+	MetTau     bool // AET within the deadline
+}
+
+// Metrics returns the current schedule metrics.
+func (s *State) Metrics() Metrics {
+	aet := grid.CyclesToSeconds(s.AETCycles)
+	return Metrics{
+		Mapped:     s.Mapped,
+		T100:       s.T100,
+		TEC:        s.Ledger.Consumed(s.Inst.Grid),
+		AETSeconds: aet,
+		Objective:  s.Objective(),
+		Complete:   s.Done(),
+		MetTau:     s.AETCycles <= s.Inst.TauCycles,
+	}
+}
+
+// Feasible reports whether the schedule satisfies the paper's hard
+// constraints: complete mapping within both the deadline and energy
+// budgets (energy cannot go negative by construction of the ledger).
+func (m Metrics) Feasible() bool { return m.Complete && m.MetTau }

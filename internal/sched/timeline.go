@@ -1,0 +1,125 @@
+// Package sched is the scheduling substrate shared by every heuristic in
+// the repository: machine/link timelines with hole (insertion) search, the
+// assignment and communication records of a schedule, candidate planning
+// under the paper's resource model, and the Lagrangian objective function
+// of §IV.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is a half-open busy interval [Start, End) in clock cycles.
+type Interval struct {
+	Start, End int64
+}
+
+// Timeline is a set of non-overlapping busy intervals kept in sorted
+// order. One timeline tracks one serially-used resource: a machine's
+// execution unit, its outgoing link, or its incoming link (§III
+// assumptions (b) and (c)).
+type Timeline struct {
+	iv []Interval
+}
+
+// Len returns the number of booked intervals.
+func (t *Timeline) Len() int { return len(t.iv) }
+
+// Intervals returns a copy of the booked intervals in order.
+func (t *Timeline) Intervals() []Interval {
+	return append([]Interval(nil), t.iv...)
+}
+
+// LastEnd returns the end of the latest booking, or 0 if empty.
+func (t *Timeline) LastEnd() int64 {
+	if len(t.iv) == 0 {
+		return 0
+	}
+	return t.iv[len(t.iv)-1].End
+}
+
+// BusyAt reports whether some interval covers cycle x.
+func (t *Timeline) BusyAt(x int64) bool {
+	i := sort.Search(len(t.iv), func(k int) bool { return t.iv[k].End > x })
+	return i < len(t.iv) && t.iv[i].Start <= x
+}
+
+// EarliestFit returns the earliest start s >= after such that [s, s+dur)
+// overlaps no booked interval. A zero-duration request fits anywhere and
+// returns after. Holes between bookings are used when large enough — this
+// is the mechanism behind the Max-Max heuristic's insertion scheduling and
+// lets SLRH use idle gaps ahead of horizon-scheduled work.
+func (t *Timeline) EarliestFit(after, dur int64) int64 {
+	if dur <= 0 {
+		return after
+	}
+	s := after
+	// First interval whose end is past s can conflict.
+	i := sort.Search(len(t.iv), func(k int) bool { return t.iv[k].End > s })
+	for ; i < len(t.iv); i++ {
+		if s+dur <= t.iv[i].Start {
+			return s // fits in the gap before interval i
+		}
+		if t.iv[i].End > s {
+			s = t.iv[i].End
+		}
+	}
+	return s
+}
+
+// Book inserts the busy interval [start, start+dur). Zero-duration
+// bookings are no-ops. It returns an error if the interval would overlap
+// an existing booking.
+func (t *Timeline) Book(start, dur int64) error {
+	if dur <= 0 {
+		return nil
+	}
+	end := start + dur
+	i := sort.Search(len(t.iv), func(k int) bool { return t.iv[k].Start >= start })
+	if i > 0 && t.iv[i-1].End > start {
+		return fmt.Errorf("sched: booking [%d,%d) overlaps [%d,%d)", start, end, t.iv[i-1].Start, t.iv[i-1].End)
+	}
+	if i < len(t.iv) && t.iv[i].Start < end {
+		return fmt.Errorf("sched: booking [%d,%d) overlaps [%d,%d)", start, end, t.iv[i].Start, t.iv[i].End)
+	}
+	t.iv = append(t.iv, Interval{})
+	copy(t.iv[i+1:], t.iv[i:])
+	t.iv[i] = Interval{Start: start, End: end}
+	return nil
+}
+
+// Unbook removes the exact interval [start, start+dur). Zero-duration
+// requests are no-ops. It returns an error if that exact interval is not
+// booked.
+func (t *Timeline) Unbook(start, dur int64) error {
+	if dur <= 0 {
+		return nil
+	}
+	end := start + dur
+	i := sort.Search(len(t.iv), func(k int) bool { return t.iv[k].Start >= start })
+	if i >= len(t.iv) || t.iv[i].Start != start || t.iv[i].End != end {
+		return fmt.Errorf("sched: interval [%d,%d) not booked", start, end)
+	}
+	t.iv = append(t.iv[:i], t.iv[i+1:]...)
+	return nil
+}
+
+// Clone returns a deep copy of the timeline.
+func (t *Timeline) Clone() *Timeline {
+	return &Timeline{iv: append([]Interval(nil), t.iv...)}
+}
+
+// Validate checks ordering and non-overlap invariants.
+func (t *Timeline) Validate() error {
+	for k, iv := range t.iv {
+		if iv.End <= iv.Start {
+			return fmt.Errorf("sched: empty or inverted interval [%d,%d)", iv.Start, iv.End)
+		}
+		if k > 0 && t.iv[k-1].End > iv.Start {
+			return fmt.Errorf("sched: intervals [%d,%d) and [%d,%d) overlap",
+				t.iv[k-1].Start, t.iv[k-1].End, iv.Start, iv.End)
+		}
+	}
+	return nil
+}

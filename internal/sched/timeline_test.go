@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adhocgrid/internal/rng"
+)
+
+func TestTimelineBookAndQuery(t *testing.T) {
+	tl := &Timeline{}
+	if err := tl.Book(10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Book(20, 5); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Len() != 2 || tl.LastEnd() != 25 {
+		t.Fatalf("len=%d lastEnd=%d", tl.Len(), tl.LastEnd())
+	}
+	if !tl.BusyAt(10) || !tl.BusyAt(14) || tl.BusyAt(15) || tl.BusyAt(9) || tl.BusyAt(19) {
+		t.Fatal("BusyAt wrong")
+	}
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineOverlapRejected(t *testing.T) {
+	tl := &Timeline{}
+	tl.Book(10, 10)
+	for _, c := range []struct{ s, d int64 }{{5, 6}, {15, 1}, {19, 5}, {10, 10}, {0, 30}} {
+		if err := tl.Book(c.s, c.d); err == nil {
+			t.Errorf("overlap [%d,%d) accepted", c.s, c.s+c.d)
+		}
+	}
+	// Adjacent intervals are fine (half-open).
+	if err := tl.Book(20, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Book(5, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineZeroDuration(t *testing.T) {
+	tl := &Timeline{}
+	if err := tl.Book(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Len() != 0 {
+		t.Fatal("zero-duration booking stored")
+	}
+	if got := tl.EarliestFit(7, 0); got != 7 {
+		t.Fatalf("EarliestFit zero dur = %d", got)
+	}
+	if err := tl.Unbook(5, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarliestFitHoles(t *testing.T) {
+	tl := &Timeline{}
+	tl.Book(10, 10) // [10,20)
+	tl.Book(30, 10) // [30,40)
+	cases := []struct {
+		after, dur, want int64
+	}{
+		{0, 5, 0},    // fits before everything
+		{0, 10, 0},   // exactly fills [0,10)
+		{0, 11, 40},  // too big for both the leading gap and the [20,30) hole
+		{5, 5, 5},    // fits [5,10)
+		{5, 6, 20},   // leading gap too small from 5
+		{20, 10, 20}, // exactly fills the hole
+		{21, 10, 40}, // hole too small from 21
+		{50, 3, 50},  // after everything
+		{15, 5, 20},  // starts inside a booking, pushed to its end
+	}
+	for _, c := range cases {
+		if got := tl.EarliestFit(c.after, c.dur); got != c.want {
+			t.Errorf("EarliestFit(%d,%d) = %d, want %d", c.after, c.dur, got, c.want)
+		}
+	}
+}
+
+func TestUnbook(t *testing.T) {
+	tl := &Timeline{}
+	tl.Book(10, 5)
+	tl.Book(20, 5)
+	if err := tl.Unbook(10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Len() != 1 || tl.BusyAt(12) {
+		t.Fatal("Unbook did not remove interval")
+	}
+	if err := tl.Unbook(10, 5); err == nil {
+		t.Fatal("double Unbook accepted")
+	}
+	if err := tl.Unbook(20, 4); err == nil {
+		t.Fatal("partial Unbook accepted")
+	}
+}
+
+func TestTimelineClone(t *testing.T) {
+	tl := &Timeline{}
+	tl.Book(1, 2)
+	c := tl.Clone()
+	c.Book(10, 2)
+	if tl.Len() != 1 || c.Len() != 2 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestTimelineRandomizedInvariant(t *testing.T) {
+	// Property: after any sequence of successful bookings at EarliestFit
+	// positions, the timeline stays valid and bookings never overlap.
+	r := rng.New(42)
+	tl := &Timeline{}
+	var placed []Interval
+	for k := 0; k < 500; k++ {
+		after := int64(r.Intn(1000))
+		dur := int64(1 + r.Intn(20))
+		s := tl.EarliestFit(after, dur)
+		if s < after {
+			t.Fatalf("EarliestFit returned %d < after %d", s, after)
+		}
+		if err := tl.Book(s, dur); err != nil {
+			t.Fatalf("booking EarliestFit slot failed: %v", err)
+		}
+		placed = append(placed, Interval{s, s + dur})
+	}
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Len() != len(placed) {
+		t.Fatalf("stored %d intervals, placed %d", tl.Len(), len(placed))
+	}
+	// Unbook everything in random order; timeline must end empty.
+	r.Shuffle(len(placed), func(i, j int) { placed[i], placed[j] = placed[j], placed[i] })
+	for _, iv := range placed {
+		if err := tl.Unbook(iv.Start, iv.End-iv.Start); err != nil {
+			t.Fatalf("unbook [%d,%d): %v", iv.Start, iv.End, err)
+		}
+	}
+	if tl.Len() != 0 {
+		t.Fatalf("timeline not empty after unbooking all: %d left", tl.Len())
+	}
+}
+
+func TestEarliestFitNeverOverlapsProperty(t *testing.T) {
+	f := func(seed uint64, after uint16, dur uint8) bool {
+		r := rng.New(seed)
+		tl := &Timeline{}
+		for k := 0; k < 20; k++ {
+			s := int64(r.Intn(200))
+			d := int64(1 + r.Intn(10))
+			tl.Book(tl.EarliestFit(s, d), d)
+		}
+		d := int64(dur%10 + 1)
+		s := tl.EarliestFit(int64(after%300), d)
+		// The returned slot must actually be bookable.
+		return tl.Book(s, d) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"sort"
+
+	"adhocgrid/internal/sched"
+)
+
+// ChainLink is one step of a realized critical chain.
+type ChainLink struct {
+	Subtask int
+	Machine int
+	Start   int64
+	End     int64
+	// Via explains what bound this link's start: "machine" (waited for
+	// the previous subtask on the same machine), "data" (waited for a
+	// parent's transfer), "parent" (same-machine precedence), or "start"
+	// (nothing bound it — chain origin).
+	Via string
+	// DataWaitCycles is, for "data" links, the time between the binding
+	// parent's completion and this link's start: transfer duration plus
+	// link queueing plus any delay before the heuristic mapped this
+	// subtask (transfers are booked at mapping time and never backdated).
+	// Zero for the other kinds.
+	DataWaitCycles int64
+}
+
+// CriticalChain walks backward from the assignment that determines the
+// application execution time, at each step finding what bound the current
+// assignment's start: the machine's previous occupant, an incoming
+// transfer (and hence the sending parent), or a same-machine parent. The
+// returned chain runs origin → AET-defining subtask. An empty schedule
+// yields nil.
+//
+// The chain explains a schedule's makespan the way a critical path
+// explains a DAG's span — but over the realized resource contention, not
+// just precedence.
+func CriticalChain(st *sched.State) []ChainLink {
+	// Last-ending assignment defines AET.
+	var last *sched.Assignment
+	for _, a := range st.Assignments {
+		if a == nil {
+			continue
+		}
+		if last == nil || a.End > last.End || (a.End == last.End && a.Subtask < last.Subtask) {
+			last = a
+		}
+	}
+	if last == nil {
+		return nil
+	}
+
+	// Index assignments per machine sorted by start, for machine-wait
+	// lookups.
+	perMachine := make(map[int][]*sched.Assignment)
+	for _, a := range st.Assignments {
+		if a != nil {
+			perMachine[a.Machine] = append(perMachine[a.Machine], a)
+		}
+	}
+	for _, list := range perMachine {
+		sort.Slice(list, func(x, y int) bool { return list[x].Start < list[y].Start })
+	}
+
+	var chain []ChainLink
+	cur := last
+	for cur != nil {
+		link := ChainLink{Subtask: cur.Subtask, Machine: cur.Machine, Start: cur.Start, End: cur.End, Via: "start"}
+		var next *sched.Assignment
+
+		// Data wait: an incoming transfer ending exactly at our start
+		// binds us to its parent.
+		for k := range cur.Transfers {
+			tr := &cur.Transfers[k]
+			if tr.End == cur.Start {
+				if pa := st.Assignments[tr.Parent]; pa != nil {
+					link.Via = "data"
+					link.DataWaitCycles = cur.Start - pa.End
+					next = pa
+					break
+				}
+			}
+		}
+		// Same-machine parent ending exactly at our start.
+		if next == nil {
+			for _, p := range st.Inst.Scenario.Graph.Parents(cur.Subtask) {
+				if pa := st.Assignments[p]; pa != nil && pa.Machine == cur.Machine && pa.End == cur.Start {
+					link.Via = "parent"
+					next = pa
+					break
+				}
+			}
+		}
+		// Machine wait: the previous occupant of our machine ending at our
+		// start.
+		if next == nil {
+			list := perMachine[cur.Machine]
+			idx := sort.Search(len(list), func(k int) bool { return list[k].Start >= cur.Start })
+			if idx > 0 && list[idx-1].End == cur.Start {
+				link.Via = "machine"
+				next = list[idx-1]
+			}
+		}
+		chain = append(chain, link)
+		cur = next
+	}
+
+	// Reverse: origin first.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}

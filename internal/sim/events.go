@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"adhocgrid/internal/sched"
+)
+
+// EventKind labels one entry of the replay event log.
+type EventKind int
+
+const (
+	// ExecStart marks the beginning of a subtask execution.
+	ExecStart EventKind = iota
+	// ExecEnd marks the completion of a subtask execution.
+	ExecEnd
+	// TransferStart marks the beginning of an inter-machine transfer.
+	TransferStart
+	// TransferEnd marks the completion of an inter-machine transfer.
+	TransferEnd
+	// MachineLost marks the loss of a machine from the grid.
+	MachineLost
+)
+
+// String returns a short name for the kind.
+func (k EventKind) String() string {
+	switch k {
+	case ExecStart:
+		return "exec-start"
+	case ExecEnd:
+		return "exec-end"
+	case TransferStart:
+		return "xfer-start"
+	case TransferEnd:
+		return "xfer-end"
+	case MachineLost:
+		return "machine-lost"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry of the chronological replay log.
+type Event struct {
+	Cycle   int64
+	Kind    EventKind
+	Subtask int // -1 for machine events
+	Machine int // executing machine, or sender for transfers
+	Peer    int // receiving machine for transfers, else -1
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	switch e.Kind {
+	case TransferStart, TransferEnd:
+		return fmt.Sprintf("%8d %-12s subtask %d machines %d->%d", e.Cycle, e.Kind, e.Subtask, e.Machine, e.Peer)
+	case MachineLost:
+		return fmt.Sprintf("%8d %-12s machine %d", e.Cycle, e.Kind, e.Machine)
+	default:
+		return fmt.Sprintf("%8d %-12s subtask %d machine %d", e.Cycle, e.Kind, e.Subtask, e.Machine)
+	}
+}
+
+// EventLog reconstructs the chronological event sequence of the schedule:
+// execution start/end and transfer start/end for every assignment, plus a
+// loss event for every dead machine. Ordering is by cycle, then by a
+// deterministic kind/subtask tie-break.
+func EventLog(st *sched.State) []Event {
+	var events []Event
+	for i := 0; i < st.N(); i++ {
+		a := st.Assignments[i]
+		if a == nil {
+			continue
+		}
+		events = append(events,
+			Event{Cycle: a.Start, Kind: ExecStart, Subtask: i, Machine: a.Machine, Peer: -1},
+			Event{Cycle: a.End, Kind: ExecEnd, Subtask: i, Machine: a.Machine, Peer: -1})
+		for _, tr := range a.Transfers {
+			events = append(events,
+				Event{Cycle: tr.Start, Kind: TransferStart, Subtask: tr.Parent, Machine: tr.From, Peer: tr.To},
+				Event{Cycle: tr.End, Kind: TransferEnd, Subtask: tr.Parent, Machine: tr.From, Peer: tr.To})
+		}
+	}
+	for j := 0; j < st.Inst.Grid.M(); j++ {
+		if !st.Alive(j) {
+			events = append(events, Event{Cycle: st.DeadAt(j), Kind: MachineLost, Subtask: -1, Machine: j, Peer: -1})
+		}
+	}
+	sort.Slice(events, func(a, b int) bool {
+		ea, eb := events[a], events[b]
+		if ea.Cycle != eb.Cycle {
+			return ea.Cycle < eb.Cycle
+		}
+		// Intervals are half-open, so completions at a cycle precede
+		// starts at the same cycle; losses sit between (work ending
+		// exactly at the loss cycle finished, nothing may start).
+		if pa, pb := ea.Kind.phase(), eb.Kind.phase(); pa != pb {
+			return pa < pb
+		}
+		if ea.Kind != eb.Kind {
+			return ea.Kind < eb.Kind
+		}
+		if ea.Subtask != eb.Subtask {
+			return ea.Subtask < eb.Subtask
+		}
+		return ea.Machine < eb.Machine
+	})
+	return events
+}
+
+// phase orders same-cycle events: ends, then losses, then starts.
+func (k EventKind) phase() int {
+	switch k {
+	case ExecEnd, TransferEnd:
+		return 0
+	case MachineLost:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Utilization returns, per machine, the fraction of the schedule makespan
+// the machine spent executing. Useful for checking the paper's claim that
+// the chosen tau "forced load balancing across all available machines".
+func Utilization(st *sched.State) []float64 {
+	m := st.Inst.Grid.M()
+	busy := make([]int64, m)
+	for _, a := range st.Assignments {
+		if a != nil {
+			busy[a.Machine] += a.End - a.Start
+		}
+	}
+	out := make([]float64, m)
+	if st.AETCycles == 0 {
+		return out
+	}
+	for j := 0; j < m; j++ {
+		out[j] = float64(busy[j]) / float64(st.AETCycles)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/sched"
+)
+
+// ExecStats summarizes an executed schedule from the event stream's point
+// of view: per-machine busy/link time and utilization against the
+// schedule's span.
+type ExecStats struct {
+	SpanCycles   int64     // last event cycle
+	BusySeconds  []float64 // execution time per machine
+	SendSeconds  []float64 // outgoing-link time per machine
+	RecvSeconds  []float64 // incoming-link time per machine
+	ExecUtil     []float64 // BusySeconds / span
+	Completed    int       // exec-end events observed
+	Transfers    int       // transfer-end events observed
+	MachinesLost int
+}
+
+// Execute replays the schedule's chronological event log through a
+// sweep-line state machine, enforcing the §III concurrency assumptions as
+// it goes: a machine never runs two subtasks at once, never has two
+// outgoing or two incoming transfers at once, and nothing happens on a
+// machine after its loss. It returns utilization statistics.
+//
+// Execute is a third, event-driven consistency check, independent of both
+// the booking substrate (sched) and the record-based verifier (Verify).
+func Execute(st *sched.State) (ExecStats, error) {
+	m := st.Inst.Grid.M()
+	stats := ExecStats{
+		BusySeconds: make([]float64, m),
+		SendSeconds: make([]float64, m),
+		RecvSeconds: make([]float64, m),
+		ExecUtil:    make([]float64, m),
+	}
+	events := EventLog(st)
+	if len(events) == 0 {
+		return stats, nil
+	}
+
+	executing := make([]int, m) // subtask id + 1, or 0 when idle
+	sending := make([]int, m)   // concurrent outgoing transfers
+	receiving := make([]int, m) // concurrent incoming transfers
+	dead := make([]bool, m)
+
+	for _, ev := range events {
+		if ev.Cycle > stats.SpanCycles {
+			stats.SpanCycles = ev.Cycle
+		}
+		switch ev.Kind {
+		case ExecStart:
+			if dead[ev.Machine] {
+				return stats, fmt.Errorf("sim: exec start on dead machine %d at %d", ev.Machine, ev.Cycle)
+			}
+			if executing[ev.Machine] != 0 {
+				return stats, fmt.Errorf("sim: machine %d already executing subtask %d at %d",
+					ev.Machine, executing[ev.Machine]-1, ev.Cycle)
+			}
+			executing[ev.Machine] = ev.Subtask + 1
+		case ExecEnd:
+			if executing[ev.Machine] != ev.Subtask+1 {
+				return stats, fmt.Errorf("sim: exec end for subtask %d on machine %d without matching start",
+					ev.Subtask, ev.Machine)
+			}
+			executing[ev.Machine] = 0
+			a := st.Assignments[ev.Subtask]
+			stats.BusySeconds[ev.Machine] += grid.CyclesToSeconds(a.End - a.Start)
+			stats.Completed++
+		case TransferStart:
+			if dead[ev.Machine] {
+				return stats, fmt.Errorf("sim: transfer start on dead sender %d at %d", ev.Machine, ev.Cycle)
+			}
+			sending[ev.Machine]++
+			receiving[ev.Peer]++
+			if sending[ev.Machine] > 1 {
+				return stats, fmt.Errorf("sim: machine %d sending %d transfers at once at %d",
+					ev.Machine, sending[ev.Machine], ev.Cycle)
+			}
+			if receiving[ev.Peer] > 1 {
+				return stats, fmt.Errorf("sim: machine %d receiving %d transfers at once at %d",
+					ev.Peer, receiving[ev.Peer], ev.Cycle)
+			}
+		case TransferEnd:
+			if sending[ev.Machine] <= 0 || receiving[ev.Peer] <= 0 {
+				return stats, fmt.Errorf("sim: transfer end without start (%d->%d at %d)",
+					ev.Machine, ev.Peer, ev.Cycle)
+			}
+			sending[ev.Machine]--
+			receiving[ev.Peer]--
+			stats.Transfers++
+		case MachineLost:
+			dead[ev.Machine] = true
+			stats.MachinesLost++
+			if executing[ev.Machine] != 0 {
+				return stats, fmt.Errorf("sim: machine %d lost while executing subtask %d",
+					ev.Machine, executing[ev.Machine]-1)
+			}
+		}
+	}
+	for j := 0; j < m; j++ {
+		if executing[j] != 0 {
+			return stats, fmt.Errorf("sim: machine %d still executing subtask %d at end of log",
+				j, executing[j]-1)
+		}
+		if sending[j] != 0 || receiving[j] != 0 {
+			return stats, fmt.Errorf("sim: machine %d has dangling transfers at end of log", j)
+		}
+	}
+	// Link seconds from the assignment records (the sweep-line counted
+	// only concurrency).
+	for _, a := range st.Assignments {
+		if a == nil {
+			continue
+		}
+		for _, tr := range a.Transfers {
+			sec := grid.CyclesToSeconds(tr.End - tr.Start)
+			stats.SendSeconds[tr.From] += sec
+			stats.RecvSeconds[tr.To] += sec
+		}
+	}
+	if stats.SpanCycles > 0 {
+		span := grid.CyclesToSeconds(stats.SpanCycles)
+		for j := 0; j < m; j++ {
+			stats.ExecUtil[j] = stats.BusySeconds[j] / span
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/rng"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/workload"
+)
+
+func TestExecuteCleanSchedule(t *testing.T) {
+	st := buildGreedy(t, 96, 21, grid.CaseA)
+	stats, err := Execute(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != st.Mapped {
+		t.Fatalf("completed %d, mapped %d", stats.Completed, st.Mapped)
+	}
+	if stats.SpanCycles != st.AETCycles {
+		t.Fatalf("span %d, AET %d", stats.SpanCycles, st.AETCycles)
+	}
+	for j, u := range stats.ExecUtil {
+		if u < 0 || u > 1 {
+			t.Fatalf("machine %d utilization %v", j, u)
+		}
+	}
+	// Busy seconds must sum to the total of execution durations.
+	var totalBusy float64
+	for _, b := range stats.BusySeconds {
+		totalBusy += b
+	}
+	var expected float64
+	for _, a := range st.Assignments {
+		if a != nil {
+			expected += grid.CyclesToSeconds(a.End - a.Start)
+		}
+	}
+	if diff := totalBusy - expected; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("busy %v, expected %v", totalBusy, expected)
+	}
+	// Send and receive totals match (every transfer has both endpoints).
+	var send, recv float64
+	for j := range stats.SendSeconds {
+		send += stats.SendSeconds[j]
+		recv += stats.RecvSeconds[j]
+	}
+	if diff := send - recv; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("send %v != recv %v", send, recv)
+	}
+}
+
+func TestExecuteEmptySchedule(t *testing.T) {
+	st := buildGreedy(t, 16, 22, grid.CaseA)
+	// Fresh state, nothing mapped.
+	stats, err := Execute(newEmptyState(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 0 || stats.SpanCycles != 0 {
+		t.Fatalf("empty stats = %+v", stats)
+	}
+	_ = st
+}
+
+func TestExecuteDetectsOverlap(t *testing.T) {
+	st := buildGreedy(t, 64, 23, grid.CaseA)
+	// Corrupt: force an overlap on one machine.
+	var a, b int = -1, -1
+	for i, as := range st.Assignments {
+		if as == nil {
+			continue
+		}
+		if a < 0 {
+			a = i
+			continue
+		}
+		if st.Assignments[i].Machine == st.Assignments[a].Machine {
+			b = i
+			break
+		}
+	}
+	if b < 0 {
+		t.Skip("no machine with two assignments")
+	}
+	st.Assignments[b].Start = st.Assignments[a].Start
+	st.Assignments[b].End = st.Assignments[a].End + 10
+	if _, err := Execute(st); err == nil {
+		t.Fatal("overlap not detected by executor")
+	}
+}
+
+func TestExecuteAfterMachineLoss(t *testing.T) {
+	st := buildGreedy(t, 96, 24, grid.CaseA)
+	if _, err := st.LoseMachine(2, st.AETCycles/2); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Execute(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MachinesLost != 1 {
+		t.Fatalf("lost = %d", stats.MachinesLost)
+	}
+	if stats.Completed != st.Mapped {
+		t.Fatalf("completed %d, mapped %d", stats.Completed, st.Mapped)
+	}
+}
+
+// newEmptyState builds a fresh unmapped state for executor edge cases.
+func newEmptyState(t *testing.T) *sched.State {
+	t.Helper()
+	p := workload.DefaultParams(8)
+	s, err := workload.Generate(p, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Instantiate(grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched.NewState(inst, sched.NewWeights(0.5, 0.3))
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"adhocgrid/internal/grid"
+)
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Kind: "energy", Detail: "machine 2 overdrawn"}
+	if got := v.String(); got != "energy: machine 2 overdrawn" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	want := map[EventKind]string{
+		ExecStart:     "exec-start",
+		ExecEnd:       "exec-end",
+		TransferStart: "xfer-start",
+		TransferEnd:   "xfer-end",
+		MachineLost:   "machine-lost",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if !strings.Contains(EventKind(99).String(), "99") {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Cycle: 100, Kind: ExecStart, Subtask: 7, Machine: 2, Peer: -1}
+	if !strings.Contains(e.String(), "subtask 7") {
+		t.Fatalf("event string %q", e.String())
+	}
+	tr := Event{Cycle: 50, Kind: TransferEnd, Subtask: 3, Machine: 0, Peer: 1}
+	if !strings.Contains(tr.String(), "0->1") {
+		t.Fatalf("transfer string %q", tr.String())
+	}
+	lost := Event{Cycle: 10, Kind: MachineLost, Subtask: -1, Machine: 3, Peer: -1}
+	if !strings.Contains(lost.String(), "machine 3") {
+		t.Fatalf("loss string %q", lost.String())
+	}
+}
+
+func TestUtilizationEmptySchedule(t *testing.T) {
+	st := newEmptyState(t)
+	u := Utilization(st)
+	for _, f := range u {
+		if f != 0 {
+			t.Fatalf("empty schedule utilization %v", f)
+		}
+	}
+}
+
+func TestEventLogIncludesLoss(t *testing.T) {
+	st := buildGreedy(t, 48, 31, grid.CaseA)
+	if _, err := st.LoseMachine(3, st.AETCycles/3); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range EventLog(st) {
+		if e.Kind == MachineLost && e.Machine == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("loss event missing from log")
+	}
+}
+
+func TestVerifyCatchesTransferSizeCorruption(t *testing.T) {
+	st := buildGreedy(t, 64, 33, grid.CaseA)
+	for _, a := range st.Assignments {
+		if a == nil || len(a.Transfers) == 0 {
+			continue
+		}
+		a.Transfers[0].Bits *= 3
+		if v := Verify(st); len(v) == 0 {
+			t.Fatal("transfer size corruption not detected")
+		}
+		return
+	}
+	t.Skip("no transfers in schedule")
+}
+
+func TestVerifyCatchesTransferRouteCorruption(t *testing.T) {
+	st := buildGreedy(t, 64, 34, grid.CaseA)
+	for _, a := range st.Assignments {
+		if a == nil || len(a.Transfers) == 0 {
+			continue
+		}
+		a.Transfers[0].From = (a.Transfers[0].From + 1) % st.Inst.Grid.M()
+		if v := Verify(st); len(v) == 0 {
+			t.Fatal("transfer route corruption not detected")
+		}
+		return
+	}
+	t.Skip("no transfers in schedule")
+}
+
+func TestVerifyCatchesDurationCorruption(t *testing.T) {
+	st := buildGreedy(t, 64, 35, grid.CaseB)
+	for _, a := range st.Assignments {
+		if a == nil {
+			continue
+		}
+		a.End = a.Start + 1 // shorter than the ETC requires
+		break
+	}
+	found := false
+	for _, v := range Verify(st) {
+		if v.Kind == "duration" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("duration corruption not detected")
+	}
+}
+
+func TestCriticalChain(t *testing.T) {
+	st := buildGreedy(t, 96, 41, grid.CaseA)
+	chain := CriticalChain(st)
+	if len(chain) == 0 {
+		t.Fatal("empty chain for a non-empty schedule")
+	}
+	// The chain ends at the AET-defining assignment.
+	lastLink := chain[len(chain)-1]
+	if lastLink.End != st.AETCycles {
+		t.Fatalf("chain ends at %d, AET is %d", lastLink.End, st.AETCycles)
+	}
+	// Links are contiguous in time (data links account for their
+	// transfer wait) and each link's Via is meaningful.
+	for k := 1; k < len(chain); k++ {
+		if chain[k].Start != chain[k-1].End+chain[k].DataWaitCycles {
+			t.Fatalf("chain gap between links %d and %d: %d + wait %d != %d",
+				k-1, k, chain[k-1].End, chain[k].DataWaitCycles, chain[k].Start)
+		}
+		switch chain[k].Via {
+		case "machine", "data", "parent":
+			if chain[k].Via != "data" && chain[k].DataWaitCycles != 0 {
+				t.Fatalf("non-data link %d has wait %d", k, chain[k].DataWaitCycles)
+			}
+		default:
+			t.Fatalf("interior link %d has Via %q", k, chain[k].Via)
+		}
+	}
+	if chain[0].Via != "start" {
+		t.Fatalf("origin link Via = %q", chain[0].Via)
+	}
+}
+
+func TestCriticalChainEmpty(t *testing.T) {
+	if chain := CriticalChain(newEmptyState(t)); chain != nil {
+		t.Fatalf("empty schedule gave chain %v", chain)
+	}
+}

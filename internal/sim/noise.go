@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/rng"
+	"adhocgrid/internal/sched"
+)
+
+// Communication noise (paper §I: "communication links are prone to
+// spurious failures and occasional noise that significantly impacts the
+// grid's ability to transfer information between nodes"). The heuristics
+// plan with nominal bandwidths; Realize replays a completed schedule with
+// stochastically degraded transfers — keeping every placement and
+// ordering decision fixed — and reports how the delays propagate through
+// the DAG to the realized makespan. This measures how much slack a
+// schedule has against the link behavior the paper's environment
+// promises.
+
+// NoiseModel parameterizes per-transfer link degradation.
+type NoiseModel struct {
+	// SlowdownProb is the probability a transfer sees reduced effective
+	// bandwidth; the slowdown factor is uniform in [1, SlowdownMax].
+	SlowdownProb float64
+	SlowdownMax  float64
+	// OutageProb is the probability a transfer additionally waits out a
+	// transient link outage with exponential mean OutageMeanSeconds.
+	OutageProb        float64
+	OutageMeanSeconds float64
+}
+
+// DefaultNoise returns a moderate model: one in five transfers slowed up
+// to 4x, one in twenty hitting a mean-5s outage.
+func DefaultNoise() NoiseModel {
+	return NoiseModel{SlowdownProb: 0.2, SlowdownMax: 4, OutageProb: 0.05, OutageMeanSeconds: 5}
+}
+
+// Validate checks the model.
+func (n NoiseModel) Validate() error {
+	if n.SlowdownProb < 0 || n.SlowdownProb > 1 || n.OutageProb < 0 || n.OutageProb > 1 {
+		return fmt.Errorf("sim: noise probabilities out of [0,1]")
+	}
+	if n.SlowdownProb > 0 && n.SlowdownMax < 1 {
+		return fmt.Errorf("sim: SlowdownMax must be >= 1, got %v", n.SlowdownMax)
+	}
+	if n.OutageProb > 0 && n.OutageMeanSeconds <= 0 {
+		return fmt.Errorf("sim: OutageMeanSeconds must be positive")
+	}
+	return nil
+}
+
+// Realization reports one noisy replay.
+type Realization struct {
+	AETCycles     int64 // realized application execution time
+	PlannedCycles int64 // the schedule's nominal AET
+	MetTau        bool  // realized AET within the deadline
+	SlowedCount   int   // transfers that saw reduced bandwidth
+	OutageCount   int   // transfers that waited out an outage
+	MaxTransferX  float64
+}
+
+// Realize replays the schedule once under the noise model. Placements,
+// versions, and per-resource orderings are kept exactly as scheduled
+// (machines run their subtasks in the planned order; links carry their
+// transfers in the planned order); only transfer durations change, and
+// the delays propagate forward through machine, link, and precedence
+// dependencies.
+func Realize(st *sched.State, noise NoiseModel, r *rng.Rand) (Realization, error) {
+	if err := noise.Validate(); err != nil {
+		return Realization{}, err
+	}
+	real := Realization{PlannedCycles: st.AETCycles, MaxTransferX: 1}
+
+	// Planned orderings per resource.
+	m := st.Inst.Grid.M()
+	execOrder := make([][]*sched.Assignment, m)
+	type plannedTransfer struct {
+		a  *sched.Assignment
+		tr *sched.Transfer
+	}
+	sendOrder := make([][]plannedTransfer, m)
+	recvOrder := make([][]plannedTransfer, m)
+	for _, a := range st.Assignments {
+		if a == nil {
+			continue
+		}
+		execOrder[a.Machine] = append(execOrder[a.Machine], a)
+		for k := range a.Transfers {
+			tr := &a.Transfers[k]
+			sendOrder[tr.From] = append(sendOrder[tr.From], plannedTransfer{a, tr})
+			recvOrder[tr.To] = append(recvOrder[tr.To], plannedTransfer{a, tr})
+		}
+	}
+	for j := 0; j < m; j++ {
+		sort.Slice(execOrder[j], func(x, y int) bool { return execOrder[j][x].Start < execOrder[j][y].Start })
+		sort.Slice(sendOrder[j], func(x, y int) bool { return sendOrder[j][x].tr.Start < sendOrder[j][y].tr.Start })
+		sort.Slice(recvOrder[j], func(x, y int) bool { return recvOrder[j][x].tr.Start < recvOrder[j][y].tr.Start })
+	}
+
+	// Draw noisy durations per transfer up front (deterministic given r).
+	noisyDur := make(map[*sched.Transfer]int64)
+	for j := 0; j < m; j++ {
+		for _, pt := range sendOrder[j] {
+			nominal := pt.tr.End - pt.tr.Start
+			dur := nominal
+			if nominal > 0 && noise.SlowdownProb > 0 && r.Float64() < noise.SlowdownProb {
+				factor := r.UniformRange(1, noise.SlowdownMax)
+				dur = int64(float64(nominal) * factor)
+				real.SlowedCount++
+				if factor > real.MaxTransferX {
+					real.MaxTransferX = factor
+				}
+			}
+			if noise.OutageProb > 0 && r.Float64() < noise.OutageProb {
+				dur += grid.SecondsToCycles(noise.OutageMeanSeconds * r.Exponential())
+				real.OutageCount++
+			}
+			noisyDur[pt.tr] = dur
+		}
+	}
+
+	// Forward fixpoint over machine/link/precedence dependencies. Each
+	// pass recomputes realized times in planned resource order; delays
+	// only grow, so iteration converges (bounded by DAG depth).
+	realStart := make(map[*sched.Assignment]int64)
+	realEnd := make(map[*sched.Assignment]int64)
+	trStart := make(map[*sched.Transfer]int64)
+	trEnd := make(map[*sched.Transfer]int64)
+	for _, a := range st.Assignments {
+		if a != nil {
+			realStart[a], realEnd[a] = a.Start, a.End
+			for k := range a.Transfers {
+				tr := &a.Transfers[k]
+				trStart[tr], trEnd[tr] = tr.Start, tr.Start+noisyDur[tr]
+			}
+		}
+	}
+	graph := st.Inst.Scenario.Graph
+	for pass := 0; ; pass++ {
+		if pass > st.N()+2 {
+			return Realization{}, fmt.Errorf("sim: realization did not converge")
+		}
+		changed := false
+		// Links first: transfer start waits for the parent's realized end
+		// and the link's previous transfer.
+		for j := 0; j < m; j++ {
+			var prevEnd int64
+			for _, pt := range sendOrder[j] {
+				pa := st.Assignments[pt.tr.Parent]
+				s := trStart[pt.tr]
+				if pa != nil && realEnd[pa] > s {
+					s = realEnd[pa]
+				}
+				if prevEnd > s {
+					s = prevEnd
+				}
+				if s != trStart[pt.tr] {
+					trStart[pt.tr] = s
+					trEnd[pt.tr] = s + noisyDur[pt.tr]
+					changed = true
+				}
+				prevEnd = trEnd[pt.tr]
+			}
+			var prevRecv int64
+			for _, pt := range recvOrder[j] {
+				s := trStart[pt.tr]
+				if prevRecv > s {
+					s = prevRecv
+					if s != trStart[pt.tr] {
+						trStart[pt.tr] = s
+						trEnd[pt.tr] = s + noisyDur[pt.tr]
+						changed = true
+					}
+				}
+				prevRecv = trEnd[pt.tr]
+			}
+		}
+		// Executions: start waits for machine predecessor, same-machine
+		// parents, and incoming transfers.
+		for j := 0; j < m; j++ {
+			var prevEnd int64
+			for _, a := range execOrder[j] {
+				s := realStart[a]
+				if prevEnd > s {
+					s = prevEnd
+				}
+				for k := range a.Transfers {
+					if e := trEnd[&a.Transfers[k]]; e > s {
+						s = e
+					}
+				}
+				for _, p := range graph.Parents(a.Subtask) {
+					if pa := st.Assignments[p]; pa != nil && pa.Machine == j {
+						if realEnd[pa] > s {
+							s = realEnd[pa]
+						}
+					}
+				}
+				if s != realStart[a] {
+					realStart[a] = s
+					realEnd[a] = s + (a.End - a.Start)
+					changed = true
+				}
+				prevEnd = realEnd[a]
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for _, a := range st.Assignments {
+		if a != nil && realEnd[a] > real.AETCycles {
+			real.AETCycles = realEnd[a]
+		}
+	}
+	real.MetTau = real.AETCycles <= st.Inst.TauCycles
+	return real, nil
+}
+
+// NoiseStudy replays the schedule `trials` times and reports the deadline
+// hit rate and the realized-AET spread.
+type NoiseStudy struct {
+	Trials       int
+	MetTau       int
+	MeanAET      float64 // seconds
+	WorstAET     float64 // seconds
+	PlannedAET   float64 // seconds
+	MeanStretch  float64 // realized / planned
+	WorstStretch float64
+}
+
+// StudyNoise runs a Monte-Carlo robustness study of one schedule.
+func StudyNoise(st *sched.State, noise NoiseModel, trials int, seed uint64) (NoiseStudy, error) {
+	if trials <= 0 {
+		return NoiseStudy{}, fmt.Errorf("sim: trials must be positive")
+	}
+	r := rng.New(seed)
+	study := NoiseStudy{Trials: trials, PlannedAET: grid.CyclesToSeconds(st.AETCycles)}
+	var sumAET, sumStretch float64
+	for k := 0; k < trials; k++ {
+		real, err := Realize(st, noise, r.Split())
+		if err != nil {
+			return NoiseStudy{}, err
+		}
+		aet := grid.CyclesToSeconds(real.AETCycles)
+		sumAET += aet
+		if aet > study.WorstAET {
+			study.WorstAET = aet
+		}
+		stretch := 1.0
+		if real.PlannedCycles > 0 {
+			stretch = float64(real.AETCycles) / float64(real.PlannedCycles)
+		}
+		sumStretch += stretch
+		if stretch > study.WorstStretch {
+			study.WorstStretch = stretch
+		}
+		if real.MetTau {
+			study.MetTau++
+		}
+	}
+	study.MeanAET = sumAET / float64(trials)
+	study.MeanStretch = sumStretch / float64(trials)
+	return study, nil
+}

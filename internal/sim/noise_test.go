@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/rng"
+)
+
+func TestRealizeNoNoiseIsIdentity(t *testing.T) {
+	st := buildGreedy(t, 96, 61, grid.CaseA)
+	real, err := Realize(st, NoiseModel{}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.AETCycles != st.AETCycles {
+		t.Fatalf("noise-free realization AET %d, planned %d", real.AETCycles, st.AETCycles)
+	}
+	if !real.MetTau || real.SlowedCount != 0 || real.OutageCount != 0 {
+		t.Fatalf("noise-free realization: %+v", real)
+	}
+}
+
+func TestRealizeNoiseOnlyDelays(t *testing.T) {
+	st := buildGreedy(t, 96, 62, grid.CaseB)
+	for seed := uint64(1); seed <= 5; seed++ {
+		real, err := Realize(st, DefaultNoise(), rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if real.AETCycles < st.AETCycles {
+			t.Fatalf("seed %d: realized AET %d earlier than planned %d",
+				seed, real.AETCycles, st.AETCycles)
+		}
+	}
+}
+
+func TestRealizeDeterministicPerSeed(t *testing.T) {
+	st := buildGreedy(t, 64, 63, grid.CaseA)
+	a, err := Realize(st, DefaultNoise(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Realize(st, DefaultNoise(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestRealizeHeavyNoiseStretches(t *testing.T) {
+	st := buildGreedy(t, 96, 64, grid.CaseA)
+	heavy := NoiseModel{SlowdownProb: 1, SlowdownMax: 50, OutageProb: 0.5, OutageMeanSeconds: 60}
+	real, err := Realize(st, heavy, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.SlowedCount == 0 {
+		t.Skip("schedule has no transfers")
+	}
+	if real.AETCycles <= st.AETCycles {
+		t.Fatalf("heavy noise did not stretch the makespan (%d vs %d)", real.AETCycles, st.AETCycles)
+	}
+}
+
+func TestNoiseModelValidate(t *testing.T) {
+	bad := []NoiseModel{
+		{SlowdownProb: -0.1},
+		{SlowdownProb: 1.5},
+		{SlowdownProb: 0.5, SlowdownMax: 0.5},
+		{OutageProb: 0.5, OutageMeanSeconds: 0},
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, n)
+		}
+	}
+	if err := DefaultNoise().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudyNoise(t *testing.T) {
+	st := buildGreedy(t, 96, 65, grid.CaseA)
+	study, err := StudyNoise(st, DefaultNoise(), 20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Trials != 20 || study.MetTau < 0 || study.MetTau > 20 {
+		t.Fatalf("study = %+v", study)
+	}
+	if study.MeanStretch < 1 || study.WorstStretch < study.MeanStretch {
+		t.Fatalf("stretch stats inconsistent: %+v", study)
+	}
+	if study.MeanAET < study.PlannedAET {
+		t.Fatalf("mean realized AET below planned: %+v", study)
+	}
+	if _, err := StudyNoise(st, DefaultNoise(), 0, 1); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}

@@ -1,0 +1,265 @@
+// Package sim independently verifies schedules produced by the heuristics
+// by replaying them against the paper's resource model (§III assumptions
+// (a)–(d)). It shares no booking logic with package sched: every
+// constraint is re-derived from the assignment records alone, so a bug in
+// the construction substrate cannot hide itself.
+//
+// The package also produces a chronological event log for tracing and
+// supports the dynamic machine-loss extension checks.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/workload"
+)
+
+// Violation describes one broken constraint found during verification.
+type Violation struct {
+	Kind   string // short category, e.g. "precedence", "energy"
+	Detail string
+}
+
+func (v Violation) String() string { return v.Kind + ": " + v.Detail }
+
+func violatef(out *[]Violation, kind, format string, args ...interface{}) {
+	*out = append(*out, Violation{Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+const energyTol = 1e-6
+
+// Verify replays the schedule in st and returns every constraint violation
+// found (empty means the schedule is valid). Checked properties:
+//
+//   - precedence: a mapped subtask's parents are mapped; cross-machine
+//     dependencies have a recorded transfer that starts no earlier than the
+//     parent's completion and ends no later than the child's start;
+//     same-machine dependencies satisfy start >= parent end;
+//   - resources: per machine, executions do not overlap (§III (b));
+//     outgoing transfers do not overlap and incoming transfers do not
+//     overlap (one send + one receive at a time, §III (c));
+//   - quantities: execution durations cover ETC at the recorded version;
+//     transfer durations cover bits * CMT; transfer sizes match the
+//     parent's version-scaled data item;
+//   - energy: per machine, execution + transmission energy never exceeds
+//     the battery, and matches the state's ledger;
+//   - aggregates: T100, Mapped, AET agree with the state's counters.
+func Verify(st *sched.State) []Violation {
+	var out []Violation
+	inst := st.Inst
+	graph := inst.Scenario.Graph
+	n := st.N()
+	m := inst.Grid.M()
+
+	type span struct {
+		start, end int64
+		what       string
+	}
+	execSpans := make([][]span, m)
+	sendSpans := make([][]span, m)
+	recvSpans := make([][]span, m)
+	energyUsed := make([]float64, m)
+
+	mapped, t100 := 0, 0
+	var aet int64
+
+	for i := 0; i < n; i++ {
+		a := st.Assignments[i]
+		if a == nil {
+			continue
+		}
+		mapped++
+		if a.Version == workload.Primary {
+			t100++
+		}
+		if a.End > aet {
+			aet = a.End
+		}
+		if a.Subtask != i {
+			violatef(&out, "record", "assignment at index %d records subtask %d", i, a.Subtask)
+		}
+		if a.Machine < 0 || a.Machine >= m {
+			violatef(&out, "record", "subtask %d on invalid machine %d", i, a.Machine)
+			continue
+		}
+
+		// Execution duration must cover the version-scaled ETC.
+		wantDur := inst.ExecCycles(i, a.Machine, a.Version)
+		if a.End-a.Start < wantDur {
+			violatef(&out, "duration", "subtask %d exec [%d,%d) shorter than ETC %d cycles",
+				i, a.Start, a.End, wantDur)
+		}
+		wantE := inst.ExecEnergy(i, a.Machine, a.Version)
+		if math.Abs(a.ExecEnergy-wantE) > energyTol {
+			violatef(&out, "energy", "subtask %d exec energy %v, want %v", i, a.ExecEnergy, wantE)
+		}
+		execSpans[a.Machine] = append(execSpans[a.Machine],
+			span{a.Start, a.End, fmt.Sprintf("subtask %d", i)})
+		energyUsed[a.Machine] += a.ExecEnergy
+
+		// Precedence and data movement.
+		transferByParent := make(map[int]*sched.Transfer, len(a.Transfers))
+		for k := range a.Transfers {
+			tr := &a.Transfers[k]
+			if tr.Child != i {
+				violatef(&out, "record", "subtask %d holds transfer for child %d", i, tr.Child)
+			}
+			transferByParent[tr.Parent] = tr
+		}
+		for _, p := range graph.Parents(i) {
+			pa := st.Assignments[p]
+			if pa == nil {
+				violatef(&out, "precedence", "subtask %d mapped before parent %d", i, p)
+				continue
+			}
+			if pa.Machine == a.Machine {
+				if a.Start < pa.End {
+					violatef(&out, "precedence", "subtask %d starts %d before same-machine parent %d ends %d",
+						i, a.Start, p, pa.End)
+				}
+				if tr, ok := transferByParent[p]; ok {
+					violatef(&out, "record", "same-machine dependency %d->%d has a transfer %+v", p, i, tr)
+				}
+				continue
+			}
+			tr, ok := transferByParent[p]
+			if !ok {
+				violatef(&out, "precedence", "cross-machine dependency %d->%d has no transfer", p, i)
+				continue
+			}
+			if tr.From != pa.Machine || tr.To != a.Machine {
+				violatef(&out, "record", "transfer %d->%d routes %d->%d, want %d->%d",
+					p, i, tr.From, tr.To, pa.Machine, a.Machine)
+			}
+			if tr.Start < pa.End {
+				violatef(&out, "precedence", "transfer %d->%d starts %d before parent ends %d",
+					p, i, tr.Start, pa.End)
+			}
+			if a.Start < tr.End {
+				violatef(&out, "precedence", "subtask %d starts %d before its input arrives %d",
+					i, a.Start, tr.End)
+			}
+			// Size must be the parent's version-scaled output item.
+			k := inst.ChildIndex(p, i)
+			wantBits := inst.OutBits(p, k, pa.Version)
+			if math.Abs(tr.Bits-wantBits) > 1e-6 {
+				violatef(&out, "data", "transfer %d->%d carries %v bits, want %v", p, i, tr.Bits, wantBits)
+			}
+			wantSec := inst.Grid.CommTime(tr.Bits, tr.From, tr.To)
+			wantCyc := grid.SecondsToCycles(wantSec)
+			if tr.End-tr.Start < wantCyc {
+				violatef(&out, "duration", "transfer %d->%d booked %d cycles, needs %d",
+					p, i, tr.End-tr.Start, wantCyc)
+			}
+			wantTE := inst.Grid.Machines[tr.From].CommRate * wantSec
+			if math.Abs(tr.Energy-wantTE) > energyTol {
+				violatef(&out, "energy", "transfer %d->%d energy %v, want %v", p, i, tr.Energy, wantTE)
+			}
+			if tr.End > tr.Start {
+				sendSpans[tr.From] = append(sendSpans[tr.From],
+					span{tr.Start, tr.End, fmt.Sprintf("transfer %d->%d", p, i)})
+				recvSpans[tr.To] = append(recvSpans[tr.To],
+					span{tr.Start, tr.End, fmt.Sprintf("transfer %d->%d", p, i)})
+			}
+			energyUsed[tr.From] += tr.Energy
+		}
+		// Transfers must correspond to real dependencies.
+		for k := range a.Transfers {
+			tr := &a.Transfers[k]
+			found := false
+			for _, p := range graph.Parents(i) {
+				if p == tr.Parent {
+					found = true
+					break
+				}
+			}
+			if !found {
+				violatef(&out, "record", "subtask %d has transfer from non-parent %d", i, tr.Parent)
+			}
+		}
+	}
+
+	// Resource exclusivity per machine.
+	checkSpans := func(kind string, machine int, spans []span) {
+		sort.Slice(spans, func(a, b int) bool { return spans[a].start < spans[b].start })
+		for k := 1; k < len(spans); k++ {
+			if spans[k].start < spans[k-1].end {
+				violatef(&out, "overlap", "machine %d %s: %s [%d,%d) overlaps %s [%d,%d)",
+					machine, kind,
+					spans[k-1].what, spans[k-1].start, spans[k-1].end,
+					spans[k].what, spans[k].start, spans[k].end)
+			}
+		}
+	}
+	for j := 0; j < m; j++ {
+		checkSpans("exec", j, execSpans[j])
+		checkSpans("send", j, sendSpans[j])
+		checkSpans("recv", j, recvSpans[j])
+	}
+
+	// Energy budgets and ledger agreement. Dead machines are exempt from
+	// ledger agreement (their charges froze at loss time) but must still
+	// never have exceeded their battery.
+	for j := 0; j < m; j++ {
+		batt := inst.Grid.Machines[j].Battery
+		total := energyUsed[j] + st.SunkEnergy(j)
+		if total > batt+energyTol {
+			violatef(&out, "energy", "machine %d consumed %v (incl. %v sunk), battery %v",
+				j, total, st.SunkEnergy(j), batt)
+		}
+		if st.Alive(j) {
+			ledgerUsed := batt - st.Ledger.Remaining(j)
+			if math.Abs(ledgerUsed-total) > 1e-3 {
+				violatef(&out, "ledger", "machine %d ledger says %v consumed, replay says %v live + %v sunk",
+					j, ledgerUsed, energyUsed[j], st.SunkEnergy(j))
+			}
+		}
+	}
+
+	// Machine loss: nothing may execute or transmit on a machine past its
+	// loss time, except work that had already completed.
+	for j := 0; j < m; j++ {
+		if st.Alive(j) {
+			continue
+		}
+		lost := st.DeadAt(j)
+		for _, sp := range execSpans[j] {
+			if sp.end > lost {
+				violatef(&out, "loss", "machine %d lost at %d but %s runs until %d", j, lost, sp.what, sp.end)
+			}
+		}
+		for _, sp := range sendSpans[j] {
+			if sp.end > lost {
+				violatef(&out, "loss", "machine %d lost at %d but %s transmits until %d", j, lost, sp.what, sp.end)
+			}
+		}
+	}
+
+	// Aggregates.
+	if mapped != st.Mapped {
+		violatef(&out, "aggregate", "state says %d mapped, replay counts %d", st.Mapped, mapped)
+	}
+	if t100 != st.T100 {
+		violatef(&out, "aggregate", "state says T100=%d, replay counts %d", st.T100, t100)
+	}
+	if aet != st.AETCycles {
+		violatef(&out, "aggregate", "state says AET=%d, replay finds %d", st.AETCycles, aet)
+	}
+	return out
+}
+
+// VerifyComplete additionally requires a full mapping within the deadline.
+func VerifyComplete(st *sched.State) []Violation {
+	out := Verify(st)
+	if !st.Done() {
+		violatef(&out, "complete", "%d of %d subtasks mapped", st.Mapped, st.N())
+	}
+	if st.AETCycles > st.Inst.TauCycles {
+		violatef(&out, "deadline", "AET %d exceeds tau %d", st.AETCycles, st.Inst.TauCycles)
+	}
+	return out
+}

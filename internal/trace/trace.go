@@ -1,0 +1,171 @@
+// Package trace records the "historical record of all critical
+// parameters" the paper's SLRH stores during a run (§IV): per-timestep
+// snapshots of mapping progress, energy, AET and the active objective
+// weights, plus the final assignment table, with CSV and JSON export for
+// later analysis.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/sched"
+)
+
+// Snapshot is the per-timestep record.
+type Snapshot struct {
+	Cycle     int64   `json:"cycle"`
+	Mapped    int     `json:"mapped"`
+	T100      int     `json:"t100"`
+	TEC       float64 `json:"tec"`
+	AET       float64 `json:"aet_seconds"`
+	Alpha     float64 `json:"alpha"`
+	Beta      float64 `json:"beta"`
+	Gamma     float64 `json:"gamma"`
+	Objective float64 `json:"objective"`
+	// MachineEnergy is the remaining battery per machine (JSON export
+	// only; the CSV format keeps fixed columns).
+	MachineEnergy []float64 `json:"machine_energy,omitempty"`
+}
+
+// Recorder accumulates snapshots; its Observe method matches the SLRH
+// Config.Observer hook.
+type Recorder struct {
+	// Every keeps one snapshot per Every observed timesteps (1 = all).
+	Every     int
+	snapshots []Snapshot
+	seen      int
+}
+
+// NewRecorder returns a recorder that keeps every `every`-th snapshot.
+func NewRecorder(every int) *Recorder {
+	if every < 1 {
+		every = 1
+	}
+	return &Recorder{Every: every}
+}
+
+// Observe records the state at a timestep. It is safe to pass as the SLRH
+// observer; it never mutates the state.
+func (r *Recorder) Observe(now int64, st *sched.State) {
+	r.seen++
+	if (r.seen-1)%r.Every != 0 {
+		return
+	}
+	m := st.Metrics()
+	w := st.Obj.Weights
+	energy := make([]float64, st.Inst.Grid.M())
+	for j := range energy {
+		energy[j] = st.Ledger.Remaining(j)
+	}
+	r.snapshots = append(r.snapshots, Snapshot{
+		Cycle:         now,
+		Mapped:        m.Mapped,
+		T100:          m.T100,
+		TEC:           m.TEC,
+		AET:           m.AETSeconds,
+		Alpha:         w.Alpha,
+		Beta:          w.Beta,
+		Gamma:         w.Gamma,
+		Objective:     m.Objective,
+		MachineEnergy: energy,
+	})
+}
+
+// Snapshots returns the recorded snapshots in order.
+func (r *Recorder) Snapshots() []Snapshot { return r.snapshots }
+
+// Len returns the number of stored snapshots.
+func (r *Recorder) Len() int { return len(r.snapshots) }
+
+// WriteCSV emits the snapshots as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cycle", "mapped", "t100", "tec", "aet_seconds", "alpha", "beta", "gamma", "objective"}); err != nil {
+		return err
+	}
+	for _, s := range r.snapshots {
+		rec := []string{
+			strconv.FormatInt(s.Cycle, 10),
+			strconv.Itoa(s.Mapped),
+			strconv.Itoa(s.T100),
+			strconv.FormatFloat(s.TEC, 'g', -1, 64),
+			strconv.FormatFloat(s.AET, 'g', -1, 64),
+			strconv.FormatFloat(s.Alpha, 'g', -1, 64),
+			strconv.FormatFloat(s.Beta, 'g', -1, 64),
+			strconv.FormatFloat(s.Gamma, 'g', -1, 64),
+			strconv.FormatFloat(s.Objective, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the snapshots as a JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.snapshots)
+}
+
+// AssignmentRow is one line of the final mapping table.
+type AssignmentRow struct {
+	Subtask      int     `json:"subtask"`
+	Machine      int     `json:"machine"`
+	Version      string  `json:"version"`
+	StartSeconds float64 `json:"start_seconds"`
+	EndSeconds   float64 `json:"end_seconds"`
+	ExecEnergy   float64 `json:"exec_energy"`
+	Transfers    int     `json:"incoming_transfers"`
+}
+
+// AssignmentTable extracts the final mapping of a schedule, one row per
+// mapped subtask in id order.
+func AssignmentTable(st *sched.State) []AssignmentRow {
+	var rows []AssignmentRow
+	for i := 0; i < st.N(); i++ {
+		a := st.Assignments[i]
+		if a == nil {
+			continue
+		}
+		rows = append(rows, AssignmentRow{
+			Subtask:      i,
+			Machine:      a.Machine,
+			Version:      a.Version.String(),
+			StartSeconds: grid.CyclesToSeconds(a.Start),
+			EndSeconds:   grid.CyclesToSeconds(a.End),
+			ExecEnergy:   a.ExecEnergy,
+			Transfers:    len(a.Transfers),
+		})
+	}
+	return rows
+}
+
+// WriteAssignmentsCSV emits the final mapping as CSV.
+func WriteAssignmentsCSV(w io.Writer, st *sched.State) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"subtask", "machine", "version", "start_seconds", "end_seconds", "exec_energy", "incoming_transfers"}); err != nil {
+		return err
+	}
+	for _, row := range AssignmentTable(st) {
+		if err := cw.Write([]string{
+			strconv.Itoa(row.Subtask),
+			strconv.Itoa(row.Machine),
+			row.Version,
+			fmt.Sprintf("%.1f", row.StartSeconds),
+			fmt.Sprintf("%.1f", row.EndSeconds),
+			strconv.FormatFloat(row.ExecEnergy, 'g', -1, 64),
+			strconv.Itoa(row.Transfers),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,463 @@
+// Package workload assembles the complete experiment inputs of the
+// paper's §III: an application of |T| communicating subtasks whose
+// precedence is a DAG, an ETC matrix giving per-machine execution times,
+// a global data item on every DAG edge, and the dual-version model
+// (primary, and a secondary version using 10% of the primary's time and
+// energy and transmitting 10% of its output data).
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"adhocgrid/internal/dag"
+	"adhocgrid/internal/etc"
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/rng"
+)
+
+// Version identifies which implementation of a subtask is executed.
+type Version int
+
+const (
+	// Primary is the full version of a subtask.
+	Primary Version = iota
+	// Secondary is the reduced version: 10% of the primary's execution
+	// time and energy, 10% of its output data (§III).
+	Secondary
+)
+
+// SecondaryFraction is the paper's reduction factor for the secondary
+// version of every subtask.
+const SecondaryFraction = 0.1
+
+// String returns "primary" or "secondary".
+func (v Version) String() string {
+	switch v {
+	case Primary:
+		return "primary"
+	case Secondary:
+		return "secondary"
+	default:
+		return fmt.Sprintf("Version(%d)", int(v))
+	}
+}
+
+// Factor returns the time/energy/data multiplier of the version.
+func (v Version) Factor() float64 {
+	if v == Secondary {
+		return SecondaryFraction
+	}
+	return 1
+}
+
+// Params bundles the generation parameters of a scenario.
+type Params struct {
+	N        int           // subtasks
+	DAG      dag.GenParams // precedence structure
+	ETC      etc.Params    // execution-time model
+	DataLo   float64       // minimum global data item size, bits
+	DataHi   float64       // maximum global data item size, bits
+	TauScale float64       // deadline multiplier relative to grid.TauCycles(N); 1 = paper scaling
+	// EnergyScale multiplies every machine's battery capacity. Zero means
+	// automatic: N/1024, which preserves the paper's energy-to-work ratio
+	// at reduced application sizes (the Table 2 capacities assume the full
+	// 1024-subtask application). Use 1 to force the unscaled Table 2
+	// values.
+	EnergyScale float64
+	// ArrivalRate, when positive, releases subtasks over time as a Poisson
+	// process with this many arrivals per second instead of all at t=0 —
+	// the "truly dynamic environment" the paper's §IV describes but
+	// simplifies away. Arrival order follows a topological order, so a
+	// parent is never released after its child. Dynamic heuristics must
+	// not schedule a subtask before its arrival; static heuristics have
+	// full advance knowledge and ignore arrivals (§I).
+	ArrivalRate float64
+}
+
+// DefaultParams returns paper-calibrated parameters for an n-subtask
+// application. Data item sizes default to 0.1–1 Mbit, which keeps
+// communication energy a small factor relative to execution energy, as
+// the paper observed (§IV: "the communications energy proved to be a
+// negligible factor").
+func DefaultParams(n int) Params {
+	return Params{
+		N:        n,
+		DAG:      dag.DefaultGenParams(n),
+		ETC:      etc.DefaultParams(n),
+		DataLo:   1e5,
+		DataHi:   1e6,
+		TauScale: 1,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("workload: N must be positive, got %d", p.N)
+	}
+	if p.DAG.N != p.N || p.ETC.N != p.N {
+		return fmt.Errorf("workload: inconsistent N (workload %d, dag %d, etc %d)", p.N, p.DAG.N, p.ETC.N)
+	}
+	if err := p.DAG.Validate(); err != nil {
+		return err
+	}
+	if err := p.ETC.Validate(); err != nil {
+		return err
+	}
+	if p.DataLo < 0 || p.DataHi < p.DataLo {
+		return fmt.Errorf("workload: bad data size range [%v,%v]", p.DataLo, p.DataHi)
+	}
+	if p.TauScale <= 0 {
+		return fmt.Errorf("workload: TauScale must be positive, got %v", p.TauScale)
+	}
+	if p.EnergyScale < 0 {
+		return fmt.Errorf("workload: EnergyScale must be non-negative, got %v", p.EnergyScale)
+	}
+	if p.ArrivalRate < 0 {
+		return fmt.Errorf("workload: ArrivalRate must be non-negative, got %v", p.ArrivalRate)
+	}
+	return nil
+}
+
+// effectiveEnergyScale resolves the automatic (zero) setting.
+func (p Params) effectiveEnergyScale() float64 {
+	if p.EnergyScale > 0 {
+		return p.EnergyScale
+	}
+	return float64(p.N) / float64(grid.PaperSubtasks)
+}
+
+// Scenario is one complete experiment input over the full Case A machine
+// set: a DAG, a 4-column ETC matrix, and a data size for every DAG edge.
+// The paper's 100 scenarios are the cross product of 10 ETC matrices and
+// 10 DAGs; Scenario pairs one of each.
+type Scenario struct {
+	Graph *dag.Graph
+	ETC   *etc.Matrix
+	// Data[i][k] is the size in bits of the global data item that subtask
+	// i sends to its k-th child (aligned with Graph.Children(i)), at the
+	// primary version. Secondary-version producers send 10% of it.
+	Data [][]float64
+	// TauCycles is the completion deadline in clock cycles.
+	TauCycles int64
+	// EnergyScale is the battery multiplier applied when instantiating a
+	// grid for this scenario (see Params.EnergyScale).
+	EnergyScale float64
+	// Arrivals, when non-nil, holds the release cycle of each subtask
+	// (see Params.ArrivalRate). Nil means everything is available at t=0.
+	Arrivals []int64
+}
+
+// Generate builds a scenario from independent DAG/ETC/data streams derived
+// from r.
+func Generate(p Params, r *rng.Rand) (*Scenario, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := dag.Generate(p.DAG, r.Split())
+	if err != nil {
+		return nil, err
+	}
+	m, err := etc.Generate(p.ETC, grid.ForCase(grid.CaseA), r.Split())
+	if err != nil {
+		return nil, err
+	}
+	dr := r.Split()
+	data := make([][]float64, p.N)
+	for i := 0; i < p.N; i++ {
+		kids := g.Children(i)
+		row := make([]float64, len(kids))
+		for k := range kids {
+			if p.DataHi == p.DataLo {
+				row[k] = p.DataLo
+			} else {
+				row[k] = dr.UniformRange(p.DataLo, p.DataHi)
+			}
+		}
+		data[i] = row
+	}
+	tau := int64(float64(grid.TauCycles(p.N)) * p.TauScale)
+	scn := &Scenario{Graph: g, ETC: m, Data: data, TauCycles: tau, EnergyScale: p.effectiveEnergyScale()}
+	if p.ArrivalRate > 0 {
+		arrivals, err := generateArrivals(g, p.ArrivalRate, r.Split())
+		if err != nil {
+			return nil, err
+		}
+		scn.Arrivals = arrivals
+	}
+	return scn, nil
+}
+
+// generateArrivals draws a Poisson arrival process (rate per second) and
+// assigns the sorted arrival cycles to subtasks in topological order, so
+// a parent is always released no later than its children.
+func generateArrivals(g *dag.Graph, rate float64, r *rng.Rand) ([]int64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	arrivals := make([]int64, g.N())
+	t := 0.0
+	for _, i := range order {
+		arrivals[i] = grid.SecondsToCycles(t)
+		t += r.Exponential() / rate
+	}
+	return arrivals, nil
+}
+
+// Suite is the full cross product of ETC matrices and DAGs used by the
+// paper's experiments (10 x 10 = 100 scenarios at paper scale).
+type Suite struct {
+	Params Params
+	ETCs   []*etc.Matrix
+	DAGs   []*dag.Graph
+	// Data[d][i][k] gives the data sizes for DAG d (edges are a property
+	// of the DAG, so data items are generated per DAG, shared across ETCs).
+	Data        [][][]float64
+	TauCycles   int64
+	EnergyScale float64
+}
+
+// GenerateSuite builds nETC ETC matrices and nDAG DAGs and the per-DAG
+// data items, all from independent streams of r.
+func GenerateSuite(p Params, nETC, nDAG int, r *rng.Rand) (*Suite, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if nETC <= 0 || nDAG <= 0 {
+		return nil, fmt.Errorf("workload: suite dimensions must be positive (%d x %d)", nETC, nDAG)
+	}
+	s := &Suite{
+		Params:      p,
+		ETCs:        make([]*etc.Matrix, nETC),
+		DAGs:        make([]*dag.Graph, nDAG),
+		Data:        make([][][]float64, nDAG),
+		TauCycles:   int64(float64(grid.TauCycles(p.N)) * p.TauScale),
+		EnergyScale: p.effectiveEnergyScale(),
+	}
+	ca := grid.ForCase(grid.CaseA)
+	for e := 0; e < nETC; e++ {
+		m, err := etc.Generate(p.ETC, ca, r.Split())
+		if err != nil {
+			return nil, err
+		}
+		s.ETCs[e] = m
+	}
+	for d := 0; d < nDAG; d++ {
+		g, err := dag.Generate(p.DAG, r.Split())
+		if err != nil {
+			return nil, err
+		}
+		s.DAGs[d] = g
+		dr := r.Split()
+		data := make([][]float64, p.N)
+		for i := 0; i < p.N; i++ {
+			kids := g.Children(i)
+			row := make([]float64, len(kids))
+			for k := range kids {
+				if p.DataHi == p.DataLo {
+					row[k] = p.DataLo
+				} else {
+					row[k] = dr.UniformRange(p.DataLo, p.DataHi)
+				}
+			}
+			data[i] = row
+		}
+		s.Data[d] = data
+	}
+	return s, nil
+}
+
+// Scenario returns the (etcIndex, dagIndex) pairing as a Scenario.
+func (s *Suite) Scenario(etcIndex, dagIndex int) (*Scenario, error) {
+	if etcIndex < 0 || etcIndex >= len(s.ETCs) || dagIndex < 0 || dagIndex >= len(s.DAGs) {
+		return nil, fmt.Errorf("workload: scenario (%d,%d) out of range %dx%d",
+			etcIndex, dagIndex, len(s.ETCs), len(s.DAGs))
+	}
+	return &Scenario{
+		Graph:       s.DAGs[dagIndex],
+		ETC:         s.ETCs[etcIndex],
+		Data:        s.Data[dagIndex],
+		TauCycles:   s.TauCycles,
+		EnergyScale: s.EnergyScale,
+	}, nil
+}
+
+// N returns the number of subtasks in the scenario.
+func (s *Scenario) N() int { return s.Graph.N() }
+
+// Validate checks cross-component consistency.
+func (s *Scenario) Validate() error {
+	if s.Graph == nil || s.ETC == nil {
+		return fmt.Errorf("workload: scenario missing graph or ETC")
+	}
+	if err := s.Graph.Validate(); err != nil {
+		return err
+	}
+	if err := s.ETC.Validate(); err != nil {
+		return err
+	}
+	if s.Graph.N() != s.ETC.N {
+		return fmt.Errorf("workload: graph has %d subtasks, ETC %d", s.Graph.N(), s.ETC.N)
+	}
+	if len(s.Data) != s.Graph.N() {
+		return fmt.Errorf("workload: data rows %d, want %d", len(s.Data), s.Graph.N())
+	}
+	for i := 0; i < s.Graph.N(); i++ {
+		if len(s.Data[i]) != len(s.Graph.Children(i)) {
+			return fmt.Errorf("workload: data row %d has %d items, want %d",
+				i, len(s.Data[i]), len(s.Graph.Children(i)))
+		}
+		for k, bits := range s.Data[i] {
+			if bits < 0 {
+				return fmt.Errorf("workload: negative data size at (%d,%d)", i, k)
+			}
+		}
+	}
+	if s.TauCycles <= 0 {
+		return fmt.Errorf("workload: non-positive deadline %d", s.TauCycles)
+	}
+	if s.EnergyScale < 0 {
+		return fmt.Errorf("workload: negative energy scale %v", s.EnergyScale)
+	}
+	if s.Arrivals != nil {
+		if len(s.Arrivals) != s.Graph.N() {
+			return fmt.Errorf("workload: %d arrivals for %d subtasks", len(s.Arrivals), s.Graph.N())
+		}
+		for i, a := range s.Arrivals {
+			if a < 0 {
+				return fmt.Errorf("workload: negative arrival for subtask %d", i)
+			}
+			for _, p := range s.Graph.Parents(i) {
+				if s.Arrivals[p] > a {
+					return fmt.Errorf("workload: parent %d released after child %d", p, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Instance is a scenario instantiated for one Table 1 configuration: the
+// machine subset, its ETC view, and derived per-version quantities. All
+// heuristics operate on an Instance.
+type Instance struct {
+	Case      grid.Case
+	Grid      *grid.Grid
+	Scenario  *Scenario
+	ETC       *etc.Matrix // view with one column per machine of Grid
+	TauCycles int64
+}
+
+// Instantiate builds the Instance of s for configuration c.
+func (s *Scenario) Instantiate(c grid.Case) (*Instance, error) {
+	view, err := s.ETC.ForCase(c)
+	if err != nil {
+		return nil, err
+	}
+	g := grid.ForCase(c)
+	if s.EnergyScale > 0 && s.EnergyScale != 1 {
+		for j := range g.Machines {
+			g.Machines[j].Battery *= s.EnergyScale
+		}
+	}
+	return &Instance{
+		Case:      c,
+		Grid:      g,
+		Scenario:  s,
+		ETC:       view,
+		TauCycles: s.TauCycles,
+	}, nil
+}
+
+// ArrivalCycle returns the release cycle of subtask i (0 when the
+// scenario has no arrival process).
+func (in *Instance) ArrivalCycle(i int) int64 {
+	if in.Scenario.Arrivals == nil {
+		return 0
+	}
+	return in.Scenario.Arrivals[i]
+}
+
+// ExecSeconds returns the execution time of subtask i at version v on
+// machine j, in seconds.
+func (in *Instance) ExecSeconds(i, j int, v Version) float64 {
+	return in.ETC.At(i, j) * v.Factor()
+}
+
+// ExecCycles returns the execution time of subtask i at version v on
+// machine j, in whole clock cycles (rounded up).
+func (in *Instance) ExecCycles(i, j int, v Version) int64 {
+	return grid.SecondsToCycles(in.ExecSeconds(i, j, v))
+}
+
+// ExecEnergy returns the energy machine j spends executing subtask i at
+// version v: E(j) times the execution time.
+func (in *Instance) ExecEnergy(i, j int, v Version) float64 {
+	return in.Grid.Machines[j].ExecRate * in.ExecSeconds(i, j, v)
+}
+
+// OutBits returns the size in bits of the data item subtask i sends to its
+// k-th child when i executes at version v (10% at the secondary version).
+func (in *Instance) OutBits(i, k int, v Version) float64 {
+	return in.Scenario.Data[i][k] * v.Factor()
+}
+
+// ChildIndex returns the index k such that Graph.Children(parent)[k] ==
+// child, or -1 if child is not a child of parent.
+func (in *Instance) ChildIndex(parent, child int) int {
+	for k, c := range in.Scenario.Graph.Children(parent) {
+		if c == child {
+			return k
+		}
+	}
+	return -1
+}
+
+// WorstChildCommEnergy returns the conservative communication-energy bound
+// the SLRH feasibility check charges when considering subtask i at version
+// v on machine j: every child is assumed mapped across the grid's
+// lowest-bandwidth link (§IV).
+func (in *Instance) WorstChildCommEnergy(i, j int, v Version) float64 {
+	m := in.Grid.Machines[j]
+	total := 0.0
+	for k := range in.Scenario.Graph.Children(i) {
+		bits := in.OutBits(i, k, v)
+		total += m.CommRate * in.Grid.WorstCommTime(bits, j)
+	}
+	return total
+}
+
+// MarshalJSON encodes a scenario for dataset export.
+func (s *Scenario) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Graph    *dag.Graph  `json:"graph"`
+		ETC      *etc.Matrix `json:"etc"`
+		Data     [][]float64 `json:"data"`
+		Tau      int64       `json:"tau_cycles"`
+		EScale   float64     `json:"energy_scale"`
+		Arrivals []int64     `json:"arrivals,omitempty"`
+	}{s.Graph, s.ETC, s.Data, s.TauCycles, s.EnergyScale, s.Arrivals})
+}
+
+// UnmarshalJSON decodes and validates a scenario.
+func (s *Scenario) UnmarshalJSON(b []byte) error {
+	var raw struct {
+		Graph    *dag.Graph  `json:"graph"`
+		ETC      *etc.Matrix `json:"etc"`
+		Data     [][]float64 `json:"data"`
+		Tau      int64       `json:"tau_cycles"`
+		EScale   float64     `json:"energy_scale"`
+		Arrivals []int64     `json:"arrivals"`
+	}
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	ns := Scenario{Graph: raw.Graph, ETC: raw.ETC, Data: raw.Data, TauCycles: raw.Tau, EnergyScale: raw.EScale, Arrivals: raw.Arrivals}
+	if err := ns.Validate(); err != nil {
+		return err
+	}
+	*s = ns
+	return nil
+}

@@ -1,0 +1,399 @@
+package workload
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/rng"
+)
+
+func genScenario(t *testing.T, n int, seed uint64) *Scenario {
+	t.Helper()
+	s, err := Generate(DefaultParams(n), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestVersionModel(t *testing.T) {
+	if Primary.Factor() != 1 || Secondary.Factor() != 0.1 {
+		t.Fatal("version factors wrong")
+	}
+	if Primary.String() != "primary" || Secondary.String() != "secondary" {
+		t.Fatal("version strings wrong")
+	}
+}
+
+func TestGenerateValid(t *testing.T) {
+	s := genScenario(t, 128, 1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 128 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.TauCycles != int64(float64(grid.TauCycles(128))) {
+		t.Fatalf("tau = %d", s.TauCycles)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genScenario(t, 64, 5)
+	b := genScenario(t, 64, 5)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("same seed produced different scenarios")
+	}
+}
+
+func TestDataSizesInRange(t *testing.T) {
+	p := DefaultParams(128)
+	s, err := Generate(p, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Data {
+		for _, bits := range s.Data[i] {
+			if bits < p.DataLo || bits > p.DataHi {
+				t.Fatalf("data size %v outside [%v,%v]", bits, p.DataLo, p.DataHi)
+			}
+		}
+	}
+}
+
+func TestTauScale(t *testing.T) {
+	p := DefaultParams(64)
+	p.TauScale = 2
+	s, err := Generate(p, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TauCycles != 2*grid.TauCycles(64) {
+		t.Fatalf("scaled tau = %d", s.TauCycles)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	p := DefaultParams(64)
+	p.DAG.N = 32 // inconsistent
+	if err := p.Validate(); err == nil {
+		t.Fatal("inconsistent N accepted")
+	}
+	p = DefaultParams(64)
+	p.DataHi = p.DataLo - 1
+	if err := p.Validate(); err == nil {
+		t.Fatal("inverted data range accepted")
+	}
+	p = DefaultParams(64)
+	p.TauScale = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero TauScale accepted")
+	}
+}
+
+func TestSuite(t *testing.T) {
+	s, err := GenerateSuite(DefaultParams(32), 3, 2, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ETCs) != 3 || len(s.DAGs) != 2 {
+		t.Fatalf("suite shape %dx%d", len(s.ETCs), len(s.DAGs))
+	}
+	sc, err := s.Scenario(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.ETC != s.ETCs[2] || sc.Graph != s.DAGs[1] {
+		t.Fatal("scenario does not reference suite components")
+	}
+	if _, err := s.Scenario(3, 0); err == nil {
+		t.Fatal("out-of-range scenario accepted")
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	s := genScenario(t, 64, 9)
+	for _, c := range grid.AllCases {
+		in, err := s.Instantiate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Grid.M() != in.ETC.M() {
+			t.Fatalf("case %v: grid %d machines, ETC %d cols", c, in.Grid.M(), in.ETC.M())
+		}
+		for j := 0; j < in.Grid.M(); j++ {
+			if in.Grid.Machines[j].Class != in.ETC.Classes[j] {
+				t.Fatalf("case %v: class mismatch at machine %d", c, j)
+			}
+		}
+	}
+}
+
+func TestExecQuantities(t *testing.T) {
+	s := genScenario(t, 16, 11)
+	in, err := s.Instantiate(grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, j := 0, 0
+	full := in.ExecSeconds(i, j, Primary)
+	sec := in.ExecSeconds(i, j, Secondary)
+	if math.Abs(sec-full*0.1) > 1e-12 {
+		t.Fatalf("secondary time %v, want %v", sec, full*0.1)
+	}
+	if in.ExecCycles(i, j, Primary) < in.ExecCycles(i, j, Secondary) {
+		t.Fatal("primary fewer cycles than secondary")
+	}
+	wantE := in.Grid.Machines[j].ExecRate * full
+	if got := in.ExecEnergy(i, j, Primary); math.Abs(got-wantE) > 1e-12 {
+		t.Fatalf("exec energy %v, want %v", got, wantE)
+	}
+}
+
+func TestOutBitsVersionScaling(t *testing.T) {
+	s := genScenario(t, 64, 13)
+	in, _ := s.Instantiate(grid.CaseA)
+	for i := 0; i < s.N(); i++ {
+		if len(s.Graph.Children(i)) == 0 {
+			continue
+		}
+		p := in.OutBits(i, 0, Primary)
+		sec := in.OutBits(i, 0, Secondary)
+		if math.Abs(sec-0.1*p) > 1e-9 {
+			t.Fatalf("secondary data %v, want %v", sec, 0.1*p)
+		}
+		return
+	}
+	t.Skip("no subtask with children")
+}
+
+func TestChildIndex(t *testing.T) {
+	s := genScenario(t, 64, 15)
+	in, _ := s.Instantiate(grid.CaseA)
+	for i := 0; i < s.N(); i++ {
+		for k, c := range s.Graph.Children(i) {
+			if got := in.ChildIndex(i, c); got != k {
+				t.Fatalf("ChildIndex(%d,%d) = %d, want %d", i, c, got, k)
+			}
+		}
+	}
+	if in.ChildIndex(0, 0) != -1 {
+		t.Fatal("self child index should be -1")
+	}
+}
+
+func TestWorstChildCommEnergy(t *testing.T) {
+	s := genScenario(t, 64, 17)
+	in, _ := s.Instantiate(grid.CaseA)
+	for i := 0; i < s.N(); i++ {
+		kids := s.Graph.Children(i)
+		if len(kids) == 0 {
+			if in.WorstChildCommEnergy(i, 0, Primary) != 0 {
+				t.Fatal("leaf subtask has comm energy")
+			}
+			continue
+		}
+		// Worst case must dominate the actual cost of any real placement.
+		j := 0
+		worst := in.WorstChildCommEnergy(i, j, Primary)
+		actual := 0.0
+		for k := range kids {
+			bits := in.OutBits(i, k, Primary)
+			// Best real case: child on the highest-bandwidth peer.
+			actual += in.Grid.Machines[j].CommRate * in.Grid.CommTime(bits, j, 1)
+		}
+		if worst < actual-1e-9 {
+			t.Fatalf("worst-case %v below an actual placement %v", worst, actual)
+		}
+		// Secondary emits 10% of the data, so 10% of the energy.
+		ws := in.WorstChildCommEnergy(i, j, Secondary)
+		if math.Abs(ws-0.1*worst) > 1e-9 {
+			t.Fatalf("secondary worst comm %v, want %v", ws, 0.1*worst)
+		}
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	s := genScenario(t, 32, 19)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != s.N() || back.TauCycles != s.TauCycles {
+		t.Fatal("round trip changed scenario")
+	}
+	if back.ETC.At(3, 2) != s.ETC.At(3, 2) {
+		t.Fatal("ETC changed in round trip")
+	}
+}
+
+func TestUnmarshalRejectsInconsistent(t *testing.T) {
+	s := genScenario(t, 8, 21)
+	raw, _ := json.Marshal(s)
+	var m map[string]json.RawMessage
+	json.Unmarshal(raw, &m)
+	m["data"] = json.RawMessage(`[]`) // wrong row count
+	bad, _ := json.Marshal(m)
+	var back Scenario
+	if err := json.Unmarshal(bad, &back); err == nil {
+		t.Fatal("inconsistent scenario accepted")
+	}
+}
+
+func TestArrivalsGenerated(t *testing.T) {
+	p := DefaultParams(128)
+	p.ArrivalRate = 0.2
+	s, err := Generate(p, rng.New(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Arrivals) != 128 {
+		t.Fatalf("arrivals = %d", len(s.Arrivals))
+	}
+	// Parents never released after children, and spread is plausible for
+	// the rate (mean inter-arrival 5s = 50 cycles).
+	last := int64(0)
+	for i := 0; i < s.N(); i++ {
+		for _, par := range s.Graph.Parents(i) {
+			if s.Arrivals[par] > s.Arrivals[i] {
+				t.Fatalf("parent %d after child %d", par, i)
+			}
+		}
+		if s.Arrivals[i] > last {
+			last = s.Arrivals[i]
+		}
+	}
+	if last < 128*50/3 || last > 128*50*3 {
+		t.Fatalf("last arrival %d cycles implausible for rate", last)
+	}
+	inst, err := s.Instantiate(grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.ArrivalCycle(0) != s.Arrivals[0] {
+		t.Fatal("ArrivalCycle mismatch")
+	}
+}
+
+func TestNoArrivalsByDefault(t *testing.T) {
+	s := genScenario(t, 16, 53)
+	if s.Arrivals != nil {
+		t.Fatal("arrivals generated without rate")
+	}
+	inst, _ := s.Instantiate(grid.CaseA)
+	if inst.ArrivalCycle(5) != 0 {
+		t.Fatal("default arrival not zero")
+	}
+}
+
+func TestArrivalRateValidation(t *testing.T) {
+	p := DefaultParams(16)
+	p.ArrivalRate = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative arrival rate accepted")
+	}
+}
+
+func TestScenarioValidateArrivalShape(t *testing.T) {
+	s := genScenario(t, 16, 55)
+	s.Arrivals = []int64{1, 2} // wrong length
+	if err := s.Validate(); err == nil {
+		t.Fatal("short arrivals accepted")
+	}
+	s.Arrivals = make([]int64, 16)
+	s.Arrivals[0] = -5
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative arrival accepted")
+	}
+}
+
+func TestArrivalsJSONRoundTrip(t *testing.T) {
+	p := DefaultParams(32)
+	p.ArrivalRate = 0.5
+	s, err := Generate(p, rng.New(57))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Arrivals) != 32 || back.Arrivals[5] != s.Arrivals[5] {
+		t.Fatal("arrivals lost in round trip")
+	}
+}
+
+func TestGenerateSuiteBadDims(t *testing.T) {
+	if _, err := GenerateSuite(DefaultParams(8), 0, 1, rng.New(1)); err == nil {
+		t.Fatal("zero ETC count accepted")
+	}
+	if _, err := GenerateSuite(DefaultParams(8), 1, 0, rng.New(1)); err == nil {
+		t.Fatal("zero DAG count accepted")
+	}
+	bad := DefaultParams(8)
+	bad.N = -1
+	if _, err := GenerateSuite(bad, 1, 1, rng.New(1)); err == nil {
+		t.Fatal("bad params accepted")
+	}
+	if _, err := Generate(bad, rng.New(1)); err == nil {
+		t.Fatal("bad params accepted by Generate")
+	}
+}
+
+func TestEnergyScaleApplied(t *testing.T) {
+	p := DefaultParams(256) // auto scale = 0.25
+	s, err := Generate(p, rng.New(59))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Instantiate(grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Grid.Machines[0].Battery != 580*0.25 {
+		t.Fatalf("scaled battery = %v", inst.Grid.Machines[0].Battery)
+	}
+	p.EnergyScale = 1
+	s2, err := Generate(p, rng.New(59))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst2, _ := s2.Instantiate(grid.CaseA)
+	if inst2.Grid.Machines[0].Battery != 580 {
+		t.Fatalf("unscaled battery = %v", inst2.Grid.Machines[0].Battery)
+	}
+}
+
+func TestFixedDataSize(t *testing.T) {
+	p := DefaultParams(32)
+	p.DataLo, p.DataHi = 5e5, 5e5 // degenerate range
+	s, err := Generate(p, rng.New(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Data {
+		for _, bits := range s.Data[i] {
+			if bits != 5e5 {
+				t.Fatalf("data size %v, want fixed 5e5", bits)
+			}
+		}
+	}
+}

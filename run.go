@@ -1,0 +1,124 @@
+package adhocgrid
+
+import (
+	"fmt"
+	"io"
+
+	"adhocgrid/internal/lrnn"
+	"adhocgrid/internal/maxmax"
+	"adhocgrid/internal/opt"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/sim"
+)
+
+// MaxMaxResult reports a Max-Max run.
+type MaxMaxResult = maxmax.Result
+
+// RunMaxMax executes the static Max-Max baseline (§V) on an instance.
+func RunMaxMax(inst *Instance, w Weights) (*MaxMaxResult, error) {
+	return maxmax.Run(inst, maxmax.Config{Weights: w})
+}
+
+// LRNNResult reports a Lagrangian-relaxation static-mapper run.
+type LRNNResult = lrnn.Result
+
+// LRNNConfig parameterizes the Lagrangian-relaxation static mapper.
+type LRNNConfig = lrnn.Config
+
+// RunLRNN executes the Lagrangian-relaxation static mapper (extension,
+// after [LuZ00]/[CaS03]) on an instance.
+func RunLRNN(inst *Instance, w Weights) (*LRNNResult, error) {
+	return lrnn.Run(inst, lrnn.DefaultConfig(w))
+}
+
+// Violation describes one broken schedule constraint found by Verify.
+type Violation = sim.Violation
+
+// Verify independently replays a schedule against the paper's resource
+// model and returns every violation found (empty = valid). The verifier
+// shares no booking logic with the heuristics.
+func Verify(s *Schedule) []Violation { return sim.Verify(s) }
+
+// VerifyComplete additionally requires a complete mapping within τ.
+func VerifyComplete(s *Schedule) []Violation { return sim.VerifyComplete(s) }
+
+// SearchOptions controls OptimizeWeights; zero values take the paper's
+// defaults (coarse 0.1, fine 0.02).
+type SearchOptions struct {
+	CoarseStep float64
+	FineStep   float64
+	FineRadius float64
+	Workers    int // parallel evaluations; 0 = GOMAXPROCS
+}
+
+// SearchResult reports a completed weight search.
+type SearchResult struct {
+	Best    Weights
+	Metrics Metrics
+	// Found reports whether any weight setting yielded a feasible
+	// (complete, within-τ) mapping.
+	Found     bool
+	Evaluated int
+}
+
+// HeuristicFunc evaluates one weight setting; see OptimizeWeights.
+type HeuristicFunc func(w Weights) (Metrics, error)
+
+// OptimizeWeights performs the paper's §VII two-stage (α, β) search —
+// coarse 0.1 grid, then 0.02 refinement — maximizing T100 among weight
+// settings whose mapping is complete and meets the deadline.
+//
+// The run callback is invoked concurrently; wrap any heuristic:
+//
+//	res, _ := adhocgrid.OptimizeWeights(func(w adhocgrid.Weights) (adhocgrid.Metrics, error) {
+//	    r, err := adhocgrid.RunSLRH(inst, adhocgrid.SLRH1, w)
+//	    if err != nil {
+//	        return adhocgrid.Metrics{}, err
+//	    }
+//	    return r.Metrics, nil
+//	}, adhocgrid.SearchOptions{})
+func OptimizeWeights(run HeuristicFunc, o SearchOptions) (SearchResult, error) {
+	if run == nil {
+		return SearchResult{}, fmt.Errorf("adhocgrid: nil heuristic")
+	}
+	opts := opt.DefaultOptions()
+	if o.CoarseStep > 0 {
+		opts.CoarseStep = o.CoarseStep
+	}
+	if o.FineStep > 0 {
+		opts.FineStep = o.FineStep
+	}
+	if o.FineRadius > 0 {
+		opts.FineRadius = o.FineRadius
+	}
+	opts.Workers = o.Workers
+	res, err := opt.Search(func(w sched.Weights) (sched.Metrics, error) { return run(w) }, opts)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	return SearchResult{
+		Best:      res.Best,
+		Metrics:   res.Metrics,
+		Found:     res.Found,
+		Evaluated: res.Evaluated,
+	}, nil
+}
+
+// SurfacePoint is one evaluated weight setting of a response surface.
+type SurfacePoint = opt.Point
+
+// WeightSurface evaluates the heuristic on the full (α, β) simplex grid
+// with the given step and returns every point in deterministic order —
+// the response surface behind the paper's Figure 3 sensitivity analysis.
+func WeightSurface(run HeuristicFunc, step float64, workers int) ([]SurfacePoint, error) {
+	if run == nil {
+		return nil, fmt.Errorf("adhocgrid: nil heuristic")
+	}
+	return opt.Surface(func(w sched.Weights) (sched.Metrics, error) { return run(w) }, step, workers)
+}
+
+// WriteSurfaceCSV emits a response surface as CSV
+// (alpha,beta,gamma,t100,mapped,aet_seconds,tec,feasible).
+func WriteSurfaceCSV(w io.Writer, points []SurfacePoint) error {
+	return opt.WriteSurfaceCSV(w, points)
+}
