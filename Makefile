@@ -1,0 +1,31 @@
+# Build, vet and test the whole module. `make check` is the CI gate: the
+# concurrent plan cache and the Optima in-flight dedup must stay race-clean.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench fuzz
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+# Incremental-state speedup benchmark at Default() scale (|T|=256),
+# cache on vs off; see README.md "Performance".
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSLRH$$' -benchtime 30x .
+
+# Differential fuzzing of the chunked timeline against the naive reference.
+fuzz:
+	$(GO) test -fuzz FuzzTimelineVsReference -fuzztime 30s ./internal/sched/

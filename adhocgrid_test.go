@@ -92,6 +92,32 @@ func TestPublicOptimizeWeights(t *testing.T) {
 	}
 }
 
+// TestPublicOptimizeWeightsCoarseOnly pins the FineStep < 0 off switch: a
+// negative FineStep must run the coarse grid alone, even when the best
+// coarse point is feasible (which would otherwise trigger refinement).
+func TestPublicOptimizeWeightsCoarseOnly(t *testing.T) {
+	evals := 0
+	res, err := adhocgrid.OptimizeWeights(func(w adhocgrid.Weights) (adhocgrid.Metrics, error) {
+		evals++
+		// Always feasible, so a refinement stage would add points.
+		return adhocgrid.Metrics{Complete: true, MetTau: true, Mapped: 1, T100: 1}, nil
+	}, adhocgrid.SearchOptions{FineStep: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The coarse 0.1 simplex grid α, β ∈ [0,1], α+β <= 1 has 66 points.
+	const coarsePoints = 66
+	if res.Evaluated != coarsePoints {
+		t.Fatalf("evaluated %d points, want the %d coarse points alone", res.Evaluated, coarsePoints)
+	}
+	if evals != coarsePoints {
+		t.Fatalf("heuristic invoked %d times, want %d", evals, coarsePoints)
+	}
+	if !res.Found {
+		t.Fatal("feasible stub not found")
+	}
+}
+
 func TestPublicMachineLossRun(t *testing.T) {
 	inst := exampleInstance(t, 96, 7, adhocgrid.CaseA)
 	cfg := adhocgrid.DefaultConfig(adhocgrid.SLRH1, adhocgrid.NewWeights(0.5, 0.3))

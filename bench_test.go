@@ -291,6 +291,37 @@ func BenchmarkSLRH3(b *testing.B) {
 	})
 }
 
+// BenchmarkSLRH measures the full SLRH variants at exp.Default() scale
+// (|T|=256) with the generation-tracked plan cache on and off — the
+// incremental-state speedup the cache exists for. The differential tests
+// in incremental_test.go prove the two configurations produce identical
+// schedules.
+func BenchmarkSLRH(b *testing.B) {
+	inst := benchInstance(b, 256, grid.CaseA, 0)
+	w := sched.NewWeights(0.5, 0.3)
+	for _, v := range []core.Variant{core.SLRH1, core.SLRH2, core.SLRH3} {
+		for _, disable := range []bool{false, true} {
+			name := v.String() + "/cached"
+			if disable {
+				name = v.String() + "/uncached"
+			}
+			b.Run(name, func(b *testing.B) {
+				cfg := core.DefaultConfig(v, w)
+				cfg.DisablePlanCache = disable
+				for i := 0; i < b.N; i++ {
+					r, err := core.Run(inst, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if r.Metrics.Mapped == 0 {
+						b.Fatal("mapped nothing")
+					}
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkMaxMax(b *testing.B) {
 	benchHeuristic(b, func(inst *workload.Instance) (sched.Metrics, error) {
 		r, err := maxmax.Run(inst, maxmax.Config{Weights: sched.NewWeights(1, 0)})

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"math"
+
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/workload"
+)
+
+// Candidate plan cache with generation-based dirty tracking.
+//
+// Pricing a candidate (subtask i on machine j) is the SLRH hot path: it
+// packs every incoming transfer onto link timelines and places the
+// execution interval, at both versions, for every eligible (i, j) pair at
+// every ΔT activation. Most of that work is redundant — a timestep that
+// commits nothing changes no timelines or energy, and a commit only
+// touches a handful of machines. The cache memoizes the full pricing of
+// both versions per (i, j) and reuses it whenever fresh pricing would
+// provably reproduce it bit-for-bit:
+//
+//   - Fast path: every machine the plan depends on (the target machine
+//     plus each off-machine parent's sender) has an unchanged
+//     sched.State generation, and either the clock has not advanced since
+//     pricing or every booked cycle of the plan lies at or after the
+//     current clock (raising the planner's "never look backward" lower
+//     bound below the chosen slots cannot change them, and error verdicts
+//     depend only on the dep machines).
+//   - Revalidation path (same shrink epoch): a dep machine's generation
+//     changed — some commit touched it — but as long as the State's
+//     ShrinkEpoch is unchanged every intervening mutation was a commit,
+//     so resources only shrank (timelines gained bookings, ledgers only
+//     decreased). A plan whose exact slots are still free and whose
+//     energy guards still pass is then reproduced identically by fresh
+//     pricing, and an errored version stays errored (deadlines only get
+//     tighter, energy only scarcer, and machine loss — the one event that
+//     could relax anything — bumps the epoch). Entries priced in earlier
+//     timesteps qualify too, provided none of their booked cycles lies
+//     before the current clock. This subsumes the older per-commit
+//     planStale re-check and makes the SLRH-3
+//     rebuild-after-every-assignment loop incremental.
+//
+// Anything else is a miss and is re-priced. Objective scores are never
+// cached: Hypothetical depends on the aggregate T100/TEC/AET, which move
+// with every commit, so scores are recomputed from the cached plans.
+//
+// The cache is owned by a single runner goroutine; the concurrent scoring
+// path (Config.ScoreWorkers) resolves hits and stores misses sequentially
+// and only prices the misses in parallel, so it needs no locking.
+
+// planPair is the pricing of one (subtask, machine) candidate at both
+// versions. okP/okS report whether the version admitted a plan; the
+// failure reasons (energy, τ, sender energy) are not kept because the
+// pool builder only needs the verdict.
+type planPair struct {
+	planP, planS sched.Plan
+	okP, okS     bool
+}
+
+// depGen records the generation one machine had when an entry was priced.
+type depGen struct {
+	machine int
+	gen     uint64
+}
+
+// senderCost accumulates per-machine transfer energy during revalidation.
+type senderCost struct {
+	machine int
+	cost    float64
+}
+
+// planEntry is one cached (subtask, machine) pricing. Alongside the
+// priced pair it keeps the candidate's geometry (sched.CandidateGeom):
+// assignments are append-only within a shrink epoch, so the geometry
+// stays valid for the whole epoch even when the pair itself goes stale,
+// and a miss can replay just the placement instead of re-pricing from
+// scratch.
+type planEntry struct {
+	valid     bool
+	now       int64    // clock at pricing time
+	minStart  int64    // earliest booked cycle across both plans; MaxInt64 if both versions errored
+	epoch     uint64   // State.ShrinkEpoch at pricing time
+	deps      []depGen // target machine first, then off-machine parent senders
+	depsEpoch uint64   // ShrinkEpoch the dep machine list was derived in; valid when depsKnown
+	depsKnown bool
+	pair      planPair
+	geomValid bool
+	geomEpoch uint64 // State.ShrinkEpoch at geometry capture
+	geom      sched.CandidateGeom
+}
+
+// planCache holds one entry per (subtask, machine) pair.
+type planCache struct {
+	m       int
+	entries []planEntry
+}
+
+func newPlanCache(n, m int) *planCache {
+	return &planCache{m: m, entries: make([]planEntry, n*m)}
+}
+
+func (pc *planCache) entry(i, j int) *planEntry { return &pc.entries[i*pc.m+j] }
+
+// pricePair runs the full sequential pricing of both versions.
+func (r *runner) pricePair(i, j int, now int64) planPair {
+	planP, errP, planS, errS := r.st.PlanCandidateVersions(i, j, now)
+	return planPair{planP: planP, planS: planS, okP: errP == nil, okS: errS == nil}
+}
+
+// captureGeom refreshes the entry's cached geometry for the current
+// shrink epoch. It fails only if a parent of i is unmapped, in which case
+// pricing would fail identically.
+func (r *runner) captureGeom(e *planEntry, i, j int) bool {
+	e.geomValid = false
+	if err := r.st.FillCandidateGeom(i, j, &e.geom); err != nil {
+		return false
+	}
+	e.geomValid = true
+	e.geomEpoch = r.st.ShrinkEpoch()
+	return true
+}
+
+// geomCurrent reports whether the entry's geometry is valid for the
+// current shrink epoch, i.e. whether repricePair may replay it.
+func (r *runner) geomCurrent(e *planEntry) bool {
+	return e.geomValid && e.geomEpoch == r.st.ShrinkEpoch()
+}
+
+// repriceEntry prices (i, j) on a cache miss, directly into the entry.
+// When the cached geometry is still valid for the epoch it replays only
+// the placement — the same code path PlanCandidateVersions runs after its
+// geometry fill, so the result is identical to fresh pricing by
+// construction. Otherwise it refreshes the geometry first (the combined
+// cost equals one fresh pricing).
+func (r *runner) repriceEntry(e *planEntry, i, j int, now int64) *planPair {
+	if !r.geomCurrent(e) && !r.captureGeom(e, i, j) {
+		e.pair = planPair{}
+		r.finishStore(e, i, j, now)
+		return &e.pair
+	}
+	planP, errP, planS, errS := r.st.PlanVersionsFromGeom(i, j, now, &e.geom)
+	e.pair = planPair{planP: planP, planS: planS, okP: errP == nil, okS: errS == nil}
+	r.finishStore(e, i, j, now)
+	return &e.pair
+}
+
+// cachedPair returns a pointer to the memoized pricing for (i, j) if it
+// is provably identical to what fresh pricing at `now` would produce. The
+// pointer is into the cache entry: read it before the next pricing call.
+func (r *runner) cachedPair(i, j int, now int64) (*planPair, bool) {
+	e := r.cache.entry(i, j)
+	// Both reuse paths need the clock guard: either the clock has not
+	// advanced since pricing, or no booked cycle lies before it.
+	if !e.valid {
+		return nil, false
+	}
+	if e.now != now && e.minStart < now {
+		return nil, false
+	}
+	if r.depsCurrent(e) {
+		return &e.pair, true
+	}
+	if e.epoch != r.st.ShrinkEpoch() {
+		return nil, false
+	}
+	if r.revalidate(e) {
+		// A commit touched a dep machine, but the priced slots survived;
+		// refresh the dep generations so subsequent lookups take the
+		// fast path.
+		r.setDeps(e, i, j)
+		e.now = now
+		return &e.pair, true
+	}
+	return nil, false
+}
+
+// finishStore records the bookkeeping for a pricing just written to
+// e.pair.
+func (r *runner) finishStore(e *planEntry, i, j int, now int64) {
+	e.now = now
+	e.minStart = pairMinStart(&e.pair)
+	e.epoch = r.st.ShrinkEpoch()
+	e.valid = true
+	r.setDeps(e, i, j)
+}
+
+// depsCurrent reports whether every machine the entry depends on still has
+// the generation it was priced against.
+func (r *runner) depsCurrent(e *planEntry) bool {
+	for _, d := range e.deps {
+		if r.st.Gen(d.machine) != d.gen {
+			return false
+		}
+	}
+	return true
+}
+
+// setDeps records the current generations of the machines the candidate's
+// pricing depends on: the target machine and each off-machine parent's
+// machine. Parents are mapped whenever the pool builder consults the
+// cache (the candidate is ready); if one is not, the entry is poisoned.
+// Because assignments are append-only within a shrink epoch, the machine
+// *list* derived once in an epoch stays correct for the whole epoch, and
+// later calls only refresh the generations.
+func (r *runner) setDeps(e *planEntry, i, j int) {
+	st := r.st
+	if e.depsKnown && e.depsEpoch == st.ShrinkEpoch() {
+		for k := range e.deps {
+			e.deps[k].gen = st.Gen(e.deps[k].machine)
+		}
+		return
+	}
+	e.depsKnown = false
+	e.deps = append(e.deps[:0], depGen{j, st.Gen(j)})
+	for _, p := range st.Inst.Scenario.Graph.Parents(i) {
+		pa := st.Assignments[p]
+		if pa == nil {
+			e.valid = false
+			return
+		}
+		if pa.Machine != j {
+			e.deps = append(e.deps, depGen{pa.Machine, st.Gen(pa.Machine)})
+		}
+	}
+	e.depsKnown = true
+	e.depsEpoch = st.ShrinkEpoch()
+}
+
+// revalidate reports whether the entry's plans would be reproduced by
+// fresh pricing after intervening commits within the same shrink epoch.
+// Resources only shrank since pricing, so an errored version stays
+// errored and a surviving plan's slots, having been the earliest
+// feasible ones, remain the earliest; only slot availability and the
+// energy guards need re-checking. The caller has already ensured the
+// clock guard (e.now == now or minStart >= now) and epoch equality.
+func (r *runner) revalidate(e *planEntry) bool {
+	st := r.st
+	// The transfer packing is shared between the versions; check it once
+	// on whichever plan exists.
+	ref, ok := e.pair.planP, e.pair.okP
+	if !ok {
+		ref, ok = e.pair.planS, e.pair.okS
+	}
+	if !ok {
+		return true // both versions errored; errors are stable while resources shrink
+	}
+	costs := r.revalCost[:0]
+	for _, tr := range ref.Transfers {
+		if dur := tr.End - tr.Start; dur > 0 {
+			if st.SendTL[tr.From].EarliestFit(tr.Start, dur) != tr.Start {
+				return false
+			}
+			if st.RecvTL[tr.To].EarliestFit(tr.Start, dur) != tr.Start {
+				return false
+			}
+		}
+		found := false
+		for k := range costs {
+			if costs[k].machine == tr.From {
+				costs[k].cost += tr.Energy
+				found = true
+				break
+			}
+		}
+		if !found {
+			costs = append(costs, senderCost{tr.From, tr.Energy})
+		}
+	}
+	r.revalCost = costs[:0]
+	for _, c := range costs {
+		if st.Ledger.Remaining(c.machine) < c.cost {
+			return false
+		}
+	}
+	execOK := func(p sched.Plan, ok bool, v workload.Version) bool {
+		if !ok {
+			return true
+		}
+		if st.ExecTL[p.Machine].EarliestFit(p.Start, p.End-p.Start) != p.Start {
+			return false
+		}
+		return st.Ledger.Remaining(p.Machine) >=
+			p.ExecEnergy+st.Inst.WorstChildCommEnergy(p.Subtask, p.Machine, v)
+	}
+	return execOK(e.pair.planP, e.pair.okP, workload.Primary) &&
+		execOK(e.pair.planS, e.pair.okS, workload.Secondary)
+}
+
+// pairMinStart returns the earliest cycle either plan books anything at
+// (transfers included), or MaxInt64 when both versions errored. A cached
+// pair whose minStart is at or after the current clock is immune to the
+// clock having advanced since pricing.
+func pairMinStart(pair *planPair) int64 {
+	min := int64(math.MaxInt64)
+	var transfers []sched.Transfer
+	if pair.okP {
+		min = pair.planP.Start
+		transfers = pair.planP.Transfers
+	}
+	if pair.okS {
+		if pair.planS.Start < min {
+			min = pair.planS.Start
+		}
+		// The versions share one packed transfer slice, so scanning
+		// either covers both.
+		transfers = pair.planS.Transfers
+	}
+	for _, tr := range transfers {
+		if tr.Start < min {
+			min = tr.Start
+		}
+	}
+	return min
+}

@@ -20,7 +20,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -92,6 +92,12 @@ type Config struct {
 	// (DSP/FPGA) evaluation the paper proposes (§II). Results are
 	// identical to sequential scoring. 0 or 1 scores sequentially.
 	ScoreWorkers int
+
+	// DisablePlanCache turns off the generation-tracked candidate plan
+	// cache (see plancache.go) and re-prices every eligible candidate at
+	// every pool build. Results are identical either way — the flag exists
+	// for the differential tests and benchmarks that prove it.
+	DisablePlanCache bool
 }
 
 // Event is a dynamic grid change injected during a run.
@@ -144,11 +150,14 @@ type candidate struct {
 
 // runner holds per-run scratch state so the hot loop does not allocate.
 type runner struct {
-	st       *sched.State
-	cfg      Config
-	readyBuf []int
-	eligible []int
-	pool     []candidate
+	st        *sched.State
+	cfg       Config
+	readyBuf  []int
+	eligible  []int
+	pool      []candidate
+	cache     *planCache   // nil when Config.DisablePlanCache
+	pairBuf   planPair     // pricing scratch when the cache is off
+	revalCost []senderCost // reusable revalidation scratch
 }
 
 // Run executes the SLRH heuristic on the instance and returns the
@@ -168,6 +177,9 @@ func Run(inst *workload.Instance, cfg Config) (*Result, error) {
 // reused by the adaptive extension and tests).
 func runOn(st *sched.State, cfg Config) (*Result, error) {
 	r := &runner{st: st, cfg: cfg}
+	if !cfg.DisablePlanCache {
+		r.cache = newPlanCache(st.N(), st.Inst.Grid.M())
+	}
 	inst := st.Inst
 	res := &Result{State: st}
 	eventIdx := 0
@@ -302,81 +314,146 @@ func (r *runner) buildPool(j int, now int64) {
 			r.pool = append(r.pool, c)
 		}
 	}
-	sort.Slice(r.pool, func(a, b int) bool {
-		pa, pb := &r.pool[a], &r.pool[b]
-		if pa.score != pb.score {
-			return pa.score > pb.score
+	slices.SortFunc(r.pool, func(a, b candidate) int {
+		// Descending score, ascending subtask id; the key is unique, so
+		// any comparison sort yields the same deterministic order.
+		switch {
+		case a.score > b.score:
+			return -1
+		case a.score < b.score:
+			return 1
+		default:
+			return a.subtask - b.subtask
 		}
-		return pa.subtask < pb.subtask
 	})
 }
 
 // scoreParallel prices the eligible candidates concurrently with the
-// read-only planner, preserving the sequential results and order.
+// read-only planner, preserving the sequential results and order. Cache
+// hits are resolved (and misses stored) sequentially on the runner's
+// goroutine; only the misses are priced in parallel.
 func (r *runner) scoreParallel(j int, now int64) {
-	workers := r.cfg.ScoreWorkers
-	if workers > len(r.eligible) {
-		workers = len(r.eligible)
-	}
-	results := make([]candidate, len(r.eligible))
-	valid := make([]bool, len(r.eligible))
-	var wg sync.WaitGroup
-	for g := 0; g < workers; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for k := g; k < len(r.eligible); k += workers {
-				results[k], valid[k] = r.scoreCandidateRO(r.eligible[k], j, now)
+	pairs := make([]planPair, len(r.eligible))
+	need := make([]int, 0, len(r.eligible))
+	for k, i := range r.eligible {
+		if r.cache != nil {
+			if pair, ok := r.cachedPair(i, j, now); ok {
+				pairs[k] = *pair
+				continue
 			}
-		}(g)
+			// A geometry replay mutates timelines tentatively, so it must
+			// stay on the runner's goroutine; it is cheap enough not to
+			// need the workers.
+			if e := r.cache.entry(i, j); r.geomCurrent(e) {
+				pairs[k] = *r.repriceEntry(e, i, j, now)
+				continue
+			}
+		}
+		need = append(need, k)
 	}
-	wg.Wait()
-	for k := range results {
-		if valid[k] {
-			r.pool = append(r.pool, results[k])
+	workers := r.cfg.ScoreWorkers
+	if workers > len(need) {
+		workers = len(need)
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for n := g; n < len(need); n += workers {
+					k := need[n]
+					pairs[k] = r.pricePairRO(r.eligible[k], j, now)
+				}
+			}(g)
+		}
+		wg.Wait()
+	} else {
+		for _, k := range need {
+			pairs[k] = r.pricePairRO(r.eligible[k], j, now)
+		}
+	}
+	if r.cache != nil {
+		for _, k := range need {
+			i := r.eligible[k]
+			e := r.cache.entry(i, j)
+			e.pair = pairs[k]
+			r.finishStore(e, i, j, now)
+			r.captureGeom(e, i, j)
+		}
+	}
+	for k, i := range r.eligible {
+		if c, ok := r.selectVersion(i, &pairs[k]); ok {
+			r.pool = append(r.pool, c)
 		}
 	}
 }
 
-// scoreCandidateRO is scoreCandidate built on the read-only planner.
-func (r *runner) scoreCandidateRO(i, j int, now int64) (candidate, bool) {
+// pricePairRO is pricePair built on the read-only planner, safe for
+// concurrent invocation against the same state.
+func (r *runner) pricePairRO(i, j int, now int64) planPair {
 	st := r.st
 	planS, errS := st.PlanCandidateRO(i, j, workload.Secondary, now)
 	planP, errP := st.PlanCandidateRO(i, j, workload.Primary, now)
-	switch {
-	case errS != nil && errP != nil:
-		return candidate{}, false
-	case errP != nil:
-		return candidate{subtask: i, version: workload.Secondary, plan: planS, score: st.Hypothetical(planS)}, true
-	case errS != nil:
-		return candidate{subtask: i, version: workload.Primary, plan: planP, score: st.Hypothetical(planP)}, true
+	return planPair{planP: planP, planS: planS, okP: errP == nil, okS: errS == nil}
+}
+
+// plansFor returns the candidate pricing for (i, j), consulting and
+// maintaining the plan cache when enabled. The returned pointer is into
+// the cache entry (or a runner scratch slot) and is only valid until the
+// next pricing call.
+func (r *runner) plansFor(i, j int, now int64) *planPair {
+	if r.cache == nil {
+		r.pairBuf = r.pricePair(i, j, now)
+		return &r.pairBuf
 	}
-	scoreP, scoreS := st.Hypothetical(planP), st.Hypothetical(planS)
-	if scoreP >= scoreS {
-		return candidate{subtask: i, version: workload.Primary, plan: planP, score: scoreP}, true
+	if pair, ok := r.cachedPair(i, j, now); ok {
+		return pair
 	}
-	return candidate{subtask: i, version: workload.Secondary, plan: planS, score: scoreS}, true
+	return r.repriceEntry(r.cache.entry(i, j), i, j, now)
+}
+
+// freshPlan re-prices one version of candidate (i, j), going through the
+// plan cache when it is enabled (the stale re-check in mapFirstStartable
+// follows commits, which is exactly what the cache's revalidation and
+// geometry-replay paths absorb).
+func (r *runner) freshPlan(i, j int, v workload.Version, now int64) (sched.Plan, bool) {
+	if r.cache == nil {
+		fresh, err := r.st.PlanCandidate(i, j, v, now)
+		return fresh, err == nil
+	}
+	pair := r.plansFor(i, j, now)
+	if v == workload.Primary {
+		return pair.planP, pair.okP
+	}
+	return pair.planS, pair.okS
 }
 
 // scoreCandidate prices subtask i on machine j at both versions and keeps
 // the one with the larger objective value (ties prefer the primary, which
 // serves the study's stated goal of maximizing T100).
 func (r *runner) scoreCandidate(i, j int, now int64) (candidate, bool) {
+	return r.selectVersion(i, r.plansFor(i, j, now))
+}
+
+// selectVersion picks the version with the larger objective value from a
+// priced pair. Scores are always computed fresh: Hypothetical depends on
+// the schedule's aggregates, which move with every commit.
+func (r *runner) selectVersion(i int, pair *planPair) (candidate, bool) {
 	st := r.st
-	planP, errP, planS, errS := st.PlanCandidateVersions(i, j, now)
 	switch {
-	case errS != nil && errP != nil:
+	case !pair.okS && !pair.okP:
 		return candidate{}, false
-	case errP != nil:
-		return candidate{subtask: i, version: workload.Secondary, plan: planS, score: st.Hypothetical(planS)}, true
-	case errS != nil:
-		return candidate{subtask: i, version: workload.Primary, plan: planP, score: st.Hypothetical(planP)}, true
+	case !pair.okP:
+		return candidate{subtask: i, version: workload.Secondary, plan: pair.planS, score: st.Hypothetical(&pair.planS)}, true
+	case !pair.okS:
+		return candidate{subtask: i, version: workload.Primary, plan: pair.planP, score: st.Hypothetical(&pair.planP)}, true
 	}
-	scoreP, scoreS := st.Hypothetical(planP), st.Hypothetical(planS)
+	scoreP, scoreS := st.Hypothetical(&pair.planP), st.Hypothetical(&pair.planS)
 	if scoreP >= scoreS {
-		return candidate{subtask: i, version: workload.Primary, plan: planP, score: scoreP}, true
+		return candidate{subtask: i, version: workload.Primary, plan: pair.planP, score: scoreP}, true
 	}
-	return candidate{subtask: i, version: workload.Secondary, plan: planS, score: scoreS}, true
+	return candidate{subtask: i, version: workload.Secondary, plan: pair.planS, score: scoreS}, true
 }
 
 // mapFirstStartable walks the ordered pool and commits the first candidate
@@ -395,10 +472,10 @@ func (r *runner) mapFirstStartable(now int64, cachedHorizon bool) bool {
 		if st.Assignments[c.subtask] != nil {
 			continue
 		}
-		plan := c.plan
+		plan := &c.plan
 		if stale := st.Mapped > 0 && planStale(st, plan); stale {
-			fresh, err := st.PlanCandidate(c.subtask, plan.Machine, c.version, now)
-			if err != nil {
+			fresh, ok := r.freshPlan(c.subtask, plan.Machine, c.version, now)
+			if !ok {
 				continue
 			}
 			if cachedHorizon {
@@ -419,7 +496,7 @@ func (r *runner) mapFirstStartable(now int64, cachedHorizon bool) bool {
 		if plan.Start > deadline {
 			continue
 		}
-		if err := st.Commit(plan); err != nil {
+		if err := st.Commit(*plan); err != nil {
 			// A commit can still fail when a sender's energy was consumed
 			// by an earlier assignment this timestep; drop the candidate.
 			continue
@@ -432,7 +509,7 @@ func (r *runner) mapFirstStartable(now int64, cachedHorizon bool) bool {
 
 // planStale reports whether a cached plan can no longer be committed
 // as-is: its execution slot or one of its transfer slots has been taken.
-func planStale(st *sched.State, plan sched.Plan) bool {
+func planStale(st *sched.State, plan *sched.Plan) bool {
 	if st.ExecTL[plan.Machine].EarliestFit(plan.Start, plan.End-plan.Start) != plan.Start {
 		return true
 	}

@@ -174,6 +174,30 @@ func TestFig2(t *testing.T) {
 	}
 }
 
+// TestFig2PropagatesErrors pins the swallowed-error fix: a failed core.Run
+// inside the sweep must surface as a non-nil error AND as an explicitly
+// marked row, not as a silent T100 = -1.
+func TestFig2PropagatesErrors(t *testing.T) {
+	env := testEnv(t)
+	// ΔT = 0 fails core.Config.Validate, so the second row cannot run.
+	f2, err := env.Fig2([]int64{10, 0})
+	if err == nil {
+		t.Fatal("Fig2 swallowed the run error")
+	}
+	if f2 == nil {
+		t.Fatal("Fig2 must still return the partial sweep alongside the error")
+	}
+	if f2.Rows[0].Failed(0) {
+		t.Error("healthy row marked failed")
+	}
+	if !f2.Rows[1].Failed(0) {
+		t.Error("failed row not marked")
+	}
+	if out := f2.Render(); !strings.Contains(out, "failed") {
+		t.Errorf("render does not mark the failed row:\n%s", out)
+	}
+}
+
 func TestFig3(t *testing.T) {
 	env := testEnv(t)
 	f3 := env.Fig3()

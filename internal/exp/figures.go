@@ -14,12 +14,18 @@ import (
 // DefaultDeltaTSweep is the ΔT grid (in clock cycles) of Figure 2.
 var DefaultDeltaTSweep = []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
 
-// Fig2Row is one ΔT setting of the Figure 2 sweep.
+// Fig2Row is one ΔT setting of the Figure 2 sweep. Errs is indexed like
+// T100/Elapsed; a non-nil entry marks a failed run (its T100 and Elapsed
+// are meaningless and rendered as "failed").
 type Fig2Row struct {
 	DeltaT  int64
 	T100    []int           // per DAG
 	Elapsed []time.Duration // per DAG
+	Errs    []error         // per DAG; nil entry = run succeeded
 }
+
+// Failed reports whether the k-th DAG run of the row failed.
+func (r *Fig2Row) Failed(k int) bool { return k < len(r.Errs) && r.Errs[k] != nil }
 
 // Fig2Result holds the ΔT sensitivity sweep: SLRH-1 on ETC 0 of Case A
 // for two DAGs (paper Figure 2).
@@ -58,13 +64,26 @@ func (e *Env) Fig2(deltaTs []int64) (*Fig2Result, error) {
 			if err != nil {
 				row.T100 = append(row.T100, -1)
 				row.Elapsed = append(row.Elapsed, 0)
+				row.Errs = append(row.Errs, fmt.Errorf("exp: Fig2 dT=%d DAG %d: %w", deltaTs[k], d, err))
 				continue
 			}
 			row.T100 = append(row.T100, r.Metrics.T100)
 			row.Elapsed = append(row.Elapsed, r.Elapsed)
+			row.Errs = append(row.Errs, nil)
 		}
 		res.Rows[k] = row
 	})
+	// Failed rows stay marked in the result for Render, and the first
+	// failure propagates so callers cannot mistake a partial sweep for a
+	// clean one (each parMap body writes only its own row, so collecting
+	// after the barrier is race-free).
+	for _, row := range res.Rows {
+		for _, err := range row.Errs {
+			if err != nil {
+				return res, err
+			}
+		}
+	}
 	return res, nil
 }
 
@@ -81,6 +100,10 @@ func (f *Fig2Result) Render() string {
 	for _, row := range f.Rows {
 		fmt.Fprintf(&b, "%-8d", row.DeltaT)
 		for k := range f.DAGs {
+			if row.Failed(k) {
+				fmt.Fprintf(&b, " %-12s %-14s", "failed", "-")
+				continue
+			}
 			fmt.Fprintf(&b, " %-12d %-14s", row.T100[k], row.Elapsed[k].Round(time.Microsecond))
 		}
 		fmt.Fprintln(&b)

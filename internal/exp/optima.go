@@ -32,14 +32,39 @@ type optKey struct {
 // deterministic. For scenarios where no weight pair yields a feasible
 // mapping (the paper's SLRH-2 situation), Found is false and Weights/
 // Metrics describe the best infeasible point.
+// Concurrent callers with the same key share one search: the first caller
+// runs it while the others wait on an in-flight marker, so an expensive
+// weight search is never duplicated (previously two goroutines racing past
+// the cache check would each run the full search and the loser's result
+// would overwrite the winner's).
 func (e *Env) Optima(h Heuristic, c grid.Case) []Optimum {
 	key := optKey{h, c}
 	e.mu.Lock()
-	if cached, ok := e.optima[key]; ok {
+	for {
+		if cached, ok := e.optima[key]; ok {
+			e.mu.Unlock()
+			return cached
+		}
+		done, running := e.inflight[key]
+		if !running {
+			break
+		}
+		// Another goroutine is computing this key; wait for it to finish,
+		// then re-check the cache (the computation cannot fail, but the
+		// loop keeps the invariant obvious).
 		e.mu.Unlock()
-		return cached
+		<-done
+		e.mu.Lock()
 	}
+	done := make(chan struct{})
+	e.inflight[key] = done
 	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.inflight, key)
+		e.mu.Unlock()
+		close(done)
+	}()
 
 	sc := e.Scale
 	out := make([]Optimum, sc.Scenarios())
@@ -53,7 +78,7 @@ func (e *Env) Optima(h Heuristic, c grid.Case) []Optimum {
 		etcIdx, dagIdx := k/sc.NumDAG, k%sc.NumDAG
 		inst := e.Instance(c, etcIdx, dagIdx)
 		runner := func(w sched.Weights) (sched.Metrics, error) {
-			m, _, err := RunHeuristic(h, inst, w)
+			m, _, err := e.runHeuristic(h, inst, w)
 			return m, err
 		}
 		res, err := opt.Search(runner, opts)
@@ -69,7 +94,7 @@ func (e *Env) Optima(h Heuristic, c grid.Case) []Optimum {
 				}
 			}
 			// Timing run at the optimum for Figures 2, 6 and 7.
-			if _, elapsed, err := RunHeuristic(h, inst, res.Best); err == nil {
+			if _, elapsed, err := e.runHeuristic(h, inst, res.Best); err == nil {
 				o.Elapsed = elapsed
 			}
 		}

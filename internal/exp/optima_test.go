@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/workload"
+)
+
+// countingEnv returns a small Env whose heuristic runner is a stub that
+// counts invocations and reports a feasible mapping immediately.
+func countingEnv(t *testing.T, count *atomic.Int64) *Env {
+	t.Helper()
+	sc := Scale{Name: "dedup", N: 16, NumETC: 1, NumDAG: 1,
+		CoarseStep: 0.5, Seed: DefaultSeed, Workers: 2}
+	env, err := NewEnv(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.runHeuristic = func(h Heuristic, inst *workload.Instance, w sched.Weights) (sched.Metrics, time.Duration, error) {
+		count.Add(1)
+		// A slight delay widens the window in which racing Optima calls
+		// would duplicate the search if the in-flight dedup were missing.
+		time.Sleep(time.Millisecond)
+		return sched.Metrics{Complete: true, MetTau: true, Mapped: inst.Scenario.Graph.N()}, 0, nil
+	}
+	return env
+}
+
+// TestOptimaInflightDedup pins the singleflight behavior of Env.Optima:
+// concurrent calls with the same (heuristic, case) key must share one
+// weight search instead of each running — and re-caching — their own.
+func TestOptimaInflightDedup(t *testing.T) {
+	var sequential atomic.Int64
+	baseline := countingEnv(t, &sequential).Optima(HeurSLRH1, grid.CaseA)
+	if sequential.Load() == 0 {
+		t.Fatal("stub runner was never invoked")
+	}
+
+	var concurrent atomic.Int64
+	env := countingEnv(t, &concurrent)
+	const callers = 8
+	results := make([][]Optimum, callers)
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = env.Optima(HeurSLRH1, grid.CaseA)
+		}(g)
+	}
+	wg.Wait()
+
+	if got, want := concurrent.Load(), sequential.Load(); got != want {
+		t.Errorf("concurrent Optima ran the heuristic %d times, want %d (one shared search)", got, want)
+	}
+	for g, r := range results {
+		if !reflect.DeepEqual(r, baseline) {
+			t.Errorf("caller %d got a different optima set than the sequential baseline", g)
+		}
+	}
+
+	// A later call must hit the cache without invoking the runner again.
+	before := concurrent.Load()
+	env.Optima(HeurSLRH1, grid.CaseA)
+	if concurrent.Load() != before {
+		t.Error("cached Optima call re-ran the heuristic")
+	}
+}

@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"adhocgrid/internal/grid"
 	"adhocgrid/internal/rng"
+	"adhocgrid/internal/sched"
 	"adhocgrid/internal/workload"
 )
 
@@ -89,8 +91,13 @@ type Env struct {
 	// instances[case][etc*NumDAG+dag]
 	instances map[grid.Case][]*workload.Instance
 
-	mu     sync.Mutex
-	optima map[optKey][]Optimum
+	mu       sync.Mutex
+	optima   map[optKey][]Optimum
+	inflight map[optKey]chan struct{}
+
+	// runHeuristic is RunHeuristic unless a test substitutes it to observe
+	// or count invocations.
+	runHeuristic func(h Heuristic, inst *workload.Instance, w sched.Weights) (sched.Metrics, time.Duration, error)
 }
 
 // NewEnv generates the workload suite for a scale and instantiates every
@@ -104,10 +111,12 @@ func NewEnv(sc Scale) (*Env, error) {
 		return nil, err
 	}
 	env := &Env{
-		Scale:     sc,
-		Suite:     suite,
-		instances: make(map[grid.Case][]*workload.Instance, 3),
-		optima:    make(map[optKey][]Optimum),
+		Scale:        sc,
+		Suite:        suite,
+		instances:    make(map[grid.Case][]*workload.Instance, 3),
+		optima:       make(map[optKey][]Optimum),
+		inflight:     make(map[optKey]chan struct{}),
+		runHeuristic: RunHeuristic,
 	}
 	for _, c := range grid.AllCases {
 		insts := make([]*workload.Instance, 0, sc.Scenarios())

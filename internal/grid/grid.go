@@ -216,6 +216,13 @@ func (g *Grid) Remove(j int) *Grid {
 // receiving are free.
 type EnergyLedger struct {
 	remaining []float64
+	// Consumed memoization: the full-grid sum is recomputed only when a
+	// Charge or Refund has intervened (version-counter invalidation).
+	// The cached value comes from the same summation, so memoization
+	// never changes the arithmetic.
+	version    uint64
+	sumVersion uint64 // version the cached sum was computed at; valid when > 0
+	sumValue   float64
 }
 
 // NewEnergyLedger returns a ledger with every machine at full battery.
@@ -233,10 +240,15 @@ func (l *EnergyLedger) Remaining(j int) float64 { return l.remaining[j] }
 // Consumed returns the total energy consumed across all machines relative
 // to the given grid's full batteries (TEC in the paper's objective).
 func (l *EnergyLedger) Consumed(g *Grid) float64 {
+	if l.sumVersion == l.version+1 {
+		return l.sumValue
+	}
 	total := 0.0
 	for j, m := range g.Machines {
 		total += m.Battery - l.remaining[j]
 	}
+	l.sumValue = total
+	l.sumVersion = l.version + 1
 	return total
 }
 
@@ -256,6 +268,7 @@ func (l *EnergyLedger) Charge(j int, amount float64) error {
 	if l.remaining[j] < 0 {
 		l.remaining[j] = 0
 	}
+	l.version++
 	return nil
 }
 
@@ -266,6 +279,7 @@ func (l *EnergyLedger) Refund(j int, amount float64) {
 		panic("grid: negative refund")
 	}
 	l.remaining[j] += amount
+	l.version++
 }
 
 // Clone returns a deep copy of the ledger.

@@ -65,7 +65,7 @@ func Run(inst *workload.Instance, cfg Config) (*Result, error) {
 					if err != nil {
 						continue
 					}
-					score := st.Hypothetical(plan)
+					score := st.Hypothetical(&plan)
 					if !found || score > bestScore ||
 						(score == bestScore && tieBreak(plan, best)) {
 						best, bestScore, found = plan, score, true

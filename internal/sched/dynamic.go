@@ -75,6 +75,11 @@ func (s *State) LoseMachine(j int, now int64) ([]int, error) {
 		s.sunk = make([]float64, s.Inst.Grid.M())
 	}
 	s.deadAt[j] = now
+	// Liveness is part of the machine's cached-plan identity, and the
+	// unwinding below releases bookings and refunds energy — resources
+	// grow back, ending the current shrink-monotone epoch.
+	s.bumpGen(j)
+	s.shrinkEpoch++
 
 	graph := s.Inst.Scenario.Graph
 	order, err := graph.TopoOrder()
@@ -169,6 +174,10 @@ func (s *State) unwind(i int, now int64) {
 	if a == nil {
 		return
 	}
+	s.bumpGen(a.Machine)
+	for _, tr := range a.Transfers {
+		s.bumpGen(tr.From)
+	}
 	if s.Alive(a.Machine) {
 		if err := s.ExecTL[a.Machine].Unbook(a.Start, a.End-a.Start); err != nil {
 			panic("sched: unwind exec unbook failed: " + err.Error())
@@ -210,7 +219,13 @@ func (s *State) unwind(i int, now int64) {
 		s.T100--
 	}
 	for _, c := range s.Inst.Scenario.Graph.Children(i) {
+		if s.unmappedParent[c] == 0 && s.Assignments[c] == nil {
+			s.readyRemove(c)
+		}
 		s.unmappedParent[c]++
+	}
+	if s.unmappedParent[i] == 0 {
+		s.readyInsert(i)
 	}
 }
 

@@ -1,0 +1,229 @@
+package sched
+
+import (
+	"fmt"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/workload"
+)
+
+// Candidate geometry: the placement-independent half of pricing.
+//
+// Pricing a candidate (i, j) splits cleanly in two. The *geometry* — which
+// parents feed data from other machines, the size, duration and energy of
+// each incoming transfer, the execution durations and energies of both
+// versions, and the D3 energy-guard thresholds — depends only on static
+// instance data and on the parents' assignments. The *placement* — where
+// those transfers and the execution land on the link and execution
+// timelines, and whether the energy ledgers still cover them — depends on
+// the mutable schedule and the clock.
+//
+// Assignments are append-only between machine losses (Commit never moves
+// or removes one; only LoseMachine's unwinding does, and that bumps
+// State.ShrinkEpoch), so a candidate's geometry is immutable for the
+// whole shrink epoch. The plan cache exploits this: it captures the
+// geometry once and, when the clock advance forces a re-price, replays
+// only the placement. PlanCandidateVersions itself is implemented as
+// geometry + placement, so a replay is the same code path as fresh
+// pricing minus the geometry fill — identical results by construction.
+
+// TransferGeom describes one incoming off-machine transfer independently
+// of link placement.
+type TransferGeom struct {
+	Parent    int     // sending subtask
+	From      int     // machine the parent is mapped to
+	ParentEnd int64   // parent's execution completion cycle
+	Bits      float64 // item size transmitted
+	Dur       int64   // link occupancy in cycles
+	Energy    float64 // sender-side communication energy
+}
+
+// CandidateGeom is the placement-independent pricing of one (subtask,
+// machine) candidate, valid for the State's current shrink epoch.
+type CandidateGeom struct {
+	Arrival0   int64          // latest completion among same-machine parents
+	Transfers  []TransferGeom // off-machine parents, in graph parent order
+	ExecDur    [2]int64       // execution cycles per version
+	ExecEnergy [2]float64     // execution energy per version
+	GuardNeed  [2]float64     // D3 guard: exec energy + worst-case child comm
+}
+
+// FillCandidateGeom computes the geometry of candidate (i, j) into g,
+// reusing g's storage. It fails only if a parent of i is unmapped.
+func (s *State) FillCandidateGeom(i, j int, g *CandidateGeom) error {
+	g.Arrival0 = 0
+	g.Transfers = g.Transfers[:0]
+	for _, p := range s.Inst.Scenario.Graph.Parents(i) {
+		pa := s.Assignments[p]
+		if pa == nil {
+			return fmt.Errorf("sched: parent %d of %d unmapped", p, i)
+		}
+		if pa.Machine == j {
+			// Same machine: data available when the parent completes,
+			// at no time or energy cost (§III assumption (a)).
+			if pa.End > g.Arrival0 {
+				g.Arrival0 = pa.End
+			}
+			continue
+		}
+		k := s.Inst.ChildIndex(p, i)
+		bits := s.Inst.OutBits(p, k, pa.Version)
+		durSec := s.Inst.Grid.CommTime(bits, pa.Machine, j)
+		g.Transfers = append(g.Transfers, TransferGeom{
+			Parent: p, From: pa.Machine, ParentEnd: pa.End, Bits: bits,
+			Dur:    grid.SecondsToCycles(durSec),
+			Energy: s.Inst.Grid.Machines[pa.Machine].CommRate * durSec,
+		})
+	}
+	for v := workload.Primary; v <= workload.Secondary; v++ {
+		g.ExecDur[v] = s.Inst.ExecCycles(i, j, v)
+		g.ExecEnergy[v] = s.Inst.ExecEnergy(i, j, v)
+		g.GuardNeed[v] = g.ExecEnergy[v] + s.Inst.WorstChildCommEnergy(i, j, v)
+	}
+	return nil
+}
+
+// PlanVersionsFromGeom prices both versions of candidate (i, j) from a
+// previously captured geometry. g must have been filled within the
+// current shrink epoch; the result is then identical to
+// PlanCandidateVersions(i, j, now).
+func (s *State) PlanVersionsFromGeom(i, j int, now int64, g *CandidateGeom) (primary Plan, perr error, secondary Plan, serr error) {
+	if err := s.planChecks(i, j); err != nil {
+		return primary, err, secondary, err
+	}
+	return s.planVersionsFromGeom(i, j, now, g)
+}
+
+// planVersionsFromGeom is the shared placement half of both
+// PlanCandidateVersions and the cache's replay path.
+func (s *State) planVersionsFromGeom(i, j int, now int64, g *CandidateGeom) (primary Plan, perr error, secondary Plan, serr error) {
+	rem := s.Ledger.Remaining(j)
+	priOK := rem >= g.GuardNeed[workload.Primary]
+	secOK := rem >= g.GuardNeed[workload.Secondary]
+	if !priOK {
+		perr = fmt.Errorf("sched: machine %d lacks energy for subtask %d %v", j, i, workload.Primary)
+	}
+	if !secOK {
+		serr = fmt.Errorf("sched: machine %d lacks energy for subtask %d %v", j, i, workload.Secondary)
+	}
+	if !priOK && !secOK {
+		return primary, perr, secondary, serr
+	}
+	arrival, transfers, err := s.placeIncoming(i, j, now, g)
+	if err != nil {
+		return primary, err, secondary, err
+	}
+	if priOK {
+		primary, perr = s.finishPlanDur(i, j, workload.Primary,
+			g.ExecEnergy[workload.Primary], g.ExecDur[workload.Primary], arrival, transfers)
+	}
+	if secOK {
+		secondary, serr = s.finishPlanDur(i, j, workload.Secondary,
+			g.ExecEnergy[workload.Secondary], g.ExecDur[workload.Secondary], arrival, transfers)
+	}
+	return primary, perr, secondary, serr
+}
+
+// tentBooking records one tentative link booking for rollback.
+type tentBooking struct {
+	tl         *Timeline
+	start, dur int64
+}
+
+// machineCost accumulates tentative sender-side energy per machine.
+type machineCost struct {
+	machine int
+	cost    float64
+}
+
+// placeIncoming packs the candidate's incoming transfers onto machine j's
+// in-link and the senders' out-links, never booking before cycle `now`.
+// Tentative bookings let later parents see earlier siblings' link usage
+// and are rolled back before returning. It returns the data-arrival cycle
+// and the transfer records.
+func (s *State) placeIncoming(i, j int, now int64, g *CandidateGeom) (int64, []Transfer, error) {
+	booked := s.bookScratch[:0]
+	defer func() {
+		for k := len(booked) - 1; k >= 0; k-- {
+			b := booked[k]
+			if err := b.tl.Unbook(b.start, b.dur); err != nil {
+				panic("sched: tentative unbook failed: " + err.Error())
+			}
+		}
+		s.bookScratch = booked[:0]
+	}()
+
+	arrival := now
+	if g.Arrival0 > arrival {
+		arrival = g.Arrival0
+	}
+	var transfers []Transfer
+	if len(g.Transfers) > 0 {
+		transfers = make([]Transfer, 0, len(g.Transfers))
+	}
+	costs := s.costScratch[:0]
+	defer func() { s.costScratch = costs[:0] }()
+	for idx := range g.Transfers {
+		tg := &g.Transfers[idx]
+		if !s.Alive(tg.From) {
+			return 0, nil, fmt.Errorf("sched: parent %d of %d stranded on lost machine %d", tg.Parent, i, tg.From)
+		}
+
+		// The sending machine must still have energy for this transfer
+		// on top of its earlier siblings'.
+		cum := tg.Energy
+		found := false
+		for ci := range costs {
+			if costs[ci].machine == tg.From {
+				costs[ci].cost += tg.Energy
+				cum = costs[ci].cost
+				found = true
+				break
+			}
+		}
+		if !found {
+			costs = append(costs, machineCost{tg.From, tg.Energy})
+		}
+		if s.Ledger.Remaining(tg.From) < cum {
+			return 0, nil, fmt.Errorf("sched: sender machine %d out of energy for transfer %d->%d",
+				tg.From, tg.Parent, i)
+		}
+
+		// Find the earliest slot free on BOTH the sender's out-link and
+		// the receiver's in-link, at or after the parent's completion and
+		// the current clock.
+		start := tg.ParentEnd
+		if start < now {
+			start = now
+		}
+		send, recv := s.SendTL[tg.From], s.RecvTL[j]
+		for {
+			s1 := send.EarliestFit(start, tg.Dur)
+			s2 := recv.EarliestFit(s1, tg.Dur)
+			if s2 == s1 {
+				start = s1
+				break
+			}
+			start = s2
+		}
+		if tg.Dur > 0 {
+			if err := send.Book(start, tg.Dur); err != nil {
+				return 0, nil, fmt.Errorf("sched: internal send booking: %w", err)
+			}
+			booked = append(booked, tentBooking{send, start, tg.Dur})
+			if err := recv.Book(start, tg.Dur); err != nil {
+				return 0, nil, fmt.Errorf("sched: internal recv booking: %w", err)
+			}
+			booked = append(booked, tentBooking{recv, start, tg.Dur})
+		}
+		end := start + tg.Dur
+		if end > arrival {
+			arrival = end
+		}
+		transfers = append(transfers, Transfer{
+			Parent: tg.Parent, Child: i, From: tg.From, To: j,
+			Start: start, End: end, Bits: tg.Bits, Energy: tg.Energy,
+		})
+	}
+	return arrival, transfers, nil
+}

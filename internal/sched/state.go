@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"adhocgrid/internal/grid"
 	"adhocgrid/internal/workload"
@@ -51,8 +52,17 @@ type State struct {
 	T100           int
 	AETCycles      int64
 	unmappedParent []int     // remaining unmapped parents per subtask
+	ready          []int     // sorted ids: unmapped subtasks with all parents mapped
+	gen            []uint64  // per machine: bumped whenever its timelines, energy or liveness change
+	shrinkEpoch    uint64    // bumped whenever resources grow back (loss unwinding)
 	deadAt         []int64   // loss cycle per machine; nil or MaxInt64 = alive
 	sunk           []float64 // energy spent on work later discarded by a loss
+
+	// Reusable pricing scratch. Pricing entry points are sequential (the
+	// concurrent scorer uses PlanCandidateRO, which touches none of these).
+	geomScratch CandidateGeom
+	bookScratch []tentBooking
+	costScratch []machineCost
 }
 
 // NewState returns an empty schedule for the instance under objective
@@ -69,6 +79,7 @@ func NewState(inst *workload.Instance, w Weights) *State {
 		RecvTL:         make([]*Timeline, m),
 		Ledger:         grid.NewEnergyLedger(inst.Grid),
 		unmappedParent: make([]int, n),
+		gen:            make([]uint64, m),
 	}
 	for j := 0; j < m; j++ {
 		s.ExecTL[j] = &Timeline{}
@@ -77,6 +88,9 @@ func NewState(inst *workload.Instance, w Weights) *State {
 	}
 	for i := 0; i < n; i++ {
 		s.unmappedParent[i] = len(inst.Scenario.Graph.Parents(i))
+		if s.unmappedParent[i] == 0 {
+			s.ready = append(s.ready, i)
+		}
 	}
 	return s
 }
@@ -98,16 +112,49 @@ func (s *State) Ready(i int) bool {
 }
 
 // ReadySet appends all ready subtasks to buf and returns it. Iteration is
-// in subtask-id order for determinism.
+// in subtask-id order for determinism. The set is maintained incrementally
+// by Commit and LoseMachine, so this is a copy, not a rescan.
 func (s *State) ReadySet(buf []int) []int {
-	buf = buf[:0]
-	for i := 0; i < s.N(); i++ {
-		if s.Ready(i) {
-			buf = append(buf, i)
-		}
-	}
-	return buf
+	return append(buf[:0], s.ready...)
 }
+
+// readyInsert adds subtask i to the ready list, keeping it sorted.
+func (s *State) readyInsert(i int) {
+	k := sort.SearchInts(s.ready, i)
+	if k < len(s.ready) && s.ready[k] == i {
+		return
+	}
+	s.ready = append(s.ready, 0)
+	copy(s.ready[k+1:], s.ready[k:])
+	s.ready[k] = i
+}
+
+// readyRemove drops subtask i from the ready list if present.
+func (s *State) readyRemove(i int) {
+	k := sort.SearchInts(s.ready, i)
+	if k < len(s.ready) && s.ready[k] == i {
+		s.ready = append(s.ready[:k], s.ready[k+1:]...)
+	}
+}
+
+// Gen returns machine j's mutation generation. It increases monotonically
+// whenever the machine's exec/send/recv timelines, its energy ledger, or
+// its liveness change through Commit, LoseMachine or loss unwinding;
+// tentative (rolled-back) bookings do not bump it. Plan caches key their
+// validity on these counters.
+func (s *State) Gen(j int) uint64 { return s.gen[j] }
+
+// bumpGen marks machine j dirty for generation-tracking caches.
+func (s *State) bumpGen(j int) { s.gen[j]++ }
+
+// ShrinkEpoch returns the resource-monotonicity epoch. Between two
+// observations with the same epoch, every state mutation was a Commit:
+// timelines only gained bookings and ledgers only decreased, so a plan
+// whose priced slots are still free and whose energy guards still pass
+// would be re-priced identically, and an infeasible candidate stays
+// infeasible. LoseMachine breaks the monotonicity (it releases bookings
+// and refunds energy) and bumps the epoch.
+func (s *State) ShrinkEpoch() uint64 { return s.shrinkEpoch }
 
 // FeasibleSLRH implements the paper's §IV pool-feasibility energy test for
 // subtask i on machine j: the machine's remaining energy must cover the
@@ -189,22 +236,10 @@ func (s *State) PlanCandidateVersions(i, j int, now int64) (primary Plan, perr e
 	if err := s.planChecks(i, j); err != nil {
 		return primary, err, secondary, err
 	}
-	priEnergy, priErr := s.versionGuard(i, j, workload.Primary)
-	secEnergy, secErr := s.versionGuard(i, j, workload.Secondary)
-	if priErr != nil && secErr != nil {
-		return primary, priErr, secondary, secErr
-	}
-	arrival, transfers, err := s.planIncoming(i, j, now)
-	if err != nil {
+	if err := s.FillCandidateGeom(i, j, &s.geomScratch); err != nil {
 		return primary, err, secondary, err
 	}
-	if priErr == nil {
-		primary, priErr = s.finishPlan(i, j, workload.Primary, priEnergy, arrival, transfers)
-	}
-	if secErr == nil {
-		secondary, secErr = s.finishPlan(i, j, workload.Secondary, secEnergy, arrival, transfers)
-	}
-	return primary, priErr, secondary, secErr
+	return s.planVersionsFromGeom(i, j, now, &s.geomScratch)
 }
 
 // planChecks performs the version-independent candidate checks.
@@ -232,95 +267,15 @@ func (s *State) versionGuard(i, j int, v workload.Version) (float64, error) {
 	return execEnergy, nil
 }
 
-// planIncoming packs subtask i's incoming transfers onto machine j. Each
-// transfer is tentatively booked so later parents see earlier siblings'
-// link usage; all bookings are rolled back before returning, so the state
-// is unchanged. It returns the data-arrival cycle and the transfer records.
+// planIncoming packs subtask i's incoming transfers onto machine j by
+// computing the candidate geometry and placing it. Tentative link bookings
+// are rolled back before returning, so the state is unchanged. It returns
+// the data-arrival cycle and the transfer records.
 func (s *State) planIncoming(i, j int, now int64) (int64, []Transfer, error) {
-	graph := s.Inst.Scenario.Graph
-	type booking struct {
-		tl         *Timeline
-		start, dur int64
+	if err := s.FillCandidateGeom(i, j, &s.geomScratch); err != nil {
+		return 0, nil, err
 	}
-	var booked []booking
-	defer func() {
-		for k := len(booked) - 1; k >= 0; k-- {
-			b := booked[k]
-			if err := b.tl.Unbook(b.start, b.dur); err != nil {
-				panic("sched: tentative unbook failed: " + err.Error())
-			}
-		}
-	}()
-
-	arrival := now
-	var transfers []Transfer
-	senderCost := make(map[int]float64)
-	for _, p := range graph.Parents(i) {
-		pa := s.Assignments[p]
-		if pa == nil {
-			return 0, nil, fmt.Errorf("sched: parent %d of %d unmapped", p, i)
-		}
-		if !s.Alive(pa.Machine) {
-			return 0, nil, fmt.Errorf("sched: parent %d of %d stranded on lost machine %d", p, i, pa.Machine)
-		}
-		if pa.Machine == j {
-			// Same machine: data available when the parent completes,
-			// at no time or energy cost (§III assumption (a)).
-			if pa.End > arrival {
-				arrival = pa.End
-			}
-			continue
-		}
-		k := s.Inst.ChildIndex(p, i)
-		bits := s.Inst.OutBits(p, k, pa.Version)
-		durSec := s.Inst.Grid.CommTime(bits, pa.Machine, j)
-		dur := grid.SecondsToCycles(durSec)
-		energy := s.Inst.Grid.Machines[pa.Machine].CommRate * durSec
-
-		// The sending machine must still have energy for this transfer.
-		senderCost[pa.Machine] += energy
-		if s.Ledger.Remaining(pa.Machine) < senderCost[pa.Machine] {
-			return 0, nil, fmt.Errorf("sched: sender machine %d out of energy for transfer %d->%d",
-				pa.Machine, p, i)
-		}
-
-		// Find the earliest slot free on BOTH the sender's out-link and
-		// the receiver's in-link, at or after the parent's completion and
-		// the current clock.
-		start := pa.End
-		if start < now {
-			start = now
-		}
-		send, recv := s.SendTL[pa.Machine], s.RecvTL[j]
-		for {
-			s1 := send.EarliestFit(start, dur)
-			s2 := recv.EarliestFit(s1, dur)
-			if s2 == s1 {
-				start = s1
-				break
-			}
-			start = s2
-		}
-		if dur > 0 {
-			if err := send.Book(start, dur); err != nil {
-				return 0, nil, fmt.Errorf("sched: internal send booking: %w", err)
-			}
-			booked = append(booked, booking{send, start, dur})
-			if err := recv.Book(start, dur); err != nil {
-				return 0, nil, fmt.Errorf("sched: internal recv booking: %w", err)
-			}
-			booked = append(booked, booking{recv, start, dur})
-		}
-		end := start + dur
-		if end > arrival {
-			arrival = end
-		}
-		transfers = append(transfers, Transfer{
-			Parent: p, Child: i, From: pa.Machine, To: j,
-			Start: start, End: end, Bits: bits, Energy: energy,
-		})
-	}
-	return arrival, transfers, nil
+	return s.placeIncoming(i, j, now, &s.geomScratch)
 }
 
 // finishPlan places the execution for one version and applies the ongoing
@@ -330,8 +285,13 @@ func (s *State) planIncoming(i, j int, now int64) (int64, []Transfer, error) {
 // it is rejected at planning time. Without this guard the positive-sign
 // AET term actively drives both heuristics past τ.
 func (s *State) finishPlan(i, j int, v workload.Version, execEnergy float64, arrival int64, transfers []Transfer) (Plan, error) {
+	return s.finishPlanDur(i, j, v, execEnergy, s.Inst.ExecCycles(i, j, v), arrival, transfers)
+}
+
+// finishPlanDur is finishPlan with the execution duration already known
+// (from a cached geometry).
+func (s *State) finishPlanDur(i, j int, v workload.Version, execEnergy float64, execDur, arrival int64, transfers []Transfer) (Plan, error) {
 	var plan Plan
-	execDur := s.Inst.ExecCycles(i, j, v)
 	execStart := s.ExecTL[j].EarliestFit(arrival, execDur)
 	if execStart+execDur > s.Inst.TauCycles {
 		return plan, fmt.Errorf("sched: subtask %d on machine %d would finish at %d, past tau %d",
@@ -348,7 +308,7 @@ func (s *State) finishPlan(i, j int, v workload.Version, execEnergy float64, arr
 
 // Hypothetical returns the objective value the schedule would have after
 // committing plan: T100, TEC and AET updated with the plan's contribution.
-func (s *State) Hypothetical(plan Plan) float64 {
+func (s *State) Hypothetical(plan *Plan) float64 {
 	t100 := s.T100
 	if plan.Version == workload.Primary {
 		t100++
@@ -443,8 +403,19 @@ func (s *State) Commit(plan Plan) error {
 	if a.End > s.AETCycles {
 		s.AETCycles = a.End
 	}
+	s.readyRemove(i)
 	for _, c := range s.Inst.Scenario.Graph.Children(i) {
 		s.unmappedParent[c]--
+		if s.unmappedParent[c] == 0 && s.Assignments[c] == nil {
+			s.readyInsert(c)
+		}
+	}
+	// Generation bumps happen only on success: the machine whose exec unit,
+	// incoming link and energy the assignment consumed, plus every sender
+	// whose outgoing link and energy a transfer used.
+	s.bumpGen(j)
+	for _, tr := range plan.Transfers {
+		s.bumpGen(tr.From)
 	}
 	return nil
 }

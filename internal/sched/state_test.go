@@ -292,7 +292,7 @@ func TestHypotheticalMatchesCommit(t *testing.T) {
 	st := NewState(in, NewWeights(0.5, 0.3))
 	root := in.Scenario.Graph.Roots()[0]
 	plan, _ := st.PlanCandidate(root, 0, workload.Primary, 0)
-	hyp := st.Hypothetical(plan)
+	hyp := st.Hypothetical(&plan)
 	if err := st.Commit(plan); err != nil {
 		t.Fatal(err)
 	}

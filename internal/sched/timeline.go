@@ -15,34 +15,77 @@ type Interval struct {
 	Start, End int64
 }
 
+// timelineChunkMax is the split threshold of the chunked interval store.
+// A chunk that grows past this size is split in half, so every insert or
+// delete moves at most timelineChunkMax interval records instead of the
+// whole timeline — timelines grow to ~|T| bookings per run, and the SLRH
+// hot loop books and unbooks tentative transfers constantly.
+const timelineChunkMax = 128
+
 // Timeline is a set of non-overlapping busy intervals kept in sorted
 // order. One timeline tracks one serially-used resource: a machine's
 // execution unit, its outgoing link, or its incoming link (§III
 // assumptions (b) and (c)).
+//
+// Storage is chunked: `chunks` is an ordered list of small sorted slices
+// whose concatenation is the full interval sequence. Mutations touch one
+// chunk (O(timelineChunkMax) amortized) plus an O(log n) chunk search;
+// the flat-slice representation this replaces paid an O(n) copy per Book.
 type Timeline struct {
-	iv []Interval
+	chunks [][]Interval // each non-empty, globally sorted and disjoint
+	size   int
 }
 
 // Len returns the number of booked intervals.
-func (t *Timeline) Len() int { return len(t.iv) }
+func (t *Timeline) Len() int { return t.size }
 
 // Intervals returns a copy of the booked intervals in order.
 func (t *Timeline) Intervals() []Interval {
-	return append([]Interval(nil), t.iv...)
+	out := make([]Interval, 0, t.size)
+	for _, c := range t.chunks {
+		out = append(out, c...)
+	}
+	return out
 }
 
 // LastEnd returns the end of the latest booking, or 0 if empty.
 func (t *Timeline) LastEnd() int64 {
-	if len(t.iv) == 0 {
+	if len(t.chunks) == 0 {
 		return 0
 	}
-	return t.iv[len(t.iv)-1].End
+	c := t.chunks[len(t.chunks)-1]
+	return c[len(c)-1].End
+}
+
+// chunkFor returns the index of the chunk into which an interval starting
+// at `start` belongs: the last chunk whose first interval starts at or
+// before `start` (0 if `start` precedes everything).
+func (t *Timeline) chunkFor(start int64) int {
+	k := sort.Search(len(t.chunks), func(k int) bool { return t.chunks[k][0].Start > start })
+	if k > 0 {
+		return k - 1
+	}
+	return 0
+}
+
+// conflictChunk returns the index of the first chunk that can contain an
+// interval ending after x, i.e. whose last End exceeds x.
+func (t *Timeline) conflictChunk(x int64) int {
+	return sort.Search(len(t.chunks), func(k int) bool {
+		c := t.chunks[k]
+		return c[len(c)-1].End > x
+	})
 }
 
 // BusyAt reports whether some interval covers cycle x.
 func (t *Timeline) BusyAt(x int64) bool {
-	i := sort.Search(len(t.iv), func(k int) bool { return t.iv[k].End > x })
-	return i < len(t.iv) && t.iv[i].Start <= x
+	ci := t.conflictChunk(x)
+	if ci == len(t.chunks) {
+		return false
+	}
+	c := t.chunks[ci]
+	i := sort.Search(len(c), func(k int) bool { return c[k].End > x })
+	return i < len(c) && c[i].Start <= x
 }
 
 // EarliestFit returns the earliest start s >= after such that [s, s+dur)
@@ -55,15 +98,24 @@ func (t *Timeline) EarliestFit(after, dur int64) int64 {
 		return after
 	}
 	s := after
+	ci := t.conflictChunk(s)
+	if ci == len(t.chunks) {
+		return s
+	}
 	// First interval whose end is past s can conflict.
-	i := sort.Search(len(t.iv), func(k int) bool { return t.iv[k].End > s })
-	for ; i < len(t.iv); i++ {
-		if s+dur <= t.iv[i].Start {
-			return s // fits in the gap before interval i
+	c := t.chunks[ci]
+	i := sort.Search(len(c), func(k int) bool { return c[k].End > s })
+	for ; ci < len(t.chunks); ci++ {
+		c = t.chunks[ci]
+		for ; i < len(c); i++ {
+			if s+dur <= c[i].Start {
+				return s // fits in the gap before interval i
+			}
+			if c[i].End > s {
+				s = c[i].End
+			}
 		}
-		if t.iv[i].End > s {
-			s = t.iv[i].End
-		}
+		i = 0
 	}
 	return s
 }
@@ -76,17 +128,46 @@ func (t *Timeline) Book(start, dur int64) error {
 		return nil
 	}
 	end := start + dur
-	i := sort.Search(len(t.iv), func(k int) bool { return t.iv[k].Start >= start })
-	if i > 0 && t.iv[i-1].End > start {
-		return fmt.Errorf("sched: booking [%d,%d) overlaps [%d,%d)", start, end, t.iv[i-1].Start, t.iv[i-1].End)
+	if len(t.chunks) == 0 {
+		t.chunks = append(t.chunks, []Interval{{Start: start, End: end}})
+		t.size++
+		return nil
 	}
-	if i < len(t.iv) && t.iv[i].Start < end {
-		return fmt.Errorf("sched: booking [%d,%d) overlaps [%d,%d)", start, end, t.iv[i].Start, t.iv[i].End)
+	ci := t.chunkFor(start)
+	c := t.chunks[ci]
+	i := sort.Search(len(c), func(k int) bool { return c[k].Start >= start })
+	if i > 0 && c[i-1].End > start {
+		return fmt.Errorf("sched: booking [%d,%d) overlaps [%d,%d)", start, end, c[i-1].Start, c[i-1].End)
 	}
-	t.iv = append(t.iv, Interval{})
-	copy(t.iv[i+1:], t.iv[i:])
-	t.iv[i] = Interval{Start: start, End: end}
+	if i < len(c) {
+		if c[i].Start < end {
+			return fmt.Errorf("sched: booking [%d,%d) overlaps [%d,%d)", start, end, c[i].Start, c[i].End)
+		}
+	} else if ci+1 < len(t.chunks) {
+		if nxt := t.chunks[ci+1][0]; nxt.Start < end {
+			return fmt.Errorf("sched: booking [%d,%d) overlaps [%d,%d)", start, end, nxt.Start, nxt.End)
+		}
+	}
+	c = append(c, Interval{})
+	copy(c[i+1:], c[i:])
+	c[i] = Interval{Start: start, End: end}
+	t.chunks[ci] = c
+	t.size++
+	if len(c) > timelineChunkMax {
+		t.splitChunk(ci)
+	}
 	return nil
+}
+
+// splitChunk halves an over-full chunk in place.
+func (t *Timeline) splitChunk(ci int) {
+	c := t.chunks[ci]
+	mid := len(c) / 2
+	right := append([]Interval(nil), c[mid:]...)
+	t.chunks = append(t.chunks, nil)
+	copy(t.chunks[ci+2:], t.chunks[ci+1:])
+	t.chunks[ci] = c[:mid:mid]
+	t.chunks[ci+1] = right
 }
 
 // Unbook removes the exact interval [start, start+dur). Zero-duration
@@ -97,29 +178,57 @@ func (t *Timeline) Unbook(start, dur int64) error {
 		return nil
 	}
 	end := start + dur
-	i := sort.Search(len(t.iv), func(k int) bool { return t.iv[k].Start >= start })
-	if i >= len(t.iv) || t.iv[i].Start != start || t.iv[i].End != end {
+	if len(t.chunks) == 0 {
 		return fmt.Errorf("sched: interval [%d,%d) not booked", start, end)
 	}
-	t.iv = append(t.iv[:i], t.iv[i+1:]...)
+	ci := t.chunkFor(start)
+	c := t.chunks[ci]
+	i := sort.Search(len(c), func(k int) bool { return c[k].Start >= start })
+	if i >= len(c) || c[i].Start != start || c[i].End != end {
+		return fmt.Errorf("sched: interval [%d,%d) not booked", start, end)
+	}
+	t.chunks[ci] = append(c[:i], c[i+1:]...)
+	t.size--
+	if len(t.chunks[ci]) == 0 {
+		t.chunks = append(t.chunks[:ci], t.chunks[ci+1:]...)
+	}
 	return nil
 }
 
 // Clone returns a deep copy of the timeline.
 func (t *Timeline) Clone() *Timeline {
-	return &Timeline{iv: append([]Interval(nil), t.iv...)}
+	out := &Timeline{size: t.size}
+	if len(t.chunks) > 0 {
+		out.chunks = make([][]Interval, len(t.chunks))
+		for k, c := range t.chunks {
+			out.chunks[k] = append([]Interval(nil), c...)
+		}
+	}
+	return out
 }
 
-// Validate checks ordering and non-overlap invariants.
+// Validate checks ordering, non-overlap and chunk-structure invariants.
 func (t *Timeline) Validate() error {
-	for k, iv := range t.iv {
-		if iv.End <= iv.Start {
-			return fmt.Errorf("sched: empty or inverted interval [%d,%d)", iv.Start, iv.End)
+	n := 0
+	var prev Interval
+	for ck, c := range t.chunks {
+		if len(c) == 0 {
+			return fmt.Errorf("sched: empty timeline chunk %d", ck)
 		}
-		if k > 0 && t.iv[k-1].End > iv.Start {
-			return fmt.Errorf("sched: intervals [%d,%d) and [%d,%d) overlap",
-				t.iv[k-1].Start, t.iv[k-1].End, iv.Start, iv.End)
+		for _, iv := range c {
+			if iv.End <= iv.Start {
+				return fmt.Errorf("sched: empty or inverted interval [%d,%d)", iv.Start, iv.End)
+			}
+			if n > 0 && prev.End > iv.Start {
+				return fmt.Errorf("sched: intervals [%d,%d) and [%d,%d) overlap",
+					prev.Start, prev.End, iv.Start, iv.End)
+			}
+			prev = iv
+			n++
 		}
+	}
+	if n != t.size {
+		return fmt.Errorf("sched: timeline size %d, counted %d intervals", t.size, n)
 	}
 	return nil
 }

@@ -1,0 +1,222 @@
+package sched
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"adhocgrid/internal/rng"
+)
+
+// refTimeline is a deliberately naive reference implementation of the
+// Timeline contract: a flat sorted slice with O(n) scans and O(n) insert
+// copies — the representation the chunked store replaced. The property
+// tests below drive both implementations with the same operation sequence
+// and require identical observable behavior.
+type refTimeline struct {
+	ivals []Interval
+}
+
+func (r *refTimeline) busyAt(x int64) bool {
+	for _, iv := range r.ivals {
+		if iv.Start <= x && x < iv.End {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refTimeline) earliestFit(after, dur int64) int64 {
+	if dur <= 0 {
+		return after
+	}
+	s := after
+	for _, iv := range r.ivals {
+		if s+dur <= iv.Start {
+			break
+		}
+		if iv.End > s {
+			s = iv.End
+		}
+	}
+	return s
+}
+
+func (r *refTimeline) book(start, dur int64) error {
+	if dur <= 0 {
+		return nil
+	}
+	end := start + dur
+	i := 0
+	for ; i < len(r.ivals); i++ {
+		if r.ivals[i].Start >= start {
+			break
+		}
+	}
+	if i > 0 && r.ivals[i-1].End > start {
+		return fmt.Errorf("ref: overlap")
+	}
+	if i < len(r.ivals) && r.ivals[i].Start < end {
+		return fmt.Errorf("ref: overlap")
+	}
+	r.ivals = append(r.ivals, Interval{})
+	copy(r.ivals[i+1:], r.ivals[i:])
+	r.ivals[i] = Interval{Start: start, End: end}
+	return nil
+}
+
+func (r *refTimeline) unbook(start, dur int64) error {
+	if dur <= 0 {
+		return nil
+	}
+	end := start + dur
+	for i, iv := range r.ivals {
+		if iv.Start == start && iv.End == end {
+			r.ivals = append(r.ivals[:i], r.ivals[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("ref: not booked")
+}
+
+func (r *refTimeline) lastEnd() int64 {
+	if len(r.ivals) == 0 {
+		return 0
+	}
+	return r.ivals[len(r.ivals)-1].End
+}
+
+// TestTimelineMatchesReference drives the chunked Timeline and the naive
+// reference through long random operation sequences (enough bookings to
+// force many chunk splits) and checks every observable after every step.
+func TestTimelineMatchesReference(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rand := rng.New(seed)
+			tl := &Timeline{}
+			ref := &refTimeline{}
+			var booked []Interval
+			const span = 4000
+			for step := 0; step < 3000; step++ {
+				switch op := rand.Intn(10); {
+				case op < 5: // book at the earliest fit from a random point
+					after := int64(rand.Intn(span))
+					dur := int64(rand.Intn(12))
+					got, want := tl.EarliestFit(after, dur), ref.earliestFit(after, dur)
+					if got != want {
+						t.Fatalf("step %d: EarliestFit(%d,%d) = %d, ref %d", step, after, dur, got, want)
+					}
+					if err := tl.Book(got, dur); err != nil {
+						t.Fatalf("step %d: EarliestFit slot unbookable: %v", step, err)
+					}
+					if err := ref.book(got, dur); err != nil && dur > 0 {
+						t.Fatalf("step %d: reference rejected EarliestFit slot: %v", step, err)
+					}
+					if dur > 0 {
+						booked = append(booked, Interval{Start: got, End: got + dur})
+					}
+				case op < 7: // direct book at a random spot; must agree on success
+					start := int64(rand.Intn(span))
+					dur := int64(rand.Intn(12))
+					errT, errR := tl.Book(start, dur), ref.book(start, dur)
+					if (errT == nil) != (errR == nil) {
+						t.Fatalf("step %d: Book(%d,%d) = %v, ref %v", step, start, dur, errT, errR)
+					}
+					if errT == nil && dur > 0 {
+						booked = append(booked, Interval{Start: start, End: start + dur})
+					}
+				case op < 9 && len(booked) > 0: // unbook a random booked interval
+					k := rand.Intn(len(booked))
+					iv := booked[k]
+					booked[k] = booked[len(booked)-1]
+					booked = booked[:len(booked)-1]
+					if err := tl.Unbook(iv.Start, iv.End-iv.Start); err != nil {
+						t.Fatalf("step %d: Unbook(%+v) failed: %v", step, iv, err)
+					}
+					if err := ref.unbook(iv.Start, iv.End-iv.Start); err != nil {
+						t.Fatalf("step %d: reference Unbook(%+v) failed: %v", step, iv, err)
+					}
+				default: // unbook an arbitrary interval; must agree on failure
+					start := int64(rand.Intn(span))
+					dur := int64(1 + rand.Intn(12))
+					errT, errR := tl.Unbook(start, dur), ref.unbook(start, dur)
+					if (errT == nil) != (errR == nil) {
+						t.Fatalf("step %d: Unbook(%d,%d) = %v, ref %v", step, start, dur, errT, errR)
+					}
+					if errT == nil {
+						for k, iv := range booked {
+							if iv.Start == start && iv.End == start+dur {
+								booked[k] = booked[len(booked)-1]
+								booked = booked[:len(booked)-1]
+								break
+							}
+						}
+					}
+				}
+				if err := tl.Validate(); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				if tl.Len() != len(ref.ivals) {
+					t.Fatalf("step %d: Len = %d, ref %d", step, tl.Len(), len(ref.ivals))
+				}
+				if got, want := tl.LastEnd(), ref.lastEnd(); got != want {
+					t.Fatalf("step %d: LastEnd = %d, ref %d", step, got, want)
+				}
+				x := int64(rand.Intn(span))
+				if got, want := tl.BusyAt(x), ref.busyAt(x); got != want {
+					t.Fatalf("step %d: BusyAt(%d) = %v, ref %v", step, x, got, want)
+				}
+			}
+			if got := tl.Intervals(); len(got) != len(ref.ivals) ||
+				(len(got) > 0 && !reflect.DeepEqual(got, ref.ivals)) {
+				t.Fatal("final interval sequences differ")
+			}
+		})
+	}
+}
+
+// FuzzTimelineVsReference is the fuzz-driven variant of the differential
+// test: every byte triplet of the tape encodes (op, start, dur) applied to
+// both implementations.
+func FuzzTimelineVsReference(f *testing.F) {
+	f.Add([]byte{0, 10, 5, 0, 20, 5, 2, 10, 5, 1, 10, 5})
+	f.Add([]byte{1, 0, 9, 1, 3, 9, 0, 0, 9})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		tl := &Timeline{}
+		ref := &refTimeline{}
+		for k := 0; k+2 < len(tape); k += 3 {
+			op := tape[k] % 3
+			start := int64(tape[k+1])
+			dur := int64(tape[k+2] % 16)
+			switch op {
+			case 0:
+				got, want := tl.EarliestFit(start, dur), ref.earliestFit(start, dur)
+				if got != want {
+					t.Fatalf("EarliestFit(%d,%d) = %d, ref %d", start, dur, got, want)
+				}
+				if err := tl.Book(got, dur); err != nil {
+					t.Fatalf("EarliestFit slot unbookable: %v", err)
+				}
+				ref.book(got, dur)
+			case 1:
+				errT, errR := tl.Book(start, dur), ref.book(start, dur)
+				if (errT == nil) != (errR == nil) {
+					t.Fatalf("Book(%d,%d) = %v, ref %v", start, dur, errT, errR)
+				}
+			case 2:
+				errT, errR := tl.Unbook(start, dur), ref.unbook(start, dur)
+				if (errT == nil) != (errR == nil) {
+					t.Fatalf("Unbook(%d,%d) = %v, ref %v", start, dur, errT, errR)
+				}
+			}
+			if err := tl.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := tl.Intervals(); len(got) != len(ref.ivals) ||
+			(len(got) > 0 && !reflect.DeepEqual(got, ref.ivals)) {
+			t.Fatal("interval sequences diverged")
+		}
+	})
+}

@@ -348,6 +348,13 @@ type Instance struct {
 	Scenario  *Scenario
 	ETC       *etc.Matrix // view with one column per machine of Grid
 	TauCycles int64
+
+	// worstChildComm memoizes WorstChildCommEnergy, indexed
+	// (i*M + j)*2 + v. It is filled once by Instantiate (the value is a
+	// pure function of the scenario and grid) and read concurrently
+	// afterwards; instances built by hand fall back to the direct
+	// computation.
+	worstChildComm []float64
 }
 
 // Instantiate builds the Instance of s for configuration c.
@@ -362,13 +369,23 @@ func (s *Scenario) Instantiate(c grid.Case) (*Instance, error) {
 			g.Machines[j].Battery *= s.EnergyScale
 		}
 	}
-	return &Instance{
+	in := &Instance{
 		Case:      c,
 		Grid:      g,
 		Scenario:  s,
 		ETC:       view,
 		TauCycles: s.TauCycles,
-	}, nil
+	}
+	n, m := s.N(), g.M()
+	in.worstChildComm = make([]float64, n*m*2)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			for v := Primary; v <= Secondary; v++ {
+				in.worstChildComm[(i*m+j)*2+int(v)] = in.worstChildCommEnergy(i, j, v)
+			}
+		}
+	}
+	return in, nil
 }
 
 // ArrivalCycle returns the release cycle of subtask i (0 when the
@@ -420,6 +437,15 @@ func (in *Instance) ChildIndex(parent, child int) int {
 // v on machine j: every child is assumed mapped across the grid's
 // lowest-bandwidth link (§IV).
 func (in *Instance) WorstChildCommEnergy(i, j int, v Version) float64 {
+	if in.worstChildComm != nil {
+		return in.worstChildComm[(i*in.Grid.M()+j)*2+int(v)]
+	}
+	return in.worstChildCommEnergy(i, j, v)
+}
+
+// worstChildCommEnergy is the direct computation behind
+// WorstChildCommEnergy.
+func (in *Instance) worstChildCommEnergy(i, j int, v Version) float64 {
 	m := in.Grid.Machines[j]
 	total := 0.0
 	for k := range in.Scenario.Graph.Children(i) {

@@ -44,9 +44,13 @@ func VerifyComplete(s *Schedule) []Violation { return sim.VerifyComplete(s) }
 
 // SearchOptions controls OptimizeWeights; zero values take the paper's
 // defaults (coarse 0.1, fine 0.02).
+//
+// FineStep < 0 disables the refinement stage entirely, running only the
+// coarse grid. (A zero FineStep selects the 0.02 default, so a negative
+// value is the explicit off switch.)
 type SearchOptions struct {
 	CoarseStep float64
-	FineStep   float64
+	FineStep   float64 // > 0 sets the step; 0 = paper default; < 0 disables refinement
 	FineRadius float64
 	Workers    int // parallel evaluations; 0 = GOMAXPROCS
 }
@@ -87,6 +91,10 @@ func OptimizeWeights(run HeuristicFunc, o SearchOptions) (SearchResult, error) {
 	}
 	if o.FineStep > 0 {
 		opts.FineStep = o.FineStep
+	} else if o.FineStep < 0 {
+		// Explicit coarse-only search (opt.Options treats 0 as disabled,
+		// but at this layer 0 means "default").
+		opts.FineStep = 0
 	}
 	if o.FineRadius > 0 {
 		opts.FineRadius = o.FineRadius
