@@ -1,9 +1,11 @@
-# Build, vet and test the whole module. `make check` is the CI gate: the
-# concurrent plan cache and the Optima in-flight dedup must stay race-clean.
+# Build, vet, lint and test the whole module. `make check` is the CI
+# gate: the concurrent plan cache and the Optima in-flight dedup must
+# stay race-clean, and the adhoclint invariant suite must report zero
+# findings (determinism, float discipline, error hygiene — DESIGN.md §11).
 
 GO ?= go
 
-.PHONY: all build vet test race check bench fuzz
+.PHONY: all build vet lint lint-fix-hints test race check bench fuzz
 
 all: check
 
@@ -13,13 +15,22 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static invariant suite (internal/lint via cmd/adhoclint): detrange,
+# floateq, wallclock, errdrop. Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/adhoclint ./...
+
+# Same gate, but each finding is followed by a one-line remediation hint.
+lint-fix-hints:
+	$(GO) run ./cmd/adhoclint -hints ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+check: build vet lint race
 
 # Incremental-state speedup benchmark at Default() scale (|T|=256),
 # cache on vs off; see README.md "Performance".

@@ -1,0 +1,169 @@
+// Command adhoclint runs the repository's invariant analyzers (see
+// internal/lint) over Go packages. It is a multichecker in the style of
+// golang.org/x/tools/go/analysis, implemented entirely on the standard
+// library so the module keeps zero third-party dependencies.
+//
+// Standalone (the `make lint` gate):
+//
+//	adhoclint [-hints] [packages...]     # default ./...
+//	adhoclint -list
+//
+// As a vet tool, speaking the unitchecker .cfg protocol:
+//
+//	go vet -vettool=$(pwd)/bin/adhoclint ./...
+//
+// Exit status is 0 when clean, 2 when findings were reported, 1 on
+// driver errors. In vettool mode only non-test files are reported:
+// tests may deliberately exercise nondeterminism.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+
+	"adhocgrid/internal/lint"
+	"adhocgrid/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("adhoclint", flag.ExitOnError)
+	version := fs.String("V", "", "print version and exit (go vet protocol)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags as JSON (go vet protocol)")
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	hints := fs.Bool("hints", false, "print a fix hint under each finding")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	switch {
+	case *version != "":
+		// `go vet` probes the tool with -V=full and hashes this line
+		// into its cache key.
+		fmt.Printf("adhoclint version v1-%s\n", suiteFingerprint())
+		return 0
+	case *printFlags:
+		fmt.Println("[]")
+		return 0
+	case *list:
+		for _, a := range lint.Suite() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	if fs.NArg() == 1 && strings.HasSuffix(fs.Arg(0), ".cfg") {
+		return runVet(fs.Arg(0))
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	return runStandalone(patterns, *hints)
+}
+
+// suiteFingerprint folds the analyzer names into the version string so
+// go vet's result cache invalidates when the suite changes shape.
+func suiteFingerprint() string {
+	var names []string
+	for _, a := range lint.Suite() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, "+")
+}
+
+// runStandalone loads the named patterns (plus dependencies' export
+// data), type-checks each target package from source, and applies every
+// in-scope analyzer.
+func runStandalone(patterns []string, hints bool) int {
+	pkgs, err := load.List("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	exports := load.Exports(pkgs)
+
+	var targets []*load.Package
+	for _, p := range pkgs {
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := load.Importer(fset, nil, exports)
+	var diags []lint.Diagnostic
+	for _, p := range targets {
+		ds, err := analyzePackage(fset, p.ImportPath, p.Dir, p.GoFiles, imp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adhoclint: %s: %v\n", p.ImportPath, err)
+			return 1
+		}
+		diags = append(diags, ds...)
+	}
+	return report(diags, hints)
+}
+
+// analyzePackage type-checks one package from source and runs every
+// analyzer whose scope covers it. Findings in _test.go files are
+// dropped: tests may deliberately exercise nondeterminism, and the
+// standalone loader never feeds them anyway.
+func analyzePackage(fset *token.FileSet, importPath, dir string, goFiles []string, imp types.Importer) ([]lint.Diagnostic, error) {
+	canonical := lint.PackagePath(importPath)
+	var scoped []lint.ScopedAnalyzer
+	for _, a := range lint.Suite() {
+		if a.AppliesTo(canonical) {
+			scoped = append(scoped, a)
+		}
+	}
+	if len(scoped) == 0 {
+		return nil, nil
+	}
+	files, err := load.ParseDir(fset, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, err := load.Check(fset, canonical, files, imp)
+	if err != nil {
+		return nil, err
+	}
+	var diags []lint.Diagnostic
+	for _, a := range scoped {
+		ds, err := lint.NewPass(a.Analyzer, fset, files, pkg, info).Run()
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range ds {
+			if !strings.HasSuffix(d.Pos.Filename, "_test.go") {
+				diags = append(diags, d)
+			}
+		}
+	}
+	return diags, nil
+}
+
+// report prints findings and returns the process exit code.
+func report(diags []lint.Diagnostic, hints bool) int {
+	lint.SortDiagnostics(diags)
+	for _, d := range diags {
+		fmt.Println(d)
+		if hints && d.Analyzer.Hint != "" {
+			fmt.Printf("\thint: %s\n", d.Analyzer.Hint)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "adhoclint: %d finding(s)\n", len(diags))
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"adhocgrid/internal/lint"
+)
+
+// TestRegisteredAnalyzers locks the driver to the exact analyzer set:
+// adding or removing an analyzer must be a deliberate, test-visible
+// change.
+func TestRegisteredAnalyzers(t *testing.T) {
+	want := []string{"detrange", "errdrop", "floateq", "wallclock"}
+	suite := lint.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Hint == "" || a.Directive == "" || a.Run == nil {
+			t.Errorf("%s: incomplete registration (doc/hint/directive/run must be set)", a.Name)
+		}
+		if a.AppliesTo == nil {
+			t.Errorf("%s: missing scope policy", a.Name)
+		}
+	}
+}
+
+func TestSuiteFingerprint(t *testing.T) {
+	if got := suiteFingerprint(); got != "detrange+errdrop+floateq+wallclock" {
+		t.Errorf("suiteFingerprint() = %q", got)
+	}
+}

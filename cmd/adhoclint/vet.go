@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+
+	"adhocgrid/internal/lint"
+	"adhocgrid/internal/lint/load"
+)
+
+// vetConfig mirrors the JSON configuration `go vet -vettool` hands to a
+// unitchecker-protocol tool, one file per package unit. Fields the
+// suite does not need (facts, cgo) are accepted and ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet executes one unitchecker-protocol invocation: read the cfg,
+// analyze the package, emit diagnostics to stderr, and always write the
+// facts output file the go command expects (the suite exports no facts,
+// so it is empty).
+func runVet(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adhoclint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "adhoclint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "adhoclint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := load.Importer(fset, cfg.ImportMap, cfg.PackageFile)
+	diags, err := analyzePackage(fset, cfg.ImportPath, cfg.Dir, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "adhoclint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	lint.SortDiagnostics(diags)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -39,9 +39,11 @@ func writeCSV(dir, name string, write func(io.Writer) error) {
 		fmt.Fprintf(os.Stderr, "experiments: csv: %v\n", err)
 		return
 	}
-	defer f.Close()
 	if err := write(f); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: csv %s: %v\n", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: csv %s: close: %v\n", path, err)
 	}
 }
 
@@ -87,7 +89,7 @@ func main() {
 	want := strings.ToLower(*expName)
 	run := func(name string) bool { return want == "all" || want == name }
 
-	start := time.Now()
+	start := time.Now() //lint:wallclock elapsed-time reporting only; never a scheduling input
 	fmt.Printf("# adhocgrid experiments — scale %q (|T|=%d, %dx%d scenarios, seed %d)\n\n",
 		sc.Name, sc.N, sc.NumETC, sc.NumDAG, sc.Seed)
 
@@ -177,5 +179,5 @@ func main() {
 			fmt.Println(perf.RenderFig7())
 		}
 	}
-	fmt.Printf("# completed in %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("# completed in %s\n", time.Since(start).Round(time.Millisecond)) //lint:wallclock elapsed-time reporting only; never a scheduling input
 }

@@ -102,7 +102,9 @@ func emit(path string, v interface{}) {
 	}
 	data = append(data, '\n')
 	if path == "" {
-		os.Stdout.Write(data)
+		if _, err := os.Stdout.Write(data); err != nil {
+			fatalf("write stdout: %v", err)
+		}
 		return
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {

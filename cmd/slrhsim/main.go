@@ -208,6 +208,7 @@ func writeFile(path string, write func(io.Writer) error) error {
 		return err
 	}
 	if err := write(f); err != nil {
+		//lint:errdrop the write error takes precedence; close is cleanup on an already-failed path
 		f.Close()
 		return err
 	}

@@ -1,3 +1,11 @@
 module adhocgrid
 
 go 1.22
+
+// Zero third-party dependencies, deliberately: the module must build
+// and lint fully offline. The adhoclint suite (internal/lint,
+// cmd/adhoclint) therefore reimplements the small slice of
+// golang.org/x/tools/go/analysis it needs on the standard library
+// (go/ast, go/types, go/importer + `go list -export`) instead of
+// pinning x/tools here; cmd/adhoclint still speaks the unitchecker
+// .cfg protocol, so `go vet -vettool` works against it unchanged.

@@ -195,7 +195,7 @@ func runOn(st *sched.State, cfg Config) (*Result, error) {
 		}
 	}
 
-	start := time.Now()
+	start := time.Now() //lint:wallclock elapsed-time reporting only; never a scheduling input
 	for now := int64(0); now <= inst.TauCycles; now += cfg.DeltaT {
 		// Fire dynamic events scheduled at or before this activation.
 		for eventIdx < len(cfg.Events) && cfg.Events[eventIdx].At <= now {
@@ -272,7 +272,7 @@ func runOn(st *sched.State, cfg Config) (*Result, error) {
 			break
 		}
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(start) //lint:wallclock elapsed-time reporting only; never a scheduling input
 	res.Metrics = st.Metrics()
 	return res, nil
 }

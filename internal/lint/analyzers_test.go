@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"adhocgrid/internal/lint"
+	"adhocgrid/internal/lint/linttest"
+)
+
+func TestDetrange(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "detrange"), lint.Detrange)
+}
+
+func TestFloateq(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "floateq"), lint.Floateq)
+}
+
+func TestWallclock(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "wallclock"), lint.Wallclock)
+}
+
+func TestErrdrop(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "errdrop"), lint.Errdrop)
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floateq flags `==` and `!=` between floating-point operands in
+// scoring and objective code. Exact float equality is order-sensitive:
+// two mathematically equal scores computed along different instruction
+// orders (or with fused multiply-add) can compare unequal, turning
+// tie-breaks into nondeterminism. Comparisons must go through an
+// explicit epsilon, integer cycle counts, or carry a
+// `//lint:floateq <reason>` justification when bit-exact comparison is
+// the intent (e.g. a deterministic total-order comparator over values
+// produced by one code path).
+var Floateq = &Analyzer{
+	Name:      "floateq",
+	Directive: "floateq",
+	Doc: "flags ==/!= between floating-point operands in scoring/objective code; " +
+		"exempt with //lint:floateq <reason> where bit-exact comparison is intended",
+	Hint: "compare integer cycle counts, use math.Abs(a-b) <= eps, or add " +
+		"//lint:floateq <reason> if bit-exact comparison is deliberate",
+	Run: runFloateq,
+}
+
+func runFloateq(pass *Pass) error {
+	Inspect(pass.Files, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+			return true
+		}
+		xt, xok := pass.TypesInfo.Types[b.X]
+		yt, yok := pass.TypesInfo.Types[b.Y]
+		if !xok || !yok {
+			return true
+		}
+		// Two constant operands fold at compile time with exact
+		// arithmetic; only comparisons involving a runtime value can go
+		// wrong.
+		if xt.Value != nil && yt.Value != nil {
+			return true
+		}
+		if isFloat(xt.Type) || isFloat(yt.Type) {
+			pass.Reportf(b.OpPos, "floating-point %s comparison is order- and rounding-sensitive", b.Op)
+		}
+		return true
+	})
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,65 @@
+package lint
+
+import "testing"
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text       string
+		name, just string
+		ok         bool
+	}{
+		{"//lint:sorted order cannot escape", "sorted", "order cannot escape", true},
+		{"//lint:wallclock elapsed-time reporting", "wallclock", "elapsed-time reporting", true},
+		{"//lint:sorted", "sorted", "", true}, // bare directive parses but carries no proof
+		{"//lint:sorted   ", "sorted", "", true},
+		{"// lint:sorted not a directive", "", "", false},
+		{"// plain comment", "", "", false},
+	}
+	for _, c := range cases {
+		name, just, ok := parseDirective(c.text)
+		if ok != c.ok || name != c.name || just != c.just {
+			t.Errorf("parseDirective(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, name, just, ok, c.name, c.just, c.ok)
+		}
+	}
+}
+
+func TestSuiteScopes(t *testing.T) {
+	byName := map[string]ScopedAnalyzer{}
+	for _, a := range Suite() {
+		byName[a.Name] = a
+	}
+	cases := []struct {
+		analyzer, pkg string
+		want          bool
+	}{
+		{"detrange", "adhocgrid/internal/sched", true},
+		{"detrange", "adhocgrid/internal/sim", true},
+		{"detrange", "adhocgrid/internal/rng", false},
+		{"detrange", "adhocgrid/internal/lint", false},
+		{"floateq", "adhocgrid/internal/opt", true},
+		{"floateq", "adhocgrid/internal/sim", false},
+		{"errdrop", "adhocgrid/cmd/slrhsim", true},
+		{"errdrop", "adhocgrid/internal/exp", true},
+		{"errdrop", "adhocgrid/internal/sched", false},
+		{"wallclock", "adhocgrid/internal/anything", true},
+	}
+	for _, c := range cases {
+		a, ok := byName[c.analyzer]
+		if !ok {
+			t.Fatalf("analyzer %s not in suite", c.analyzer)
+		}
+		if got := a.AppliesTo(c.pkg); got != c.want {
+			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}
+
+func TestPackagePath(t *testing.T) {
+	if got := PackagePath("adhocgrid/internal/sim [adhocgrid/internal/sim.test]"); got != "adhocgrid/internal/sim" {
+		t.Errorf("PackagePath test variant = %q", got)
+	}
+	if got := PackagePath("adhocgrid/internal/sim"); got != "adhocgrid/internal/sim" {
+		t.Errorf("PackagePath plain = %q", got)
+	}
+}

@@ -1,0 +1,166 @@
+// Package linttest runs lint analyzers over testdata fixtures the way
+// golang.org/x/tools/go/analysis/analysistest does, without the
+// dependency. A fixture directory holds one package of .go files whose
+// expected findings are marked with trailing comments of the form
+//
+//	// want "regexp"
+//	// want `regexp1` `regexp2`
+//
+// on the offending line. The harness parses and type-checks the
+// fixtures (stdlib imports are resolved from compiled export data via
+// `go list`), runs the analyzer, and fails the test on any missing or
+// unexpected diagnostic.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"adhocgrid/internal/lint"
+	"adhocgrid/internal/lint/load"
+)
+
+// want is one expectation, anchored to a file line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+var quotedRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run analyzes the fixture package in dir with a and checks the
+// `// want` expectations.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	diags, fset, files, err := analyze(dir, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants, err := collectWants(fset, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// analyze loads, type-checks and runs the analyzer over the fixture
+// package in dir.
+func analyze(dir string, a *lint.Analyzer) ([]lint.Diagnostic, *token.FileSet, []*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("linttest: no fixtures in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	files, err := load.ParseDir(fset, dir, names)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Resolve the fixtures' imports (stdlib only) from export data.
+	imports := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	var patterns []string
+	for p := range imports {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	exports := map[string]string{}
+	if len(patterns) > 0 {
+		pkgs, err := load.List("", patterns...)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		exports = load.Exports(pkgs)
+	}
+
+	pkgPath := "fixture/" + filepath.Base(dir)
+	pkg, info, err := load.Check(fset, pkgPath, files, load.Importer(fset, nil, exports))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("linttest: type-checking %s: %w", dir, err)
+	}
+	diags, err := lint.NewPass(a, fset, files, pkg, info).Run()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return diags, fset, files, nil
+}
+
+// collectWants scans fixture comments for expectations.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				quoted := quotedRE.FindAllStringSubmatch(m[1], -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, q := range quoted {
+					pat := q[1]
+					if q[2] != "" {
+						pat = q[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// matchWant marks and reports the first unmatched expectation covering
+// the diagnostic.
+func matchWant(wants []*want, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

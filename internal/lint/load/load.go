@@ -1,0 +1,131 @@
+// Package load type-checks Go packages for the adhoclint suite without
+// golang.org/x/tools. It shells out to `go list -export -json` to
+// discover source files and compiled export data (the go command builds
+// export data into its cache, fully offline), parses the target
+// package's sources with the standard library, and type-checks them
+// with a gc-export-data importer whose lookup function is backed by the
+// go list output.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is the subset of `go list -json` output the driver needs.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string // compiled export data (with -export)
+	DepOnly    bool   // listed only as a dependency of a named package
+	Standard   bool   // part of the standard library
+}
+
+// List runs `go list -deps -export -json patterns...` in dir (or the
+// current directory when dir is empty) and decodes the package stream.
+// Every returned package carries export data; the go command builds it
+// on demand from the local cache, so this works offline.
+func List(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errBuf.String())
+	}
+	var pkgs []*Package
+	dec := json.NewDecoder(&out)
+	for {
+		p := new(Package)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Exports builds the import-path → export-file map an Importer needs.
+func Exports(pkgs []*Package) map[string]string {
+	m := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	return m
+}
+
+// Importer returns a types.Importer that resolves imports from compiled
+// export data. importMap translates source-level import paths to
+// canonical ones (identity when nil); exports maps canonical paths to
+// export files. The stdlib gc importer handles "unsafe" internally.
+func Importer(fset *token.FileSet, importMap, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// ParseDir parses every listed file of pkg into fset, with comments
+// (the lint framework reads exemption directives from them).
+func ParseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// NewInfo allocates a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Check type-checks files as package path using imp for dependencies.
+func Check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

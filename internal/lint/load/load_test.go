@@ -1,0 +1,48 @@
+package load
+
+import (
+	"go/token"
+	"testing"
+)
+
+// TestListAndCheck exercises the full pipeline on a real module
+// package: go list with export data, source parsing, and type-checking
+// against the gc importer.
+func TestListAndCheck(t *testing.T) {
+	pkgs, err := List("", "adhocgrid/internal/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports := Exports(pkgs)
+	var target *Package
+	for _, p := range pkgs {
+		if p.ImportPath == "adhocgrid/internal/stats" {
+			target = p
+		}
+	}
+	if target == nil {
+		t.Fatal("go list did not return the named package")
+	}
+	if target.DepOnly {
+		t.Error("named package marked DepOnly")
+	}
+
+	fset := token.NewFileSet()
+	files, err := ParseDir(fset, target.Dir, target.GoFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no files parsed")
+	}
+	pkg, info, err := Check(fset, target.ImportPath, files, Importer(fset, nil, exports))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Name() != "stats" {
+		t.Errorf("checked package name = %q, want stats", pkg.Name())
+	}
+	if len(info.Types) == 0 || len(info.Uses) == 0 {
+		t.Error("type info not populated")
+	}
+}

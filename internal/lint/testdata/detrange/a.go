@@ -1,0 +1,18 @@
+package fixture
+
+type node struct{ id int }
+
+func sumMap(counts map[string]int) int {
+	total := 0
+	for _, v := range counts { // want `range over map\[string\]int iterates in nondeterministic order`
+		total += v
+	}
+	return total
+}
+
+func pointerKeyed() int64 {
+	seen := make(map[*node]int64) // want `keyed by pointers`
+	n := &node{id: 1}
+	seen[n] = 2
+	return seen[n]
+}

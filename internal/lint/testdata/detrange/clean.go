@@ -1,0 +1,16 @@
+package fixture
+
+func clean(xs []int, s string) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	for range s {
+		total++
+	}
+	byID := map[int]string{1: "a"} // value-keyed maps may be built and indexed
+	if byID[1] == "a" {
+		total++
+	}
+	return total
+}

@@ -1,0 +1,25 @@
+package fixture
+
+func exemptedAbove(counts map[string]int) int {
+	total := 0
+	//lint:sorted summing is commutative; order cannot escape
+	for _, v := range counts {
+		total += v
+	}
+	return total
+}
+
+func exemptedTrailing(m map[int]bool) {
+	for k := range m { //lint:sorted map is drained; order irrelevant
+		delete(m, k)
+	}
+}
+
+func bareDirectiveDoesNotExempt(counts map[string]int) int {
+	total := 0
+	//lint:sorted
+	for _, v := range counts { // want `nondeterministic order`
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,32 @@
+package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+func mayFail() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func bare() {
+	mayFail() // want `error result of call is discarded`
+}
+
+func blank() {
+	_ = mayFail()  // want `error result assigned to _`
+	v, _ := pair() // want `error result assigned to _`
+	_ = v
+}
+
+func deferred(f io.Closer) {
+	defer f.Close() // want `deferred call discards its error result`
+}
+
+func spawned() {
+	go mayFail() // want `go statement discards the call's error result`
+}
+
+func writer(w io.Writer) {
+	fmt.Fprintf(w, "x") // want `error result of call is discarded`
+}

@@ -1,0 +1,20 @@
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+func doWork() error { return nil }
+
+func handled() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x") // *strings.Builder cannot fail
+	var buf bytes.Buffer
+	buf.WriteString(b.String()) // bytes.Buffer methods cannot fail
+	if err := doWork(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package fixture
+
+func eq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func neq(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func vsConstant(a float64) bool {
+	return a == 0 // want `floating-point == comparison`
+}

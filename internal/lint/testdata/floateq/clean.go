@@ -1,0 +1,15 @@
+package fixture
+
+import "math"
+
+const tol = 1e-9
+
+func clean(a, b float64, i, j int) bool {
+	if i == j { // integer comparison is exact
+		return true
+	}
+	if 1.0 == 1.0 { // both constant: folded exactly at compile time
+		return math.Abs(a-b) <= tol
+	}
+	return a < b // ordering comparisons are allowed
+}

@@ -1,0 +1,13 @@
+package fixture
+
+type point struct{ alpha, beta float64 }
+
+// better is a deterministic total-order comparator: both operands come
+// from the same computation, so bit-exact comparison is the intent.
+func better(x, y point) bool {
+	//lint:floateq bit-exact tie-break over identically computed values
+	if x.alpha != y.alpha {
+		return x.alpha < y.alpha
+	}
+	return x.beta < y.beta
+}

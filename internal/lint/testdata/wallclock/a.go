@@ -1,0 +1,15 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func hits() time.Duration {
+	start := time.Now() // want `time.Now reads the wall clock`
+	n := rand.Intn(10)  // want `math/rand.Intn draws from the global rand source`
+	_ = n
+	ch := time.After(time.Second) // want `time.After reads the wall clock`
+	<-ch
+	return time.Since(start) // want `time.Since reads the wall clock`
+}

@@ -1,0 +1,15 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clean(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // explicit seeded generator: allowed
+	d := 5 * time.Second                // durations are plain values
+	if d > 0 {
+		return r.Float64() // methods on a seeded generator: allowed
+	}
+	return 0
+}

@@ -1,0 +1,9 @@
+package fixture
+
+import "time"
+
+func exempted() time.Duration {
+	start := time.Now() //lint:wallclock elapsed-time reporting only, never a scheduling input
+	//lint:wallclock elapsed-time reporting only, never a scheduling input
+	return time.Since(start)
+}

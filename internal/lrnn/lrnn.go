@@ -81,7 +81,7 @@ func Run(inst *workload.Instance, cfg Config) (*Result, error) {
 	m := inst.Grid.M()
 	tauSec := grid.CyclesToSeconds(inst.TauCycles)
 
-	start := time.Now()
+	start := time.Now() //lint:wallclock elapsed-time reporting only; never a scheduling input
 	// Multipliers: lambda prices machine time (per second relative to τ),
 	// mu prices machine energy (per unit relative to battery).
 	lambda := make([]float64, m)
@@ -185,6 +185,6 @@ func Run(inst *workload.Instance, cfg Config) (*Result, error) {
 		State:         st,
 		Iterations:    iterations,
 		DualViolation: bestViolation,
-		Elapsed:       time.Since(start),
+		Elapsed:       time.Since(start), //lint:wallclock elapsed-time reporting only; never a scheduling input
 	}, nil
 }

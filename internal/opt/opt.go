@@ -119,13 +119,17 @@ func better(x, y Point) bool {
 	if x.Metrics.T100 != y.Metrics.T100 {
 		return x.Metrics.T100 > y.Metrics.T100
 	}
-	if x.Metrics.TEC != y.Metrics.TEC {
+	// The three float tie-breaks below are bit-exact on purpose: both
+	// operands come out of the same deterministic evaluation pipeline,
+	// and a total order (not an epsilon band, which is not transitive)
+	// is what makes the winner independent of evaluation order.
+	if x.Metrics.TEC != y.Metrics.TEC { //lint:floateq bit-exact total order over identically computed values
 		return x.Metrics.TEC < y.Metrics.TEC
 	}
-	if x.Metrics.AETSeconds != y.Metrics.AETSeconds {
+	if x.Metrics.AETSeconds != y.Metrics.AETSeconds { //lint:floateq bit-exact total order over identically computed values
 		return x.Metrics.AETSeconds < y.Metrics.AETSeconds
 	}
-	if x.Weights.Alpha != y.Weights.Alpha {
+	if x.Weights.Alpha != y.Weights.Alpha { //lint:floateq bit-exact total order over identically computed values
 		return x.Weights.Alpha < y.Weights.Alpha
 	}
 	return x.Weights.Beta < y.Weights.Beta

@@ -51,8 +51,9 @@ func CriticalChain(st *sched.State) []ChainLink {
 	}
 
 	// Index assignments per machine sorted by start, for machine-wait
-	// lookups.
-	perMachine := make(map[int][]*sched.Assignment)
+	// lookups. Machine ids are dense, so a slice replaces the former
+	// map[int] — no iteration-order hazard, and cheaper.
+	perMachine := make([][]*sched.Assignment, st.Inst.Grid.M())
 	for _, a := range st.Assignments {
 		if a != nil {
 			perMachine[a.Machine] = append(perMachine[a.Machine], a)

@@ -73,12 +73,29 @@ func Realize(st *sched.State, noise NoiseModel, r *rng.Rand) (Realization, error
 	}
 	real := Realization{PlannedCycles: st.AETCycles, MaxTransferX: 1}
 
+	// Dense ids keep the replay state in slices instead of pointer-keyed
+	// maps: transfer (i, k) — the k-th incoming transfer of subtask i —
+	// gets id trOff[i]+k, and per-subtask times are indexed directly.
+	// Pointer keys would hash by allocation address, making iteration
+	// and debug output run-dependent (the hazard detrange enforces
+	// against); dense indices are deterministic and faster.
+	n := len(st.Assignments)
+	trOff := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		trOff[i+1] = trOff[i]
+		if a := st.Assignments[i]; a != nil {
+			trOff[i+1] += len(a.Transfers)
+		}
+	}
+	tid := func(subtask, k int) int { return trOff[subtask] + k }
+
 	// Planned orderings per resource.
 	m := st.Inst.Grid.M()
 	execOrder := make([][]*sched.Assignment, m)
 	type plannedTransfer struct {
 		a  *sched.Assignment
 		tr *sched.Transfer
+		id int
 	}
 	sendOrder := make([][]plannedTransfer, m)
 	recvOrder := make([][]plannedTransfer, m)
@@ -89,8 +106,8 @@ func Realize(st *sched.State, noise NoiseModel, r *rng.Rand) (Realization, error
 		execOrder[a.Machine] = append(execOrder[a.Machine], a)
 		for k := range a.Transfers {
 			tr := &a.Transfers[k]
-			sendOrder[tr.From] = append(sendOrder[tr.From], plannedTransfer{a, tr})
-			recvOrder[tr.To] = append(recvOrder[tr.To], plannedTransfer{a, tr})
+			sendOrder[tr.From] = append(sendOrder[tr.From], plannedTransfer{a, tr, tid(a.Subtask, k)})
+			recvOrder[tr.To] = append(recvOrder[tr.To], plannedTransfer{a, tr, tid(a.Subtask, k)})
 		}
 	}
 	for j := 0; j < m; j++ {
@@ -100,7 +117,7 @@ func Realize(st *sched.State, noise NoiseModel, r *rng.Rand) (Realization, error
 	}
 
 	// Draw noisy durations per transfer up front (deterministic given r).
-	noisyDur := make(map[*sched.Transfer]int64)
+	noisyDur := make([]int64, trOff[n])
 	for j := 0; j < m; j++ {
 		for _, pt := range sendOrder[j] {
 			nominal := pt.tr.End - pt.tr.Start
@@ -117,23 +134,23 @@ func Realize(st *sched.State, noise NoiseModel, r *rng.Rand) (Realization, error
 				dur += grid.SecondsToCycles(noise.OutageMeanSeconds * r.Exponential())
 				real.OutageCount++
 			}
-			noisyDur[pt.tr] = dur
+			noisyDur[pt.id] = dur
 		}
 	}
 
 	// Forward fixpoint over machine/link/precedence dependencies. Each
 	// pass recomputes realized times in planned resource order; delays
 	// only grow, so iteration converges (bounded by DAG depth).
-	realStart := make(map[*sched.Assignment]int64)
-	realEnd := make(map[*sched.Assignment]int64)
-	trStart := make(map[*sched.Transfer]int64)
-	trEnd := make(map[*sched.Transfer]int64)
-	for _, a := range st.Assignments {
+	realStart := make([]int64, n)
+	realEnd := make([]int64, n)
+	trStart := make([]int64, trOff[n])
+	trEnd := make([]int64, trOff[n])
+	for i, a := range st.Assignments {
 		if a != nil {
-			realStart[a], realEnd[a] = a.Start, a.End
+			realStart[i], realEnd[i] = a.Start, a.End
 			for k := range a.Transfers {
-				tr := &a.Transfers[k]
-				trStart[tr], trEnd[tr] = tr.Start, tr.Start+noisyDur[tr]
+				id := tid(i, k)
+				trStart[id], trEnd[id] = a.Transfers[k].Start, a.Transfers[k].Start+noisyDur[id]
 			}
 		}
 	}
@@ -149,32 +166,32 @@ func Realize(st *sched.State, noise NoiseModel, r *rng.Rand) (Realization, error
 			var prevEnd int64
 			for _, pt := range sendOrder[j] {
 				pa := st.Assignments[pt.tr.Parent]
-				s := trStart[pt.tr]
-				if pa != nil && realEnd[pa] > s {
-					s = realEnd[pa]
+				s := trStart[pt.id]
+				if pa != nil && realEnd[pt.tr.Parent] > s {
+					s = realEnd[pt.tr.Parent]
 				}
 				if prevEnd > s {
 					s = prevEnd
 				}
-				if s != trStart[pt.tr] {
-					trStart[pt.tr] = s
-					trEnd[pt.tr] = s + noisyDur[pt.tr]
+				if s != trStart[pt.id] {
+					trStart[pt.id] = s
+					trEnd[pt.id] = s + noisyDur[pt.id]
 					changed = true
 				}
-				prevEnd = trEnd[pt.tr]
+				prevEnd = trEnd[pt.id]
 			}
 			var prevRecv int64
 			for _, pt := range recvOrder[j] {
-				s := trStart[pt.tr]
+				s := trStart[pt.id]
 				if prevRecv > s {
 					s = prevRecv
-					if s != trStart[pt.tr] {
-						trStart[pt.tr] = s
-						trEnd[pt.tr] = s + noisyDur[pt.tr]
+					if s != trStart[pt.id] {
+						trStart[pt.id] = s
+						trEnd[pt.id] = s + noisyDur[pt.id]
 						changed = true
 					}
 				}
-				prevRecv = trEnd[pt.tr]
+				prevRecv = trEnd[pt.id]
 			}
 		}
 		// Executions: start waits for machine predecessor, same-machine
@@ -182,28 +199,29 @@ func Realize(st *sched.State, noise NoiseModel, r *rng.Rand) (Realization, error
 		for j := 0; j < m; j++ {
 			var prevEnd int64
 			for _, a := range execOrder[j] {
-				s := realStart[a]
+				i := a.Subtask
+				s := realStart[i]
 				if prevEnd > s {
 					s = prevEnd
 				}
 				for k := range a.Transfers {
-					if e := trEnd[&a.Transfers[k]]; e > s {
+					if e := trEnd[tid(i, k)]; e > s {
 						s = e
 					}
 				}
-				for _, p := range graph.Parents(a.Subtask) {
+				for _, p := range graph.Parents(i) {
 					if pa := st.Assignments[p]; pa != nil && pa.Machine == j {
-						if realEnd[pa] > s {
-							s = realEnd[pa]
+						if realEnd[p] > s {
+							s = realEnd[p]
 						}
 					}
 				}
-				if s != realStart[a] {
-					realStart[a] = s
-					realEnd[a] = s + (a.End - a.Start)
+				if s != realStart[i] {
+					realStart[i] = s
+					realEnd[i] = s + (a.End - a.Start)
 					changed = true
 				}
-				prevEnd = realEnd[a]
+				prevEnd = realEnd[i]
 			}
 		}
 		if !changed {
@@ -211,9 +229,9 @@ func Realize(st *sched.State, noise NoiseModel, r *rng.Rand) (Realization, error
 		}
 	}
 
-	for _, a := range st.Assignments {
-		if a != nil && realEnd[a] > real.AETCycles {
-			real.AETCycles = realEnd[a]
+	for i, a := range st.Assignments {
+		if a != nil && realEnd[i] > real.AETCycles {
+			real.AETCycles = realEnd[i]
 		}
 	}
 	real.MetTau = real.AETCycles <= st.Inst.TauCycles
