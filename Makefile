@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix-hints test race check bench fuzz
+.PHONY: all build vet lint lint-fix-hints test race check bench fuzz serve-smoke
 
 all: check
 
@@ -30,7 +30,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# `race` covers internal/serve, so the service's admission control and
+# drain paths are exercised under the race detector on every check.
 check: build vet lint race
+
+# End-to-end smoke of the slrhd service: boots on a loopback port,
+# exercises map (miss + byte-identical hit), trace, health, readiness
+# and metrics, then drains. No external tools (curl etc.) needed.
+serve-smoke:
+	$(GO) run ./cmd/slrhd -smoke
 
 # Incremental-state speedup benchmark at Default() scale (|T|=256),
 # cache on vs off; see README.md "Performance".

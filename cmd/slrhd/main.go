@@ -1,0 +1,254 @@
+// Command slrhd is the long-running scheduling service: an HTTP/JSON
+// daemon that prices and maps ad hoc grid scenarios on demand with the
+// SLRH heuristics (DESIGN.md §12).
+//
+// Endpoints:
+//
+//	POST /v1/map              map one scenario (same knobs as slrhsim)
+//	GET  /v1/runs/{id}/trace  trace document of a recent traced run
+//	GET  /metrics             Prometheus text metrics
+//	GET  /healthz             liveness
+//	GET  /readyz              readiness (503 while draining)
+//
+// SIGINT/SIGTERM drain gracefully: readiness flips off, the listener
+// stops accepting, every accepted run finishes, then the process exits.
+//
+// Examples:
+//
+//	slrhd -addr :8080 -workers 4 -queue 64
+//	slrhd -smoke        # start on a random port, self-test, drain, exit
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"adhocgrid/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "slrhd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs, opts := newFlags()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := serve.Config{
+		Workers:    *opts.workers,
+		QueueSize:  *opts.queue,
+		CacheSize:  *opts.cache,
+		RunHistory: *opts.runs,
+		MaxN:       *opts.maxN,
+	}
+	if *opts.smoke {
+		return runSmoke(cfg)
+	}
+	return runDaemon(*opts.addr, *opts.drainTimeout, cfg)
+}
+
+// options collects the parsed flag values.
+type options struct {
+	addr         *string
+	workers      *int
+	queue        *int
+	cache        *int
+	runs         *int
+	maxN         *int
+	drainTimeout *time.Duration
+	smoke        *bool
+}
+
+// newFlags declares the flag set (shared by the daemon and smoke paths).
+func newFlags() (*flag.FlagSet, options) {
+	fs := flag.NewFlagSet("slrhd", flag.ContinueOnError)
+	return fs, options{
+		addr:         fs.String("addr", ":8080", "listen address"),
+		workers:      fs.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)"),
+		queue:        fs.Int("queue", 64, "accepted-but-waiting run bound; overflow answers 429"),
+		cache:        fs.Int("cache", 1024, "result-cache capacity, responses"),
+		runs:         fs.Int("runs", 256, "retained trace documents"),
+		maxN:         fs.Int("maxn", 2048, "largest |T| accepted per request (-1 = unlimited)"),
+		drainTimeout: fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound"),
+		smoke:        fs.Bool("smoke", false, "start on a loopback port, self-test the endpoints, drain and exit"),
+	}
+}
+
+// runDaemon serves until SIGINT/SIGTERM, then drains.
+func runDaemon(addr string, drainTimeout time.Duration, cfg serve.Config) error {
+	s := serve.New(cfg)
+	defer s.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	fmt.Printf("slrhd listening on %s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("serve: %w", err)
+	case sig := <-stop:
+		fmt.Printf("slrhd: %s received, draining\n", sig)
+	}
+	s.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	s.Close() // runs every still-queued job before returning
+	fmt.Println("slrhd: drained cleanly")
+	return nil
+}
+
+// smokeRequest is the ScaleBench-sized scenario the self-test maps.
+const smokeRequest = `{"n": 96, "case": "A", "heuristic": "slrh1", "seed": 1, "alpha": 0.5, "beta": 0.3, "trace": true}`
+
+// runSmoke boots the service on a loopback port, exercises every
+// endpoint (map miss + byte-identical hit, trace, metrics, health,
+// readiness flip), then drains. Non-nil return means the smoke failed.
+func runSmoke(cfg serve.Config) error {
+	s := serve.New(cfg)
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("smoke: serving on %s\n", base)
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	miss, missHdr, err := post(client, base+"/v1/map", smokeRequest)
+	if err != nil {
+		return fmt.Errorf("map (miss): %w", err)
+	}
+	if missHdr.Get("X-Cache") != "miss" {
+		return fmt.Errorf("first map response X-Cache = %q, want miss", missHdr.Get("X-Cache"))
+	}
+	hit, hitHdr, err := post(client, base+"/v1/map", smokeRequest)
+	if err != nil {
+		return fmt.Errorf("map (hit): %w", err)
+	}
+	if hitHdr.Get("X-Cache") != "hit" {
+		return fmt.Errorf("second map response X-Cache = %q, want hit", hitHdr.Get("X-Cache"))
+	}
+	if !bytes.Equal(miss, hit) {
+		return fmt.Errorf("cache hit not byte-identical to miss")
+	}
+	fmt.Printf("smoke: map ok, %d response bytes, hit == miss\n", len(miss))
+
+	traceBody, _, err := get(client, base+"/v1/runs/"+missHdr.Get("X-Run-Id")+"/trace")
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	fmt.Printf("smoke: trace ok, %d bytes\n", len(traceBody))
+
+	if _, _, err := get(client, base+"/healthz"); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if _, _, err := get(client, base+"/readyz"); err != nil {
+		return fmt.Errorf("readyz: %w", err)
+	}
+	metrics, _, err := get(client, base+"/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	for _, want := range []string{
+		`slrhd_map_requests_total{code="200"} 2`,
+		"slrhd_cache_hits_total 1",
+		"slrhd_cache_misses_total 1",
+		`slrhd_runs_total{heuristic="slrh1"} 1`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			return fmt.Errorf("metrics missing %q", want)
+		}
+	}
+	fmt.Println("smoke: health/ready/metrics ok")
+
+	s.BeginDrain()
+	if body, code, err := getStatus(client, base+"/readyz"); err != nil || code != http.StatusServiceUnavailable {
+		return fmt.Errorf("readyz while draining = %d %s (err %v), want 503", code, body, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	s.Close()
+	fmt.Println("smoke: drained cleanly — all checks passed")
+	return nil
+}
+
+// post issues a POST with a JSON body and returns body + headers,
+// erroring on any non-200 status.
+func post(client *http.Client, url, body string) ([]byte, http.Header, error) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := readAll(resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	return b, resp.Header, nil
+}
+
+// get issues a GET, erroring on any non-200 status.
+func get(client *http.Client, url string) ([]byte, http.Header, error) {
+	b, code, err := getStatus(client, url)
+	if err != nil {
+		return nil, nil, err
+	}
+	if code != http.StatusOK {
+		return nil, nil, fmt.Errorf("GET %s: status %d: %s", url, code, b)
+	}
+	return b, nil, nil
+}
+
+// getStatus issues a GET and returns body + status without judging it.
+func getStatus(client *http.Client, url string) ([]byte, int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	b, err := readAll(resp)
+	if err != nil {
+		return nil, 0, err
+	}
+	return b, resp.StatusCode, nil
+}
+
+// readAll drains and closes a response body.
+func readAll(resp *http.Response) ([]byte, error) {
+	b, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	return b, err
+}

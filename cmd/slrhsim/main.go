@@ -1,16 +1,20 @@
 // Command slrhsim runs one resource-management heuristic on one generated
 // ad hoc grid scenario and reports the resulting schedule metrics. It is
 // the single-run workhorse behind the experiment harness, exposed for
-// interactive exploration.
+// interactive exploration. With -json it emits the exact response schema
+// (and bytes) of the slrhd service's POST /v1/map, which the parity tests
+// pin down.
 //
 // Examples:
 //
 //	slrhsim -n 256 -case A -heuristic slrh1 -alpha 0.5 -beta 0.3
 //	slrhsim -n 256 -case A -heuristic slrh1 -alpha 0.5 -beta 0.3 -lose 1@40000
 //	slrhsim -n 128 -heuristic maxmax -alpha 1 -beta 0 -assignments out.csv
+//	slrhsim -n 96 -seed 1 -json
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -23,34 +27,52 @@ import (
 	"adhocgrid/internal/maxmax"
 	"adhocgrid/internal/rng"
 	"adhocgrid/internal/sched"
+	"adhocgrid/internal/serve"
 	"adhocgrid/internal/sim"
 	"adhocgrid/internal/trace"
 	"adhocgrid/internal/workload"
 )
 
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "slrhsim: "+format+"\n", args...)
-	os.Exit(1)
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "slrhsim: %v\n", err)
+		os.Exit(1)
+	}
 }
 
-func main() {
-	n := flag.Int("n", 256, "number of subtasks")
-	seed := flag.Uint64("seed", 1, "workload seed")
-	caseName := flag.String("case", "A", "grid configuration: A, B or C")
-	heuristic := flag.String("heuristic", "slrh1", "slrh1, slrh2, slrh3 or maxmax")
-	alpha := flag.Float64("alpha", 0.5, "objective weight for T100")
-	beta := flag.Float64("beta", 0.3, "objective weight for energy (gamma = 1-alpha-beta)")
-	deltaT := flag.Int64("deltat", core.DefaultDeltaT, "SLRH timestep in clock cycles")
-	horizon := flag.Int64("horizon", core.DefaultHorizon, "SLRH receding horizon in clock cycles")
-	adaptive := flag.Bool("adaptive", false, "enable on-the-fly weight adaptation (extension)")
-	lose := flag.String("lose", "", "machine loss events, comma-separated machine@cycle (e.g. 1@40000)")
-	traceFile := flag.String("trace", "", "write per-timestep trace CSV to this file")
-	assignFile := flag.String("assignments", "", "write the final mapping CSV to this file")
-	energyScale := flag.Float64("energyscale", 0, "battery multiplier (0 = auto |T|/1024)")
-	verify := flag.Bool("verify", true, "independently verify the schedule")
-	gantt := flag.Int("gantt", 0, "print a textual Gantt chart this many columns wide (0 = off)")
-	chain := flag.Bool("chain", false, "print the critical chain that determined the makespan")
-	flag.Parse()
+// run executes one CLI invocation, writing its report to stdout. It is
+// the whole command behind a testable seam: the parity tests drive it
+// with -json and compare the bytes against the service's responses.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("slrhsim", flag.ContinueOnError)
+	n := fs.Int("n", 256, "number of subtasks")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	caseName := fs.String("case", "A", "grid configuration: A, B or C")
+	heuristic := fs.String("heuristic", "slrh1", "slrh1, slrh2, slrh3 or maxmax")
+	alpha := fs.Float64("alpha", 0.5, "objective weight for T100")
+	beta := fs.Float64("beta", 0.3, "objective weight for energy (gamma = 1-alpha-beta)")
+	deltaT := fs.Int64("deltat", core.DefaultDeltaT, "SLRH timestep in clock cycles")
+	horizon := fs.Int64("horizon", core.DefaultHorizon, "SLRH receding horizon in clock cycles")
+	adaptive := fs.Bool("adaptive", false, "enable on-the-fly weight adaptation (extension)")
+	lose := fs.String("lose", "", "machine loss events, comma-separated machine@cycle (e.g. 1@40000)")
+	traceFile := fs.String("trace", "", "write per-timestep trace CSV to this file")
+	assignFile := fs.String("assignments", "", "write the final mapping CSV to this file")
+	energyScale := fs.Float64("energyscale", 0, "battery multiplier (0 = auto |T|/1024)")
+	verify := fs.Bool("verify", true, "independently verify the schedule")
+	gantt := fs.Int("gantt", 0, "print a textual Gantt chart this many columns wide (0 = off)")
+	chain := fs.Bool("chain", false, "print the critical chain that determined the makespan")
+	jsonOut := fs.Bool("json", false, "emit the POST /v1/map response schema as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		if *traceFile != "" || *assignFile != "" || *gantt > 0 || *chain {
+			return fmt.Errorf("-trace/-assignments/-gantt/-chain are text-mode options; -json emits the service schema only")
+		}
+		return runJSON(stdout, *n, *seed, *caseName, *heuristic, *alpha, *beta,
+			*deltaT, *horizon, *adaptive, *energyScale, *lose)
+	}
 
 	var c grid.Case
 	switch strings.ToUpper(*caseName) {
@@ -61,18 +83,18 @@ func main() {
 	case "C":
 		c = grid.CaseC
 	default:
-		fatalf("unknown case %q", *caseName)
+		return fmt.Errorf("unknown case %q", *caseName)
 	}
 
 	params := workload.DefaultParams(*n)
 	params.EnergyScale = *energyScale
 	scn, err := workload.Generate(params, rng.New(*seed))
 	if err != nil {
-		fatalf("generate: %v", err)
+		return fmt.Errorf("generate: %w", err)
 	}
 	inst, err := scn.Instantiate(c)
 	if err != nil {
-		fatalf("instantiate: %v", err)
+		return fmt.Errorf("instantiate: %w", err)
 	}
 	w := sched.NewWeights(*alpha, *beta)
 
@@ -95,7 +117,7 @@ func main() {
 		if *lose != "" {
 			events, err := parseEvents(*lose)
 			if err != nil {
-				fatalf("%v", err)
+				return err
 			}
 			cfg.Events = events
 		}
@@ -106,53 +128,54 @@ func main() {
 		}
 		res, err := core.Run(inst, cfg)
 		if err != nil {
-			fatalf("run: %v", err)
+			return fmt.Errorf("run: %w", err)
 		}
 		metrics, state = res.Metrics, res.State
 		extra = fmt.Sprintf("timesteps=%d requeued=%d elapsed=%s", res.Timesteps, res.Requeued, res.Elapsed)
 		if rec != nil {
 			if err := writeFile(*traceFile, rec.WriteCSV); err != nil {
-				fatalf("trace: %v", err)
+				return fmt.Errorf("trace: %w", err)
 			}
 		}
 	case "maxmax":
 		if *lose != "" || *adaptive || *traceFile != "" {
-			fatalf("-lose/-adaptive/-trace apply to the SLRH variants only")
+			return fmt.Errorf("-lose/-adaptive/-trace apply to the SLRH variants only")
 		}
 		res, err := maxmax.Run(inst, maxmax.Config{Weights: w})
 		if err != nil {
-			fatalf("run: %v", err)
+			return fmt.Errorf("run: %w", err)
 		}
 		metrics, state = res.Metrics, res.State
 		extra = fmt.Sprintf("steps=%d elapsed=%s", res.Steps, res.Elapsed)
 	default:
-		fatalf("unknown heuristic %q", *heuristic)
+		return fmt.Errorf("unknown heuristic %q", *heuristic)
 	}
 
-	fmt.Printf("heuristic   %s (alpha=%.2f beta=%.2f gamma=%.2f)\n", *heuristic, w.Alpha, w.Beta, w.Gamma)
-	fmt.Printf("scenario    |T|=%d case %s seed %d tau=%.0fs TSE=%.1f\n",
+	buf := &bytes.Buffer{}
+	fmt.Fprintf(buf, "heuristic   %s (alpha=%.2f beta=%.2f gamma=%.2f)\n", *heuristic, w.Alpha, w.Beta, w.Gamma)
+	fmt.Fprintf(buf, "scenario    |T|=%d case %s seed %d tau=%.0fs TSE=%.1f\n",
 		*n, c, *seed, grid.CyclesToSeconds(inst.TauCycles), inst.Grid.TSE())
-	fmt.Printf("mapped      %d/%d (complete=%v)\n", metrics.Mapped, *n, metrics.Complete)
-	fmt.Printf("T100        %d\n", metrics.T100)
-	fmt.Printf("AET         %.1fs (within tau: %v)\n", metrics.AETSeconds, metrics.MetTau)
-	fmt.Printf("TEC         %.2f energy units\n", metrics.TEC)
-	fmt.Printf("objective   %.4f\n", metrics.Objective)
-	fmt.Printf("run         %s\n", extra)
+	fmt.Fprintf(buf, "mapped      %d/%d (complete=%v)\n", metrics.Mapped, *n, metrics.Complete)
+	fmt.Fprintf(buf, "T100        %d\n", metrics.T100)
+	fmt.Fprintf(buf, "AET         %.1fs (within tau: %v)\n", metrics.AETSeconds, metrics.MetTau)
+	fmt.Fprintf(buf, "TEC         %.2f energy units\n", metrics.TEC)
+	fmt.Fprintf(buf, "objective   %.4f\n", metrics.Objective)
+	fmt.Fprintf(buf, "run         %s\n", extra)
 	for j := 0; j < inst.Grid.M(); j++ {
 		status := "alive"
 		if !state.Alive(j) {
 			status = fmt.Sprintf("lost at cycle %d", state.DeadAt(j))
 		}
-		fmt.Printf("machine %d   %-5s remaining %.2f/%.2f energy (%s)\n",
+		fmt.Fprintf(buf, "machine %d   %-5s remaining %.2f/%.2f energy (%s)\n",
 			j, inst.Grid.Machines[j].Class, state.Ledger.Remaining(j), inst.Grid.Machines[j].Battery, status)
 	}
 
 	if *gantt > 0 {
-		fmt.Println()
-		fmt.Print(state.Gantt(*gantt))
+		fmt.Fprintln(buf)
+		fmt.Fprint(buf, state.Gantt(*gantt))
 	}
 	if *chain {
-		fmt.Println("\ncritical chain (origin -> AET):")
+		fmt.Fprintln(buf, "\ncritical chain (origin -> AET):")
 		for _, link := range sim.CriticalChain(state) {
 			line := fmt.Sprintf("  subtask %4d on machine %d  [%7.1fs, %7.1fs)  via %s",
 				link.Subtask, link.Machine,
@@ -160,28 +183,74 @@ func main() {
 			if link.DataWaitCycles > 0 {
 				line += fmt.Sprintf(" (+%.1fs data wait)", grid.CyclesToSeconds(link.DataWaitCycles))
 			}
-			fmt.Println(line)
+			fmt.Fprintln(buf, line)
 		}
 	}
 	if *assignFile != "" {
 		if err := writeFile(*assignFile, func(w io.Writer) error {
 			return trace.WriteAssignmentsCSV(w, state)
 		}); err != nil {
-			fatalf("assignments: %v", err)
+			return fmt.Errorf("assignments: %w", err)
 		}
 	}
+	var verifyErr error
 	if *verify {
 		if violations := sim.Verify(state); len(violations) > 0 {
-			fmt.Printf("VERIFY      %d violations:\n", len(violations))
+			fmt.Fprintf(buf, "VERIFY      %d violations:\n", len(violations))
 			for _, v := range violations {
-				fmt.Printf("  %s\n", v)
+				fmt.Fprintf(buf, "  %s\n", v)
 			}
-			os.Exit(1)
+			verifyErr = fmt.Errorf("verification found %d violations", len(violations))
+		} else {
+			fmt.Fprintln(buf, "VERIFY      ok (independent replay found no violations)")
 		}
-		fmt.Println("VERIFY      ok (independent replay found no violations)")
 	}
+	if _, err := stdout.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	return verifyErr
 }
 
+// runJSON is the -json path: it routes the flags through the exact code
+// the slrhd service runs (serve.Execute + serve.EncodeResult), so the
+// CLI's bytes and the service's response bytes are one artifact.
+func runJSON(stdout io.Writer, n int, seed uint64, caseName, heuristic string,
+	alpha, beta float64, deltaT, horizon int64, adaptive bool, energyScale float64, lose string) error {
+	req := serve.Request{
+		N:           n,
+		Case:        caseName,
+		Heuristic:   heuristic,
+		Seed:        seed,
+		Alpha:       alpha,
+		Beta:        beta,
+		DeltaT:      deltaT,
+		Horizon:     horizon,
+		Adaptive:    adaptive,
+		EnergyScale: energyScale,
+	}
+	if lose != "" {
+		events, err := parseEvents(lose)
+		if err != nil {
+			return err
+		}
+		for _, e := range events {
+			req.Lose = append(req.Lose, serve.LossEvent{Machine: e.Machine, At: e.At})
+		}
+	}
+	out, err := serve.Execute(req, 0)
+	if err != nil {
+		return err
+	}
+	buf := &bytes.Buffer{}
+	if err := serve.EncodeResult(buf, out.Result); err != nil {
+		return err
+	}
+	_, err = stdout.Write(buf.Bytes())
+	return err
+}
+
+// parseEvents parses the -lose spec: comma-separated machine@cycle
+// pairs, e.g. "1@40000" or "0@10000,2@50000".
 func parseEvents(s string) ([]core.Event, error) {
 	var events []core.Event
 	for _, part := range strings.Split(s, ",") {

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adhocgrid/internal/core"
+	"adhocgrid/internal/serve"
+)
+
+// TestParseEvents covers the -lose machine-loss spec parser.
+func TestParseEvents(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		want    []core.Event
+		wantErr string
+	}{
+		{name: "single", spec: "1@40000", want: []core.Event{{At: 40000, Machine: 1}}},
+		{name: "multi", spec: "0@10000,2@50000,1@60000", want: []core.Event{
+			{At: 10000, Machine: 0}, {At: 50000, Machine: 2}, {At: 60000, Machine: 1}}},
+		{name: "machine zero at cycle zero", spec: "0@0", want: []core.Event{{At: 0, Machine: 0}}},
+		{name: "missing separator", spec: "140000", wantErr: "want machine@cycle"},
+		{name: "too many separators", spec: "1@2@3", wantErr: "want machine@cycle"},
+		{name: "empty spec", spec: "", wantErr: "want machine@cycle"},
+		{name: "bad machine", spec: "x@40000", wantErr: "bad machine"},
+		{name: "bad cycle", spec: "1@4e4", wantErr: "bad cycle"},
+		{name: "bad trailing event", spec: "1@40000,oops", wantErr: "want machine@cycle"},
+		{name: "empty element", spec: "1@40000,", wantErr: "want machine@cycle"},
+		{name: "float machine", spec: "1.5@40000", wantErr: "bad machine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseEvents(tc.spec)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("parseEvents(%q) err = %v, want containing %q", tc.spec, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseEvents(%q): %v", tc.spec, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("parseEvents(%q) = %+v, want %+v", tc.spec, got, tc.want)
+			}
+		})
+	}
+}
+
+// postMap POSTs a request to a test service and returns status + body.
+func postMap(t *testing.T, ts *httptest.Server, req serve.Request) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/map", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestJSONParityWithService is the end-to-end acceptance check: for a
+// fixed seed, `slrhsim -json` must produce bytes identical to the
+// service's POST /v1/map response — on a cache miss and again on the
+// cache hit.
+func TestJSONParityWithService(t *testing.T) {
+	flagSets := [][]string{
+		{"-n", "64", "-seed", "11", "-case", "A", "-heuristic", "slrh1", "-alpha", "0.5", "-beta", "0.3", "-json"},
+		{"-n", "64", "-seed", "11", "-case", "B", "-heuristic", "slrh3", "-alpha", "0.4", "-beta", "0.2", "-json"},
+		{"-n", "64", "-seed", "11", "-case", "C", "-heuristic", "maxmax", "-alpha", "0.5", "-beta", "0.3", "-json"},
+		{"-n", "64", "-seed", "11", "-case", "A", "-heuristic", "slrh1", "-alpha", "0.5", "-beta", "0.3",
+			"-lose", "1@40000,0@90000", "-json"},
+	}
+	requests := []serve.Request{
+		{N: 64, Seed: 11, Case: "A", Heuristic: "slrh1", Alpha: 0.5, Beta: 0.3},
+		{N: 64, Seed: 11, Case: "B", Heuristic: "slrh3", Alpha: 0.4, Beta: 0.2},
+		{N: 64, Seed: 11, Case: "C", Heuristic: "maxmax", Alpha: 0.5, Beta: 0.3},
+		{N: 64, Seed: 11, Case: "A", Heuristic: "slrh1", Alpha: 0.5, Beta: 0.3,
+			Lose: []serve.LossEvent{{Machine: 1, At: 40000}, {Machine: 0, At: 90000}}},
+	}
+
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	for i, flags := range flagSets {
+		var cli bytes.Buffer
+		if err := run(flags, &cli); err != nil {
+			t.Fatalf("slrhsim %v: %v", flags, err)
+		}
+		status, miss := postMap(t, ts, requests[i])
+		if status != http.StatusOK {
+			t.Fatalf("service status %d for %+v: %s", status, requests[i], miss)
+		}
+		if !bytes.Equal(cli.Bytes(), miss) {
+			t.Fatalf("CLI and service bytes differ for %v:\ncli:     %s\nservice: %s", flags, cli.Bytes(), miss)
+		}
+		status, hit := postMap(t, ts, requests[i])
+		if status != http.StatusOK {
+			t.Fatalf("cache-hit status %d", status)
+		}
+		if !bytes.Equal(cli.Bytes(), hit) {
+			t.Fatalf("CLI and cached service bytes differ for %v", flags)
+		}
+	}
+}
+
+// TestJSONRejectsTextModeOptions pins the flag-compatibility contract.
+func TestJSONRejectsTextModeOptions(t *testing.T) {
+	for _, flags := range [][]string{
+		{"-json", "-gantt", "80"},
+		{"-json", "-chain"},
+		{"-json", "-trace", "/tmp/x.csv"},
+		{"-json", "-assignments", "/tmp/x.csv"},
+	} {
+		if err := run(flags, io.Discard); err == nil {
+			t.Fatalf("run(%v) should refuse text-mode options", flags)
+		}
+	}
+}
+
+// TestTextModeStillWorks smoke-tests the original human-readable path
+// through the refactored run().
+func TestTextModeStillWorks(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "48", "-seed", "3", "-heuristic", "slrh1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"heuristic   slrh1", "mapped      48/48", "VERIFY      ok"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRunUnknownFlagsAndValues exercises the error paths.
+func TestRunUnknownFlagsAndValues(t *testing.T) {
+	for _, flags := range [][]string{
+		{"-case", "Z"},
+		{"-heuristic", "nope"},
+		{"-heuristic", "maxmax", "-lose", "1@40000"},
+		{"-lose", "garbage"},
+	} {
+		if err := run(append([]string{"-n", "16"}, flags...), io.Discard); err == nil {
+			t.Fatalf("run(%v) should fail", flags)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Bounded worker pools (DESIGN.md §5). Two shapes share this file:
+//
+//   - ParMap, the sweep fan-out used by every experiment driver: a fixed
+//     index space [0, n) distributed over a bounded set of workers, each
+//     task writing only to its own output slot. Per-task seeded RNGs make
+//     results independent of execution order.
+//   - Pool, the long-running variant behind the slrhd scheduling service
+//     (internal/serve): a fixed set of workers draining a bounded job
+//     queue, with non-blocking admission (TrySubmit) so callers can shed
+//     load instead of queueing unboundedly, and a drain-on-close
+//     guarantee (Close runs every accepted job before returning).
+package exp
+
+import "sync"
+
+// ParMap applies fn to every index in [0, n) using at most `workers`
+// concurrent goroutines (a non-positive count means sequential). fn must
+// write only to its own index's output.
+func ParMap(workers, n int, fn func(k int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for k := 0; k < n; k++ {
+			fn(k)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				fn(k)
+			}
+		}()
+	}
+	for k := 0; k < n; k++ {
+		next <- k
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Pool is a bounded worker pool: `workers` goroutines draining a job
+// queue of capacity `queueCap`. Admission is explicit — TrySubmit fails
+// fast when the queue is full — so a caller under pressure can return
+// backpressure (HTTP 429) instead of blocking.
+type Pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts a pool with the given worker count and queue capacity.
+// Non-positive values are clamped to 1 worker / 0 queue slots (every
+// submission then requires an idle worker).
+func NewPool(workers, queueCap int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	p := &Pool{jobs: make(chan func(), queueCap)}
+	p.wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues job if a queue slot is free. It returns false —
+// without blocking — when the queue is full or the pool is closed.
+func (p *Pool) TrySubmit(job func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// Depth returns the number of jobs accepted but not yet picked up by a
+// worker.
+func (p *Pool) Depth() int { return len(p.jobs) }
+
+// Close stops admission, runs every job already accepted, and waits for
+// the workers to exit. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

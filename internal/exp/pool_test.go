@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParMapCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		ParMap(workers, n, func(k int) { hits[k].Add(1) })
+		for k := range hits {
+			if got := hits[k].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, k, got)
+			}
+		}
+	}
+}
+
+func TestPoolTrySubmitShedsOnFullQueue(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	release := make(chan struct{})
+	if !p.TrySubmit(func() { <-release }) {
+		t.Fatal("first job must be accepted")
+	}
+	// Wait for the worker to pick it up, then fill the single queue slot.
+	for p.Depth() > 0 {
+		runtime.Gosched()
+	}
+	if !p.TrySubmit(func() {}) {
+		t.Fatal("queue slot should be free")
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("full queue must shed")
+	}
+	close(release)
+}
+
+func TestPoolCloseDrainsAcceptedJobs(t *testing.T) {
+	p := NewPool(2, 16)
+	var ran atomic.Int32
+	accepted := 0
+	for k := 0; k < 16; k++ {
+		if p.TrySubmit(func() { ran.Add(1) }) {
+			accepted++
+		}
+	}
+	p.Close()
+	if got := int(ran.Load()); got != accepted {
+		t.Fatalf("Close dropped jobs: accepted %d, ran %d", accepted, got)
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("closed pool must refuse jobs")
+	}
+	p.Close() // idempotent
+}

@@ -150,32 +150,8 @@ func (e *Env) Instances(c grid.Case) []*workload.Instance {
 }
 
 // parMap applies fn to every index in [0, n) using the environment's
-// worker budget. fn must write only to its own index's output.
+// worker budget (see pool.go). fn must write only to its own index's
+// output.
 func (e *Env) parMap(n int, fn func(k int)) {
-	workers := e.Scale.workers()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for k := 0; k < n; k++ {
-			fn(k)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for g := 0; g < workers; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range next {
-				fn(k)
-			}
-		}()
-	}
-	for k := 0; k < n; k++ {
-		next <- k
-	}
-	close(next)
-	wg.Wait()
+	ParMap(e.Scale.workers(), n, fn)
 }

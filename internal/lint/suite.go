@@ -13,6 +13,7 @@ var DeterminismCritical = []string{
 	"adhocgrid/internal/exp",
 	"adhocgrid/internal/maxmax",
 	"adhocgrid/internal/workload",
+	"adhocgrid/internal/serve",
 }
 
 // ScoringPackages hold objective evaluation and tie-breaking, where
@@ -27,6 +28,7 @@ var ScoringPackages = []string{
 // by the Fig2 error-propagation rule.
 var ErrorHygienePackages = []string{
 	"adhocgrid/internal/exp",
+	"adhocgrid/internal/serve",
 	"adhocgrid/cmd/",
 }
 

@@ -1,0 +1,66 @@
+package serve
+
+import "sync"
+
+// CacheEntry is one cached response: the exact bytes previously served
+// plus the run id of the execution that produced them (so a cache hit
+// can still point clients at the original run's trace).
+type CacheEntry struct {
+	Body  []byte
+	RunID string
+}
+
+// Cache is a bounded map from canonical request key to response bytes.
+// Eviction is FIFO by insertion order — entries are immutable and every
+// recomputation reproduces them byte for byte (the determinism
+// contract), so recency bookkeeping buys nothing and FIFO keeps the
+// structure free of map iteration (adhoclint detrange).
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]CacheEntry
+	order   []string // insertion order, oldest first
+}
+
+// NewCache returns a cache holding at most max entries (max < 1 pins
+// the capacity to 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{max: max, entries: make(map[string]CacheEntry, max)}
+}
+
+// Get returns the entry for key, if present.
+func (c *Cache) Get(key string) (CacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+// Put stores an entry, evicting the oldest insertion if the cache is
+// full. Re-putting an existing key overwrites in place (the bytes are
+// identical by the determinism contract, so this only refreshes RunID).
+func (c *Cache) Put(key string, e CacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		c.entries[key] = e
+		return
+	}
+	for len(c.entries) >= c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

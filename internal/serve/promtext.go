@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is a minimal, dependency-free subset of the Prometheus
+// client: counters, gauges (stored or scrape-time computed), and
+// cumulative histograms, rendered in the text exposition format by
+// Registry.WriteText. The module stays zero-dependency (go.mod), and
+// the output is deterministic — families in registration order, series
+// in label order — so tests can assert on exact scrapes.
+
+// Counter is a monotonically increasing integer series.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a series that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add increments by d (negative to decrement).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a cumulative-bucket histogram of float64 observations.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []uint64  // len(bounds)+1, last bucket is +Inf
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[idx]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// DefaultLatencyBuckets spans microseconds to tens of seconds, suiting
+// both the bench-scale runs (~ms) and paper-scale ones (~s).
+var DefaultLatencyBuckets = []float64{
+	1e-5, 1e-4, 1e-3, 5e-3, 0.025, 0.1, 0.5, 2.5, 10, 60,
+}
+
+// series is one labeled sample set within a family.
+type series struct {
+	labels string // rendered label set without braces, e.g. `code="200"`; may be empty
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// family is one named metric with HELP/TYPE metadata.
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// Registry holds metric families and renders them.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// lookup finds or creates a family, enforcing a consistent type.
+func (r *Registry) lookup(name, help, typ string) *family {
+	for _, f := range r.families {
+		if f.name == name {
+			if f.typ != typ {
+				panic(fmt.Sprintf("serve: metric %s registered as both %s and %s", name, f.typ, typ))
+			}
+			return f
+		}
+	}
+	f := &family{name: name, help: help, typ: typ}
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter registers (or extends) a counter family with one series.
+// labels is the rendered label set without braces ("" for none).
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := &Counter{}
+	f := r.lookup(name, help, "counter")
+	f.series = append(f.series, &series{labels: labels, c: c})
+	return c
+}
+
+// Gauge registers a stored gauge series.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := &Gauge{}
+	f := r.lookup(name, help, "gauge")
+	f.series = append(f.series, &series{labels: labels, g: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, help, "gauge")
+	f.series = append(f.series, &series{labels: labels, fn: fn})
+}
+
+// Histogram registers a histogram series with the given ascending
+// bucket upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, labels, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	f := r.lookup(name, help, "histogram")
+	f.series = append(f.series, &series{labels: labels, h: h})
+	return f.series[len(f.series)-1].h
+}
+
+// WriteText renders every family in the Prometheus text exposition
+// format, in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := s.write(w, f.name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// write renders one series.
+func (s *series) write(w io.Writer, name string) error {
+	switch {
+	case s.c != nil:
+		_, err := fmt.Fprintf(w, "%s %d\n", sampleName(name, s.labels), s.c.Value())
+		return err
+	case s.g != nil:
+		_, err := fmt.Fprintf(w, "%s %d\n", sampleName(name, s.labels), s.g.Value())
+		return err
+	case s.fn != nil:
+		_, err := fmt.Fprintf(w, "%s %s\n", sampleName(name, s.labels), formatFloat(s.fn()))
+		return err
+	case s.h != nil:
+		return s.writeHistogram(w, name)
+	}
+	return nil
+}
+
+// writeHistogram renders the cumulative buckets, sum and count.
+func (s *series) writeHistogram(w io.Writer, name string) error {
+	h := s.h
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]uint64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+	var cum uint64
+	for i := range counts {
+		cum += counts[i]
+		le := "+Inf"
+		if i < len(bounds) {
+			le = formatFloat(bounds[i])
+		}
+		labels := s.labels
+		if labels != "" {
+			labels += ","
+		}
+		labels += `le="` + le + `"`
+		if _, err := fmt.Fprintf(w, "%s %d\n", sampleName(name+"_bucket", labels), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", sampleName(name+"_sum", s.labels), formatFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", sampleName(name+"_count", s.labels), count)
+	return err
+}
+
+// sampleName renders `name{labels}` (or bare name for no labels).
+func sampleName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// formatFloat renders a float the way the Prometheus text format
+// expects, including +Inf.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,183 @@
+// Package serve is the slrhd scheduling service: an HTTP/JSON front end
+// over the SLRH heuristics (internal/core) and the Max-Max baseline.
+// It prices and maps scenarios on demand with bounded concurrency
+// (internal/exp.Pool), explicit admission control (429 + Retry-After on
+// queue overflow), a deterministic result cache, and a dependency-free
+// Prometheus-text observability layer. See DESIGN.md §12.
+//
+// Determinism contract: a request fully determines its response bytes.
+// Workloads are generated from the request seed (per-task seeded RNG),
+// heuristic runs are single-goroutine and bit-reproducible (DESIGN.md
+// §10–11), and the serialized result contains no wall-clock or
+// process-local values — so a cache hit is provably identical to
+// recomputation, which the tests assert byte-for-byte.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"adhocgrid/internal/core"
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/sched"
+)
+
+// LossEvent is one dynamic machine-loss injection, the structured form
+// of slrhsim's machine@cycle spec.
+type LossEvent struct {
+	Machine int   `json:"machine"`
+	At      int64 `json:"at"`
+}
+
+// Request is the body of POST /v1/map: the same knobs as cmd/slrhsim,
+// one scenario run per request.
+type Request struct {
+	// N is the number of subtasks |T| (0 means the CLI default, 256).
+	N int `json:"n"`
+	// Case selects the grid configuration: "A", "B" or "C".
+	Case string `json:"case"`
+	// Heuristic is one of "slrh1", "slrh2", "slrh3" or "maxmax".
+	Heuristic string `json:"heuristic"`
+	// Seed drives all workload generation for the run.
+	Seed uint64 `json:"seed"`
+	// Alpha and Beta are the objective weights (gamma = 1-alpha-beta).
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta"`
+	// DeltaT and Horizon override the SLRH timestep and receding horizon
+	// in clock cycles (0 means the paper defaults; ignored for maxmax).
+	DeltaT  int64 `json:"deltat,omitempty"`
+	Horizon int64 `json:"horizon,omitempty"`
+	// Adaptive enables the on-the-fly weight adaptation extension
+	// (SLRH variants only).
+	Adaptive bool `json:"adaptive,omitempty"`
+	// EnergyScale multiplies every battery (0 means auto |T|/1024).
+	EnergyScale float64 `json:"energy_scale,omitempty"`
+	// Lose injects machine-loss events (SLRH variants only).
+	Lose []LossEvent `json:"lose,omitempty"`
+	// Trace captures a per-timestep trace document, retrievable via
+	// GET /v1/runs/{id}/trace using the response's X-Run-Id header.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// DefaultN is the subtask count used when a request leaves N zero,
+// matching cmd/slrhsim's -n default.
+const DefaultN = 256
+
+// Canonical returns the request with defaults applied and enum fields
+// normalized, so that equivalent requests share one cache key and the
+// echoed request in the response shows the resolved values.
+func (r Request) Canonical() Request {
+	if r.N == 0 {
+		r.N = DefaultN
+	}
+	r.Case = strings.ToUpper(strings.TrimSpace(r.Case))
+	if r.Case == "" {
+		r.Case = "A"
+	}
+	r.Heuristic = strings.ToLower(strings.TrimSpace(r.Heuristic))
+	if r.Heuristic == "" {
+		r.Heuristic = "slrh1"
+	}
+	if r.Heuristic == "maxmax" {
+		// Max-Max is static: the clock parameters do not exist for it.
+		// Zeroing them keeps equivalent requests on one cache entry.
+		r.DeltaT, r.Horizon = 0, 0
+	} else {
+		if r.DeltaT == 0 {
+			r.DeltaT = core.DefaultDeltaT
+		}
+		if r.Horizon == 0 {
+			r.Horizon = core.DefaultHorizon
+		}
+	}
+	if len(r.Lose) == 0 {
+		r.Lose = nil
+	}
+	return r
+}
+
+// gridCase resolves the Case field of a canonical request.
+func (r Request) gridCase() (grid.Case, error) {
+	switch r.Case {
+	case "A":
+		return grid.CaseA, nil
+	case "B":
+		return grid.CaseB, nil
+	case "C":
+		return grid.CaseC, nil
+	}
+	return 0, fmt.Errorf("unknown case %q (want A, B or C)", r.Case)
+}
+
+// variant resolves the Heuristic field of a canonical request; ok is
+// false for maxmax.
+func (r Request) variant() (v core.Variant, ok bool, err error) {
+	switch r.Heuristic {
+	case "slrh1":
+		return core.SLRH1, true, nil
+	case "slrh2":
+		return core.SLRH2, true, nil
+	case "slrh3":
+		return core.SLRH3, true, nil
+	case "maxmax":
+		return 0, false, nil
+	}
+	return 0, false, fmt.Errorf("unknown heuristic %q (want slrh1, slrh2, slrh3 or maxmax)", r.Heuristic)
+}
+
+// Validate checks a canonical request. maxN caps the accepted problem
+// size (0 means no cap).
+func (r Request) Validate(maxN int) error {
+	if r.N <= 0 {
+		return fmt.Errorf("n must be positive, got %d", r.N)
+	}
+	if maxN > 0 && r.N > maxN {
+		return fmt.Errorf("n=%d exceeds the service cap of %d subtasks", r.N, maxN)
+	}
+	if _, err := r.gridCase(); err != nil {
+		return err
+	}
+	_, isSLRH, err := r.variant()
+	if err != nil {
+		return err
+	}
+	if err := sched.NewWeights(r.Alpha, r.Beta).Validate(); err != nil {
+		return err
+	}
+	if r.EnergyScale < 0 {
+		return fmt.Errorf("energy_scale must be non-negative, got %v", r.EnergyScale)
+	}
+	if isSLRH {
+		if r.DeltaT <= 0 {
+			return fmt.Errorf("deltat must be positive, got %d", r.DeltaT)
+		}
+		if r.Horizon < 0 {
+			return fmt.Errorf("horizon must be non-negative, got %d", r.Horizon)
+		}
+		for _, e := range r.Lose {
+			if e.Machine < 0 || e.At < 0 {
+				return fmt.Errorf("bad loss event %+v: machine and cycle must be non-negative", e)
+			}
+		}
+	} else if len(r.Lose) > 0 || r.Adaptive {
+		return fmt.Errorf("lose/adaptive apply to the SLRH variants only")
+	}
+	return nil
+}
+
+// Key returns the canonical cache key: a hex SHA-256 of the canonical
+// request's JSON encoding. encoding/json serializes a struct in field
+// order with deterministic float formatting, so equal canonical
+// requests — and only those — share a key.
+func (r Request) Key() string {
+	b, err := json.Marshal(r.Canonical())
+	if err != nil {
+		// A Request contains only marshalable fields; this is unreachable.
+		panic(fmt.Sprintf("serve: marshal request: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"adhocgrid/internal/core"
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/maxmax"
+	"adhocgrid/internal/rng"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/sim"
+	"adhocgrid/internal/trace"
+	"adhocgrid/internal/workload"
+)
+
+// WeightsReport echoes the resolved objective weights.
+type WeightsReport struct {
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta"`
+	Gamma float64 `json:"gamma"`
+}
+
+// MetricsReport is the schedule-quality section of a result.
+type MetricsReport struct {
+	Mapped     int     `json:"mapped"`
+	T100       int     `json:"t100"`
+	TEC        float64 `json:"tec"`
+	AETSeconds float64 `json:"aet_seconds"`
+	Objective  float64 `json:"objective"`
+	Complete   bool    `json:"complete"`
+	MetTau     bool    `json:"met_tau"`
+	Feasible   bool    `json:"feasible"`
+}
+
+// MachineReport is the final per-machine account.
+type MachineReport struct {
+	ID        int     `json:"id"`
+	Class     string  `json:"class"`
+	Battery   float64 `json:"battery"`
+	Remaining float64 `json:"remaining"`
+	Alive     bool    `json:"alive"`
+	DeadAt    int64   `json:"dead_at,omitempty"`
+}
+
+// Result is the response body of POST /v1/map and, byte for byte, the
+// output of `slrhsim -json`. It deliberately carries no wall-clock
+// values (no elapsed time, no timestamps): the body must be a pure
+// function of the request so cached responses are indistinguishable
+// from recomputation. Wall time is reported out of band, via /metrics.
+type Result struct {
+	// Request is the canonical form of the request that produced this
+	// result.
+	Request    Request         `json:"request"`
+	Weights    WeightsReport   `json:"weights"`
+	TauSeconds float64         `json:"tau_seconds"`
+	TSE        float64         `json:"tse"`
+	Metrics    MetricsReport   `json:"metrics"`
+	Steps      int             `json:"steps"`              // heuristic activations (SLRH) or assignments (maxmax)
+	Requeued   int             `json:"requeued,omitempty"` // subtasks re-mapped after machine losses
+	Machines   []MachineReport `json:"machines"`
+	VerifyOK   bool            `json:"verify_ok"`
+	Violations []string        `json:"violations,omitempty"`
+}
+
+// Outcome bundles a run's serializable result with its side products:
+// the captured trace document (nil unless the request asked for one)
+// and the heuristic's wall time, which feeds the latency histograms but
+// never the response body.
+type Outcome struct {
+	Result  *Result
+	Trace   *trace.Document
+	Elapsed float64 // heuristic wall time, seconds
+}
+
+// Execute runs one request to completion. The request is canonicalized
+// and validated (with the given problem-size cap) first; every error is
+// a client error except workload-generation failures, which Execute
+// wraps as internal.
+func Execute(req Request, maxN int) (*Outcome, error) {
+	req = req.Canonical()
+	if err := req.Validate(maxN); err != nil {
+		return nil, &RequestError{Err: err}
+	}
+	c, err := req.gridCase()
+	if err != nil {
+		return nil, &RequestError{Err: err}
+	}
+	params := workload.DefaultParams(req.N)
+	params.EnergyScale = req.EnergyScale
+	scn, err := workload.Generate(params, rng.New(req.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("generate workload: %w", err)
+	}
+	inst, err := scn.Instantiate(c)
+	if err != nil {
+		return nil, fmt.Errorf("instantiate case %s: %w", req.Case, err)
+	}
+	w := sched.NewWeights(req.Alpha, req.Beta)
+
+	var (
+		metrics  sched.Metrics
+		state    *sched.State
+		steps    int
+		requeued int
+		elapsed  float64
+		rec      *trace.Recorder
+	)
+	//lint:errdrop Validate already rejected unknown heuristics, so variant cannot fail here
+	if variant, isSLRH, _ := req.variant(); isSLRH {
+		cfg := core.DefaultConfig(variant, w)
+		cfg.DeltaT = req.DeltaT
+		cfg.Horizon = req.Horizon
+		if req.Adaptive {
+			cfg.Adaptive = core.NewAdaptiveController(w)
+		}
+		for _, e := range req.Lose {
+			cfg.Events = append(cfg.Events, core.Event{At: e.At, Machine: e.Machine})
+		}
+		if req.Trace {
+			rec = trace.NewRecorder(1)
+			cfg.Observer = rec.Observe
+		}
+		res, err := core.Run(inst, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("run %s: %w", req.Heuristic, err)
+		}
+		metrics, state = res.Metrics, res.State
+		steps, requeued = res.Timesteps, res.Requeued
+		elapsed = res.Elapsed.Seconds()
+	} else {
+		res, err := maxmax.Run(inst, maxmax.Config{Weights: w})
+		if err != nil {
+			return nil, fmt.Errorf("run maxmax: %w", err)
+		}
+		metrics, state = res.Metrics, res.State
+		steps = res.Steps
+		elapsed = res.Elapsed.Seconds()
+	}
+
+	result := &Result{
+		Request:    req,
+		Weights:    WeightsReport{Alpha: w.Alpha, Beta: w.Beta, Gamma: w.Gamma},
+		TauSeconds: grid.CyclesToSeconds(inst.TauCycles),
+		TSE:        inst.Grid.TSE(),
+		Metrics: MetricsReport{
+			Mapped:     metrics.Mapped,
+			T100:       metrics.T100,
+			TEC:        metrics.TEC,
+			AETSeconds: metrics.AETSeconds,
+			Objective:  metrics.Objective,
+			Complete:   metrics.Complete,
+			MetTau:     metrics.MetTau,
+			Feasible:   metrics.Feasible(),
+		},
+		Steps:    steps,
+		Requeued: requeued,
+		VerifyOK: true,
+	}
+	for j := 0; j < inst.Grid.M(); j++ {
+		m := MachineReport{
+			ID:        j,
+			Class:     inst.Grid.Machines[j].Class.String(),
+			Battery:   inst.Grid.Machines[j].Battery,
+			Remaining: state.Ledger.Remaining(j),
+			Alive:     state.Alive(j),
+		}
+		if !m.Alive {
+			m.DeadAt = state.DeadAt(j)
+		}
+		result.Machines = append(result.Machines, m)
+	}
+	for _, v := range sim.Verify(state) {
+		result.VerifyOK = false
+		result.Violations = append(result.Violations, v.String())
+	}
+
+	out := &Outcome{Result: result, Elapsed: elapsed}
+	if req.Trace {
+		doc := trace.NewDocument(rec, state)
+		out.Trace = &doc
+	}
+	return out, nil
+}
+
+// RequestError marks an error as the client's fault (HTTP 400).
+type RequestError struct{ Err error }
+
+func (e *RequestError) Error() string { return e.Err.Error() }
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// EncodeResult writes the canonical serialization of a result: indented
+// JSON plus a trailing newline. Both the service and `slrhsim -json`
+// emit through this one function, so their bytes agree (the parity
+// tests pin it).
+func EncodeResult(w io.Writer, res *Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

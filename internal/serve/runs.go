@@ -1,0 +1,47 @@
+package serve
+
+import "sync"
+
+// RunStore retains the trace documents of recent runs, keyed by run id,
+// bounded FIFO like the result cache. Runs executed without trace
+// capture are not stored — their ids simply miss.
+type RunStore struct {
+	mu    sync.Mutex
+	max   int
+	docs  map[string][]byte // run id -> serialized trace.Document
+	order []string
+}
+
+// NewRunStore returns a store retaining at most max trace documents
+// (max < 1 pins the capacity to 1).
+func NewRunStore(max int) *RunStore {
+	if max < 1 {
+		max = 1
+	}
+	return &RunStore{max: max, docs: make(map[string][]byte, max)}
+}
+
+// Put stores a run's serialized trace document.
+func (s *RunStore) Put(runID string, doc []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.docs[runID]; ok {
+		s.docs[runID] = doc
+		return
+	}
+	for len(s.docs) >= s.max {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.docs, oldest)
+	}
+	s.docs[runID] = doc
+	s.order = append(s.order, runID)
+}
+
+// Get returns the trace document for a run id, if retained.
+func (s *RunStore) Get(runID string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	doc, ok := s.docs[runID]
+	return doc, ok
+}

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"adhocgrid/internal/exp"
+)
+
+// Config sizes the service. Zero values select the defaults noted per
+// field.
+type Config struct {
+	// Workers caps concurrently executing runs (default GOMAXPROCS).
+	Workers int
+	// QueueSize bounds runs accepted but not yet executing; an arriving
+	// request that finds the queue full is refused with 429 (default 64).
+	QueueSize int
+	// CacheSize bounds the result cache, in responses (default 1024).
+	CacheSize int
+	// RunHistory bounds retained trace documents, in runs (default 256).
+	RunHistory int
+	// MaxN caps the accepted problem size |T| (default 2048; negative
+	// disables the cap).
+	MaxN int
+	// RetryAfterSeconds is the client backoff hinted on 429 (default 1).
+	RetryAfterSeconds int
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize == 0 {
+		c.QueueSize = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.RunHistory <= 0 {
+		c.RunHistory = 256
+	}
+	if c.MaxN == 0 {
+		c.MaxN = 2048
+	} else if c.MaxN < 0 {
+		c.MaxN = 0
+	}
+	if c.RetryAfterSeconds <= 0 {
+		c.RetryAfterSeconds = 1
+	}
+	return c
+}
+
+// mapStatusCodes is the fixed set of statuses the map endpoint can
+// answer with; slrhd_map_requests_total carries one series per entry.
+var mapStatusCodes = []int{http.StatusOK, http.StatusBadRequest, http.StatusTooManyRequests, http.StatusInternalServerError}
+
+// heuristicNames indexes the per-heuristic metric series.
+var heuristicNames = []string{"slrh1", "slrh2", "slrh3", "maxmax"}
+
+// heuristicIndex maps a canonical heuristic name to its series index.
+func heuristicIndex(h string) int {
+	for i, name := range heuristicNames {
+		if name == h {
+			return i
+		}
+	}
+	return len(heuristicNames) - 1 // unreachable for validated requests
+}
+
+// Server is the slrhd scheduling service: handlers plus the worker
+// pool, result cache, run store and metrics registry behind them.
+type Server struct {
+	cfg      Config
+	pool     *exp.Pool
+	cache    *Cache
+	runs     *RunStore
+	reg      *Registry
+	runSeq   atomic.Uint64
+	draining atomic.Bool
+
+	mapRequests []*Counter // parallel to mapStatusCodes
+	cacheHits   *Counter
+	cacheMisses *Counter
+	inflight    *Gauge
+	runsTotal   []*Counter   // parallel to heuristicNames
+	runSeconds  []*Histogram // wall time of the whole job, per heuristic
+	heurSeconds []*Histogram // heuristic-reported time, per heuristic
+	runErrors   *Counter
+	writeErrors *Counter
+}
+
+// New builds a server and starts its worker pool. Call Close to drain.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  exp.NewPool(cfg.Workers, cfg.QueueSize),
+		cache: NewCache(cfg.CacheSize),
+		runs:  NewRunStore(cfg.RunHistory),
+		reg:   NewRegistry(),
+	}
+	for _, code := range mapStatusCodes {
+		s.mapRequests = append(s.mapRequests,
+			s.reg.Counter("slrhd_map_requests_total", fmt.Sprintf(`code="%d"`, code),
+				"POST /v1/map requests answered, by status code"))
+	}
+	s.cacheHits = s.reg.Counter("slrhd_cache_hits_total", "", "map requests served from the result cache")
+	s.cacheMisses = s.reg.Counter("slrhd_cache_misses_total", "", "map requests that required computation")
+	s.reg.GaugeFunc("slrhd_cache_entries", "", "resident result-cache entries",
+		func() float64 { return float64(s.cache.Len()) })
+	s.reg.GaugeFunc("slrhd_queue_depth", "", "runs accepted but not yet executing",
+		func() float64 { return float64(s.pool.Depth()) })
+	s.inflight = s.reg.Gauge("slrhd_inflight_runs", "", "runs currently executing")
+	for _, h := range heuristicNames {
+		labels := `heuristic="` + h + `"`
+		s.runsTotal = append(s.runsTotal,
+			s.reg.Counter("slrhd_runs_total", labels, "completed runs, by heuristic"))
+		s.runSeconds = append(s.runSeconds,
+			s.reg.Histogram("slrhd_run_seconds", labels,
+				"wall time of one run job (generate + map + verify + encode)", DefaultLatencyBuckets))
+		s.heurSeconds = append(s.heurSeconds,
+			s.reg.Histogram("slrhd_heuristic_seconds", labels,
+				"heuristic-reported mapping time (the paper's Fig 6 quantity)", DefaultLatencyBuckets))
+	}
+	s.runErrors = s.reg.Counter("slrhd_run_errors_total", "", "runs that failed with an internal error")
+	s.writeErrors = s.reg.Counter("slrhd_response_write_errors_total", "", "response bodies that failed mid-write")
+	return s
+}
+
+// Registry exposes the metrics registry (for tests and extensions).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// BeginDrain flips readiness off: /readyz starts failing so load
+// balancers stop routing here, while in-flight and queued work keeps
+// running. Call before shutting down the HTTP listener.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Close drains the worker pool: admission stops, every accepted job
+// runs to completion, and the workers exit. Safe to call repeatedly.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.pool.Close()
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/map", s.handleMap)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return mux
+}
+
+// countMap records one map-endpoint response.
+func (s *Server) countMap(code int) {
+	for i, c := range mapStatusCodes {
+		if c == code {
+			s.mapRequests[i].Inc()
+			return
+		}
+	}
+}
+
+// write sends b, absorbing client-side write failures into a counter
+// (the response cannot be repaired once streaming began).
+func (s *Server) write(w http.ResponseWriter, b []byte) {
+	if _, err := w.Write(b); err != nil {
+		s.writeErrors.Inc()
+	}
+}
+
+// mapError answers the map endpoint with a JSON error.
+func (s *Server) mapError(w http.ResponseWriter, code int, msg string) {
+	s.countMap(code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	b, err := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	if err != nil {
+		s.writeErrors.Inc()
+		return
+	}
+	s.write(w, append(b, '\n'))
+}
+
+// writeCached answers the map endpoint with a (possibly fresh) cache
+// entry.
+func (s *Server) writeCached(w http.ResponseWriter, e CacheEntry, disposition string) {
+	s.countMap(http.StatusOK)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", disposition)
+	w.Header().Set("X-Run-Id", e.RunID)
+	s.write(w, e.Body)
+}
+
+// handleMap prices and maps one scenario: decode, admission-check,
+// execute (or serve from cache), respond.
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		s.mapError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	req = req.Canonical()
+	if err := req.Validate(s.cfg.MaxN); err != nil {
+		s.mapError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := req.Key()
+	if e, ok := s.cache.Get(key); ok {
+		s.cacheHits.Inc()
+		s.writeCached(w, e, "hit")
+		return
+	}
+	type jobResult struct {
+		entry CacheEntry
+		err   error
+	}
+	done := make(chan jobResult, 1)
+	accepted := s.pool.TrySubmit(func() {
+		entry, err := s.executeJob(req)
+		done <- jobResult{entry, err}
+	})
+	if !accepted {
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+		s.mapError(w, http.StatusTooManyRequests, "run queue full; retry later")
+		return
+	}
+	// Counted only once admitted: a shed (429) request neither hit nor
+	// missed the cache, so hits+misses reconciles with 200 responses.
+	s.cacheMisses.Inc()
+	res := <-done
+	if res.err != nil {
+		var reqErr *RequestError
+		if errors.As(res.err, &reqErr) {
+			s.mapError(w, http.StatusBadRequest, res.err.Error())
+		} else {
+			s.runErrors.Inc()
+			s.mapError(w, http.StatusInternalServerError, res.err.Error())
+		}
+		return
+	}
+	// Two identical requests racing past the cache check both compute;
+	// determinism makes their bodies identical, so last-Put-wins is safe.
+	s.cache.Put(key, res.entry)
+	s.writeCached(w, res.entry, "miss")
+}
+
+// executeJob runs one admitted request inside a pool worker and
+// packages the response bytes and trace document.
+func (s *Server) executeJob(req Request) (CacheEntry, error) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	runID := fmt.Sprintf("r%08d", s.runSeq.Add(1))
+	start := time.Now() //lint:wallclock elapsed-time reporting for the latency histogram; never a scheduling input
+	out, err := Execute(req, s.cfg.MaxN)
+	wall := time.Since(start).Seconds() //lint:wallclock closes the latency-report pair above
+	if err != nil {
+		return CacheEntry{}, err
+	}
+	h := heuristicIndex(req.Heuristic)
+	s.runsTotal[h].Inc()
+	s.runSeconds[h].Observe(wall)
+	s.heurSeconds[h].Observe(out.Elapsed)
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, out.Result); err != nil {
+		return CacheEntry{}, err
+	}
+	if out.Trace != nil {
+		var tb bytes.Buffer
+		if err := out.Trace.WriteJSON(&tb); err != nil {
+			return CacheEntry{}, err
+		}
+		s.runs.Put(runID, tb.Bytes())
+	}
+	return CacheEntry{Body: buf.Bytes(), RunID: runID}, nil
+}
+
+// handleTrace serves a retained run's trace document.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	doc, ok := s.runs.Get(r.PathValue("id"))
+	if !ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		s.write(w, []byte(`{"error":"unknown run id, trace not captured, or trace evicted"}`+"\n"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.write(w, doc)
+}
+
+// handleMetrics scrapes the registry in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var buf bytes.Buffer
+	if err := s.reg.WriteText(&buf); err != nil {
+		// bytes.Buffer writes cannot fail; guard kept for errdrop honesty.
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	s.write(w, buf.Bytes())
+}
+
+// handleHealthz reports liveness: the process is up.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.write(w, []byte("ok\n"))
+}
+
+// handleReadyz reports readiness: drain flips it to 503 so balancers
+// stop routing new work here while accepted runs finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		s.write(w, []byte("draining\n"))
+		return
+	}
+	s.write(w, []byte("ready\n"))
+}

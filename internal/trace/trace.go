@@ -114,6 +114,40 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.snapshots)
 }
 
+// Document is the serializable record of one run: the per-timestep
+// snapshots plus the final assignment table. It is the payload served by
+// the scheduling service's /v1/runs/{id}/trace endpoint and a convenient
+// single-file export for offline analysis. Both slices marshal as []
+// (never null) so consumers can index without nil checks.
+type Document struct {
+	Snapshots   []Snapshot      `json:"snapshots"`
+	Assignments []AssignmentRow `json:"assignments"`
+}
+
+// NewDocument captures a run into a Document. rec may be nil (no
+// per-timestep observer was attached); st must be the final state.
+func NewDocument(rec *Recorder, st *sched.State) Document {
+	doc := Document{Snapshots: []Snapshot{}, Assignments: []AssignmentRow{}}
+	if rec != nil {
+		doc.Snapshots = append(doc.Snapshots, rec.snapshots...)
+	}
+	doc.Assignments = append(doc.Assignments, AssignmentTable(st)...)
+	return doc
+}
+
+// WriteJSON emits the document as a single JSON object. Nil slices are
+// normalized to empty ones (the receiver is a value; the caller's
+// document is untouched).
+func (d Document) WriteJSON(w io.Writer) error {
+	if d.Snapshots == nil {
+		d.Snapshots = []Snapshot{}
+	}
+	if d.Assignments == nil {
+		d.Assignments = []AssignmentRow{}
+	}
+	return json.NewEncoder(w).Encode(d)
+}
+
 // AssignmentRow is one line of the final mapping table.
 type AssignmentRow struct {
 	Subtask      int     `json:"subtask"`

@@ -123,6 +123,42 @@ func TestWriteAssignmentsCSV(t *testing.T) {
 	}
 }
 
+func TestDocumentRoundTrip(t *testing.T) {
+	rec, res := runWithRecorder(t, 1)
+	doc := NewDocument(rec, res.State)
+	if len(doc.Snapshots) != rec.Len() || len(doc.Assignments) != res.Metrics.Mapped {
+		t.Fatalf("document has %d snapshots / %d assignments, want %d / %d",
+			len(doc.Snapshots), len(doc.Assignments), rec.Len(), res.Metrics.Mapped)
+	}
+	var buf bytes.Buffer
+	if err := doc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Document
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Snapshots) != len(doc.Snapshots) || len(back.Assignments) != len(doc.Assignments) {
+		t.Fatalf("round trip lost rows: %d/%d vs %d/%d",
+			len(back.Snapshots), len(back.Assignments), len(doc.Snapshots), len(doc.Assignments))
+	}
+}
+
+func TestDocumentNilRecorderMarshalsEmptyArrays(t *testing.T) {
+	_, res := runWithRecorder(t, 1)
+	var buf bytes.Buffer
+	doc := NewDocument(nil, res.State)
+	doc.Assignments = nil // even a zeroed field must serialize as []
+	doc.Snapshots = nil
+	if err := doc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(buf.String())
+	if got != `{"snapshots":[],"assignments":[]}` {
+		t.Fatalf("nil slices must marshal as empty arrays, got %s", got)
+	}
+}
+
 func TestSnapshotMachineEnergyMonotone(t *testing.T) {
 	rec, res := runWithRecorder(t, 1)
 	snaps := rec.Snapshots()
