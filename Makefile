@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix-hints test race check bench fuzz serve-smoke
+.PHONY: all build vet lint lint-fix-hints test race check bench fuzz serve-smoke fault-smoke
 
 all: check
 
@@ -45,6 +45,21 @@ serve-smoke:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSLRH$$' -benchtime 30x .
 
-# Differential fuzzing of the chunked timeline against the naive reference.
+# Determinism smoke for the fault engine: one canned churn plan (loss,
+# transient failure, link degradation, rejoin) run twice through
+# `slrhsim -json`; the two documents must be byte-identical.
+FAULT_SMOKE_PLAN = fail:t30@4000,lose:1@8000,slow:links*0.5@[9000,40000],rejoin:1@12000
+fault-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/slrhsim -n 96 -seed 11 -json -faults '$(FAULT_SMOKE_PLAN)' > "$$tmp/a.json" && \
+	$(GO) run ./cmd/slrhsim -n 96 -seed 11 -json -faults '$(FAULT_SMOKE_PLAN)' > "$$tmp/b.json" && \
+	cmp "$$tmp/a.json" "$$tmp/b.json" && \
+	grep -q '"verify_ok": true' "$$tmp/a.json" && \
+	echo "fault-smoke: two faulted runs byte-identical and verified"
+
+# Fuzz smokes: the chunked timeline against the naive reference, and the
+# fault-DSL parser against its canonical re-spelling (parse/String round
+# trip must reach a fixpoint).
 fuzz:
-	$(GO) test -fuzz FuzzTimelineVsReference -fuzztime 30s ./internal/sched/
+	$(GO) test -fuzz FuzzTimelineVsReference -fuzztime 15s ./internal/sched/
+	$(GO) test -fuzz FuzzParsePlan -fuzztime 15s ./internal/fault/

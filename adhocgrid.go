@@ -21,8 +21,11 @@
 //   - the equivalent-computing-cycles upper bound via UpperBound;
 //   - the paper's two-stage objective-weight search via OptimizeWeights;
 //   - an independent schedule verifier via Verify;
-//   - dynamic machine loss (Config.Events) and on-the-fly multiplier
-//     adaptation (Config.Adaptive), the paper's stated future work.
+//   - deterministic fault plans — machine loss and rejoin, transient
+//     subtask failure, link degradation — via Config.Faults and
+//     ParseFaultPlan, with plan-aware verification via VerifyPlan, and
+//     on-the-fly multiplier adaptation (Config.Adaptive), the paper's
+//     stated future work.
 //
 // Quick start:
 //

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-scale default|bench|full] [-exp all|table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|perf]
+//	experiments [-scale default|bench|full] [-exp all|table1|...|fig7|horizon|robustness|faults|scaling|perf]
 //	            [-seed N] [-workers N] [-n N] [-netc N] [-ndag N]
 //
 // The default scale reproduces the paper's experiment structure at
@@ -49,7 +49,7 @@ func writeCSV(dir, name string, write func(io.Writer) error) {
 
 func main() {
 	scaleName := flag.String("scale", "default", "experiment scale: bench, default or full")
-	expName := flag.String("exp", "all", "experiment to run: all, table1..table4, fig2..fig7, horizon, robustness, scaling, perf")
+	expName := flag.String("exp", "all", "experiment to run: all, table1..table4, fig2..fig7, horizon, robustness, faults, scaling, perf")
 	seed := flag.Uint64("seed", 0, "override the master seed (0 = scale default)")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	n := flag.Int("n", 0, "override subtask count")
@@ -100,7 +100,7 @@ func main() {
 		fmt.Println(exp.Table2())
 	}
 
-	needEnv := want == "all" || strings.HasPrefix(want, "fig") || want == "table3" || want == "table4" || want == "perf" || want == "horizon" || want == "robustness" || want == "scaling"
+	needEnv := want == "all" || strings.HasPrefix(want, "fig") || want == "table3" || want == "table4" || want == "perf" || want == "horizon" || want == "robustness" || want == "scaling" || want == "faults"
 	if !needEnv {
 		return
 	}
@@ -145,6 +145,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(scl.Render())
+	}
+	if run("faults") {
+		fs, err := env.FaultSweep()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: faults: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(fs.Render())
+		writeCSV(*csvDir, "faults.csv", fs.WriteCSV)
 	}
 	if run("robustness") {
 		rob, err := env.Robustness()

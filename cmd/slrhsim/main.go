@@ -9,6 +9,7 @@
 //
 //	slrhsim -n 256 -case A -heuristic slrh1 -alpha 0.5 -beta 0.3
 //	slrhsim -n 256 -case A -heuristic slrh1 -alpha 0.5 -beta 0.3 -lose 1@40000
+//	slrhsim -n 256 -faults 'lose:1@40000,fail:t17@52000,slow:links*0.5@[60000,90000],rejoin:1@110000'
 //	slrhsim -n 128 -heuristic maxmax -alpha 1 -beta 0 -assignments out.csv
 //	slrhsim -n 96 -seed 1 -json
 package main
@@ -23,6 +24,7 @@ import (
 	"strings"
 
 	"adhocgrid/internal/core"
+	"adhocgrid/internal/fault"
 	"adhocgrid/internal/grid"
 	"adhocgrid/internal/maxmax"
 	"adhocgrid/internal/rng"
@@ -54,7 +56,8 @@ func run(args []string, stdout io.Writer) error {
 	deltaT := fs.Int64("deltat", core.DefaultDeltaT, "SLRH timestep in clock cycles")
 	horizon := fs.Int64("horizon", core.DefaultHorizon, "SLRH receding horizon in clock cycles")
 	adaptive := fs.Bool("adaptive", false, "enable on-the-fly weight adaptation (extension)")
-	lose := fs.String("lose", "", "machine loss events, comma-separated machine@cycle (e.g. 1@40000)")
+	lose := fs.String("lose", "", "machine loss events, comma-separated machine@cycle (sugar for lose: items of -faults)")
+	faults := fs.String("faults", "", "fault plan: comma-separated lose:M@C, rejoin:M@C, fail:tT@C, slow:links*F@[C1,C2]")
 	traceFile := fs.String("trace", "", "write per-timestep trace CSV to this file")
 	assignFile := fs.String("assignments", "", "write the final mapping CSV to this file")
 	energyScale := fs.Float64("energyscale", 0, "battery multiplier (0 = auto |T|/1024)")
@@ -71,7 +74,7 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("-trace/-assignments/-gantt/-chain are text-mode options; -json emits the service schema only")
 		}
 		return runJSON(stdout, *n, *seed, *caseName, *heuristic, *alpha, *beta,
-			*deltaT, *horizon, *adaptive, *energyScale, *lose)
+			*deltaT, *horizon, *adaptive, *energyScale, *lose, *faults)
 	}
 
 	var c grid.Case
@@ -99,9 +102,10 @@ func run(args []string, stdout io.Writer) error {
 	w := sched.NewWeights(*alpha, *beta)
 
 	var (
-		metrics sched.Metrics
-		state   *sched.State
-		extra   string
+		metrics    sched.Metrics
+		state      *sched.State
+		verifyPlan *fault.Plan
+		extra      string
 	)
 	switch strings.ToLower(*heuristic) {
 	case "slrh1", "slrh2", "slrh3":
@@ -114,13 +118,11 @@ func run(args []string, stdout io.Writer) error {
 		if *adaptive {
 			cfg.Adaptive = core.NewAdaptiveController(w)
 		}
-		if *lose != "" {
-			events, err := parseEvents(*lose)
-			if err != nil {
-				return err
-			}
-			cfg.Events = events
+		plan, err := parsePlan(*faults, *lose)
+		if err != nil {
+			return err
 		}
+		cfg.Faults = plan
 		var rec *trace.Recorder
 		if *traceFile != "" {
 			rec = trace.NewRecorder(1)
@@ -131,15 +133,19 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("run: %w", err)
 		}
 		metrics, state = res.Metrics, res.State
+		verifyPlan = plan
 		extra = fmt.Sprintf("timesteps=%d requeued=%d elapsed=%s", res.Timesteps, res.Requeued, res.Elapsed)
+		if plan != nil && !plan.Empty() {
+			extra += fmt.Sprintf(" faults=%d skipped=%d", res.FaultsApplied, res.FaultsSkipped)
+		}
 		if rec != nil {
 			if err := writeFile(*traceFile, rec.WriteCSV); err != nil {
 				return fmt.Errorf("trace: %w", err)
 			}
 		}
 	case "maxmax":
-		if *lose != "" || *adaptive || *traceFile != "" {
-			return fmt.Errorf("-lose/-adaptive/-trace apply to the SLRH variants only")
+		if *lose != "" || *faults != "" || *adaptive || *traceFile != "" {
+			return fmt.Errorf("-lose/-faults/-adaptive/-trace apply to the SLRH variants only")
 		}
 		res, err := maxmax.Run(inst, maxmax.Config{Weights: w})
 		if err != nil {
@@ -165,6 +171,8 @@ func run(args []string, stdout io.Writer) error {
 		status := "alive"
 		if !state.Alive(j) {
 			status = fmt.Sprintf("lost at cycle %d", state.DeadAt(j))
+		} else if d := state.Downtime(j); len(d) > 0 {
+			status = fmt.Sprintf("alive, rejoined at cycle %d", d[len(d)-1].End)
 		}
 		fmt.Fprintf(buf, "machine %d   %-5s remaining %.2f/%.2f energy (%s)\n",
 			j, inst.Grid.Machines[j].Class, state.Ledger.Remaining(j), inst.Grid.Machines[j].Battery, status)
@@ -195,7 +203,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	var verifyErr error
 	if *verify {
-		if violations := sim.Verify(state); len(violations) > 0 {
+		if violations := sim.VerifyPlan(state, verifyPlan); len(violations) > 0 {
 			fmt.Fprintf(buf, "VERIFY      %d violations:\n", len(violations))
 			for _, v := range violations {
 				fmt.Fprintf(buf, "  %s\n", v)
@@ -215,7 +223,7 @@ func run(args []string, stdout io.Writer) error {
 // the slrhd service runs (serve.Execute + serve.EncodeResult), so the
 // CLI's bytes and the service's response bytes are one artifact.
 func runJSON(stdout io.Writer, n int, seed uint64, caseName, heuristic string,
-	alpha, beta float64, deltaT, horizon int64, adaptive bool, energyScale float64, lose string) error {
+	alpha, beta float64, deltaT, horizon int64, adaptive bool, energyScale float64, lose, faults string) error {
 	req := serve.Request{
 		N:           n,
 		Case:        caseName,
@@ -227,6 +235,7 @@ func runJSON(stdout io.Writer, n int, seed uint64, caseName, heuristic string,
 		Horizon:     horizon,
 		Adaptive:    adaptive,
 		EnergyScale: energyScale,
+		Faults:      faults,
 	}
 	if lose != "" {
 		events, err := parseEvents(lose)
@@ -247,6 +256,31 @@ func runJSON(stdout io.Writer, n int, seed uint64, caseName, heuristic string,
 	}
 	_, err = stdout.Write(buf.Bytes())
 	return err
+}
+
+// parsePlan builds the run's fault plan from the -faults DSL and the
+// -lose sugar; a run with neither gets a nil plan. Validation beyond
+// syntax (duplicate losses, out-of-range ids, rejoin ordering) is left
+// to the run itself, which knows the grid and workload sizes.
+func parsePlan(faults, lose string) (*fault.Plan, error) {
+	if faults == "" && lose == "" {
+		return nil, nil
+	}
+	pl, err := fault.ParsePlan(faults)
+	if err != nil {
+		return nil, err
+	}
+	if lose != "" {
+		events, err := parseEvents(lose)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range events {
+			pl.Events = append(pl.Events, fault.Event{Kind: fault.Lose, At: e.At, Machine: e.Machine})
+		}
+	}
+	pl.Normalize()
+	return pl, nil
 }
 
 // parseEvents parses the -lose spec: comma-separated machine@cycle

@@ -86,6 +86,12 @@ func TestJSONParityWithService(t *testing.T) {
 		{"-n", "64", "-seed", "11", "-case", "C", "-heuristic", "maxmax", "-alpha", "0.5", "-beta", "0.3", "-json"},
 		{"-n", "64", "-seed", "11", "-case", "A", "-heuristic", "slrh1", "-alpha", "0.5", "-beta", "0.3",
 			"-lose", "1@40000,0@90000", "-json"},
+		{"-n", "64", "-seed", "11", "-case", "A", "-heuristic", "slrh1", "-alpha", "0.5", "-beta", "0.3",
+			"-faults", "lose:1@20000,slow:links*0.5@[30000,90000],rejoin:1@50000", "-json"},
+		// The -lose sugar spelling of the same plan must hit the same
+		// cache entry as the pure-DSL request below.
+		{"-n", "64", "-seed", "11", "-case", "A", "-heuristic", "slrh1", "-alpha", "0.5", "-beta", "0.3",
+			"-lose", "1@20000", "-faults", "slow:links*0.5@[30000,90000],rejoin:1@50000", "-json"},
 	}
 	requests := []serve.Request{
 		{N: 64, Seed: 11, Case: "A", Heuristic: "slrh1", Alpha: 0.5, Beta: 0.3},
@@ -93,6 +99,10 @@ func TestJSONParityWithService(t *testing.T) {
 		{N: 64, Seed: 11, Case: "C", Heuristic: "maxmax", Alpha: 0.5, Beta: 0.3},
 		{N: 64, Seed: 11, Case: "A", Heuristic: "slrh1", Alpha: 0.5, Beta: 0.3,
 			Lose: []serve.LossEvent{{Machine: 1, At: 40000}, {Machine: 0, At: 90000}}},
+		{N: 64, Seed: 11, Case: "A", Heuristic: "slrh1", Alpha: 0.5, Beta: 0.3,
+			Faults: "lose:1@20000,slow:links*0.5@[30000,90000],rejoin:1@50000"},
+		{N: 64, Seed: 11, Case: "A", Heuristic: "slrh1", Alpha: 0.5, Beta: 0.3,
+			Faults: "lose:1@20000,slow:links*0.5@[30000,90000],rejoin:1@50000"},
 	}
 
 	s := serve.New(serve.Config{})
@@ -120,6 +130,54 @@ func TestJSONParityWithService(t *testing.T) {
 		}
 		if !bytes.Equal(cli.Bytes(), hit) {
 			t.Fatalf("CLI and cached service bytes differ for %v", flags)
+		}
+	}
+}
+
+// TestFaultPlanRejection drives malformed or inconsistent fault specs
+// through run(): syntax errors surface from the parser, semantic ones
+// (duplicates, ranges, ordering) from plan validation inside the run.
+// Each case must fail with a distinct, recognizable message.
+func TestFaultPlanRejection(t *testing.T) {
+	cases := []struct {
+		name    string
+		flags   []string
+		wantErr string
+	}{
+		{"unknown event kind", []string{"-faults", "explode:1@40"}, "unknown event kind"},
+		{"negative cycle", []string{"-faults", "lose:1@-5"}, "cycle"},
+		{"non-monotone anchors", []string{"-faults", "lose:1@500,fail:t3@400"}, "non-monotone"},
+		{"bad factor", []string{"-faults", "slow:links*1.5@[10,20]"}, "factor"},
+		{"duplicate loss", []string{"-faults", "lose:1@40,lose:1@50"}, "machine 1"},
+		{"dup loss across forms", []string{"-lose", "1@40", "-faults", "lose:1@50"}, "machine 1"},
+		{"machine out of range", []string{"-faults", "lose:99@40"}, "machine 99"},
+		{"subtask out of range", []string{"-faults", "fail:t16@40"}, "subtask 16"},
+		{"rejoin before loss", []string{"-faults", "rejoin:1@40"}, "machine 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(append([]string{"-n", "16"}, tc.flags...), io.Discard)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("run(%v) err = %v, want containing %q", tc.flags, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestTextModeWithFaults smoke-tests the human-readable path under a
+// churn plan: the run must verify against the plan and report the
+// rejoined machine.
+func TestTextModeWithFaults(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "48", "-seed", "3", "-heuristic", "slrh1",
+		"-faults", "lose:1@2000,rejoin:1@4000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"VERIFY      ok", "faults=2", "rejoined at cycle 4000"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("faulted text output missing %q:\n%s", want, text)
 		}
 	}
 }
@@ -159,7 +217,9 @@ func TestRunUnknownFlagsAndValues(t *testing.T) {
 		{"-case", "Z"},
 		{"-heuristic", "nope"},
 		{"-heuristic", "maxmax", "-lose", "1@40000"},
+		{"-heuristic", "maxmax", "-faults", "lose:1@40000"},
 		{"-lose", "garbage"},
+		{"-faults", "garbage"},
 	} {
 		if err := run(append([]string{"-n", "16"}, flags...), io.Discard); err == nil {
 			t.Fatalf("run(%v) should fail", flags)

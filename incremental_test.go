@@ -11,6 +11,7 @@ import (
 
 	"adhocgrid/internal/core"
 	"adhocgrid/internal/exp"
+	"adhocgrid/internal/fault"
 	"adhocgrid/internal/grid"
 	"adhocgrid/internal/rng"
 	"adhocgrid/internal/sched"
@@ -83,6 +84,33 @@ func TestPlanCacheDifferentialMachineLoss(t *testing.T) {
 			{At: inst.TauCycles / 3, Machine: 2},
 		}
 		assertCacheTransparent(t, inst, cfg, v.String()+"/loss")
+	}
+}
+
+// TestPlanCacheDifferentialFaultPlan exercises the full fault-plan
+// invalidation surface at once: a transient failure, a loss-rejoin churn
+// pair, and a link-degradation window all dirty cache entries (FailSubtask
+// and RejoinMachine bump the shrink epoch; the window changes pricing
+// itself), so cached and uncached runs must still coincide bit for bit.
+func TestPlanCacheDifferentialFaultPlan(t *testing.T) {
+	env, err := exp.NewEnv(exp.Bench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := env.Instance(grid.CaseA, 0, 0)
+	w := sched.NewWeights(0.5, 0.3)
+	spec := "fail:t7@" + itoa(inst.TauCycles/16) +
+		",lose:1@" + itoa(inst.TauCycles/8) +
+		",slow:links*0.5@[" + itoa(inst.TauCycles/6) + "," + itoa(inst.TauCycles) + "]" +
+		",rejoin:1@" + itoa(inst.TauCycles/4)
+	pl, err := fault.ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []core.Variant{core.SLRH1, core.SLRH2, core.SLRH3} {
+		cfg := core.DefaultConfig(v, w)
+		cfg.Faults = pl
+		assertCacheTransparent(t, inst, cfg, v.String()+"/faultplan")
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"adhocgrid/internal/fault"
 	"adhocgrid/internal/sched"
 	"adhocgrid/internal/workload"
 )
@@ -82,6 +83,14 @@ type Config struct {
 	// fired is applied (machine-loss extension).
 	Events []Event
 
+	// Faults, when non-nil, injects the full fault plan: machine losses
+	// and rejoins, transient subtask failures, and link-degradation
+	// windows (see internal/fault). It is merged with the legacy Events
+	// list (each entry treated as a loss), normalized, and validated
+	// before the run. Events with At beyond the cycle where every
+	// execution has completed never fire.
+	Faults *fault.Plan
+
 	// OptimisticComm switches the pool-feasibility test to the ablation
 	// variant that omits the worst-case child-communication energy
 	// reservation (§IV design choice; see BenchmarkAblationCommEnergy).
@@ -136,7 +145,14 @@ type Result struct {
 	State     *sched.State
 	Timesteps int           // heuristic activations performed
 	Elapsed   time.Duration // heuristic wall time (Figs 2, 6, 7)
-	Requeued  int           // subtasks re-mapped after machine losses
+	Requeued  int           // subtasks re-mapped after losses and failures
+
+	// FaultsApplied counts fault events that fired and changed the state;
+	// FaultsSkipped counts fail events whose subtask had no in-flight
+	// execution at the fault instant (both deterministic functions of the
+	// seed, scenario, and plan).
+	FaultsApplied int
+	FaultsSkipped int
 }
 
 // candidate is one pool entry: a subtask with its chosen version, its
@@ -176,6 +192,30 @@ func Run(inst *workload.Instance, cfg Config) (*Result, error) {
 // runOn drives the clock loop on an existing state (exported via Run and
 // reused by the adaptive extension and tests).
 func runOn(st *sched.State, cfg Config) (*Result, error) {
+	// Merge the structured fault plan with the legacy loss-event list into
+	// one validated, ordered event sequence, and install the plan's
+	// link-degradation windows before any pricing happens.
+	var pl fault.Plan
+	if cfg.Faults != nil {
+		pl.Events = append(pl.Events, cfg.Faults.Events...)
+		pl.Windows = append(pl.Windows, cfg.Faults.Windows...)
+	}
+	for _, ev := range cfg.Events {
+		pl.Events = append(pl.Events, fault.Event{Kind: fault.Lose, At: ev.At, Machine: ev.Machine})
+	}
+	pl.Normalize()
+	if err := pl.Validate(st.Inst.Grid.M(), st.N()); err != nil {
+		return nil, err
+	}
+	fev := pl.Events
+	if len(pl.Windows) > 0 {
+		ws := make([]sched.LinkSlowdown, len(pl.Windows))
+		for k, w := range pl.Windows {
+			ws[k] = sched.LinkSlowdown{Start: w.Start, End: w.End, Factor: w.Factor}
+		}
+		st.SetLinkSlowdowns(ws)
+	}
+
 	r := &runner{st: st, cfg: cfg}
 	if !cfg.DisablePlanCache {
 		r.cache = newPlanCache(st.N(), st.Inst.Grid.M())
@@ -198,24 +238,51 @@ func runOn(st *sched.State, cfg Config) (*Result, error) {
 	start := time.Now() //lint:wallclock elapsed-time reporting only; never a scheduling input
 	for now := int64(0); now <= inst.TauCycles; now += cfg.DeltaT {
 		// Fire dynamic events scheduled at or before this activation.
-		for eventIdx < len(cfg.Events) && cfg.Events[eventIdx].At <= now {
-			ev := cfg.Events[eventIdx]
-			requeued, err := st.LoseMachine(ev.Machine, ev.At)
-			if err != nil {
-				return nil, err
-			}
-			res.Requeued += len(requeued)
+		for eventIdx < len(fev) && fev[eventIdx].At <= now {
+			ev := fev[eventIdx]
 			eventIdx++
+			switch ev.Kind {
+			case fault.Lose:
+				requeued, err := st.LoseMachine(ev.Machine, ev.At)
+				if err != nil {
+					return nil, err
+				}
+				res.Requeued += len(requeued)
+				res.FaultsApplied++
+			case fault.Rejoin:
+				if err := st.RejoinMachine(ev.Machine, ev.At); err != nil {
+					return nil, err
+				}
+				res.FaultsApplied++
+			case fault.Fail:
+				// A transient failure only aborts an execution that is
+				// actually in flight at the fault instant; otherwise there
+				// is nothing to abort and the event is recorded as skipped
+				// (a deterministic function of the schedule).
+				a := st.Assignments[ev.Subtask]
+				if a == nil || ev.At < a.Start || ev.At >= a.End {
+					res.FaultsSkipped++
+					continue
+				}
+				requeued, err := st.FailSubtask(ev.Subtask, ev.At)
+				if err != nil {
+					return nil, err
+				}
+				res.Requeued += len(requeued)
+				res.FaultsApplied++
+			default:
+				return nil, fmt.Errorf("core: unknown fault kind %d", int(ev.Kind))
+			}
 		}
 		if st.Done() {
 			// The mapping is complete, but execution continues until AET
 			// and a machine lost before then still invalidates scheduled
 			// work (§I). Fast-forward to the next event; stop when no
 			// event can still fire before everything has really finished.
-			if eventIdx >= len(cfg.Events) || cfg.Events[eventIdx].At > st.AETCycles {
+			if eventIdx >= len(fev) || fev[eventIdx].At > st.AETCycles {
 				break
 			}
-			if next := cfg.Events[eventIdx].At; next > now {
+			if next := fev[eventIdx].At; next > now {
 				steps := (next - now + cfg.DeltaT - 1) / cfg.DeltaT
 				now += (steps - 1) * cfg.DeltaT // loop increment adds the last step
 				continue
@@ -268,7 +335,7 @@ func runOn(st *sched.State, cfg Config) (*Result, error) {
 		// Pending loss events can still requeue work, so only bail when
 		// none remain.
 		if st.Mapped == mappedBefore && now >= st.AETCycles && now >= lastArrival &&
-			eventIdx == len(cfg.Events) {
+			eventIdx == len(fev) {
 			break
 		}
 	}

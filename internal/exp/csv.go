@@ -155,3 +155,28 @@ func (p *PerfResult) WriteCSV(w io.Writer) error {
 }
 
 func fmtF(v float64) string { return fmt.Sprintf("%g", v) }
+
+// WriteCSV emits the fault sweep as level,label,heuristic,t100,complete,requeued.
+func (f *FaultSweepResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"level", "label", "heuristic", "t100", "complete", "requeued"}); err != nil {
+		return err
+	}
+	for lvl, label := range f.Levels {
+		for _, c := range f.Curves {
+			rec := []string{
+				strconv.Itoa(lvl),
+				label,
+				c.Heuristic.String(),
+				strconv.Itoa(c.T100[lvl]),
+				strconv.Itoa(c.Complete[lvl]),
+				strconv.Itoa(c.Requeued[lvl]),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,150 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"adhocgrid/internal/core"
+	"adhocgrid/internal/fault"
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/workload"
+)
+
+// The fault sweep measures how gracefully each SLRH variant degrades as
+// fault intensity rises: level k of the ladder applies the first k
+// disturbances of a fixed sequence (a link slowdown, a transient subtask
+// failure, a permanent machine loss, a deeper slowdown, a second loss),
+// so each level strictly contains the previous level's faults and the
+// T100 curve per heuristic is a degradation curve, not a scatter.
+
+// FaultLevelLabels names the rungs of the intensity ladder, level 0
+// being the fault-free baseline.
+var FaultLevelLabels = []string{
+	"none",
+	"+slow 0.75x",
+	"+fail 1 subtask",
+	"+lose machine 1",
+	"+slow 0.5x",
+	"+lose machine 2",
+}
+
+// FaultLadder builds the cumulative fault plans for one instance: index
+// k holds the plan of intensity level k (index 0 is nil, the fault-free
+// baseline). Event anchors are fixed fractions of the instance's
+// deadline so the ladder scales with the workload.
+func FaultLadder(inst *workload.Instance) []*fault.Plan {
+	tau := inst.TauCycles
+	n := inst.Scenario.N()
+	steps := []fault.Plan{
+		{Windows: []fault.Window{{Start: tau / 6, End: tau, Factor: 0.75}}},
+		{Events: []fault.Event{{Kind: fault.Fail, At: tau / 10, Subtask: n / 3}}},
+		{Events: []fault.Event{{Kind: fault.Lose, At: tau / 6, Machine: 1}}},
+		{Windows: []fault.Window{{Start: tau / 3, End: tau, Factor: 0.5}}},
+		{Events: []fault.Event{{Kind: fault.Lose, At: tau / 4, Machine: 2}}},
+	}
+	plans := make([]*fault.Plan, len(steps)+1)
+	cum := &fault.Plan{}
+	for k, s := range steps {
+		cum.Events = append(cum.Events, s.Events...)
+		cum.Windows = append(cum.Windows, s.Windows...)
+		pl := &fault.Plan{
+			Events:  append([]fault.Event(nil), cum.Events...),
+			Windows: append([]fault.Window(nil), cum.Windows...),
+		}
+		pl.Normalize()
+		plans[k+1] = pl
+	}
+	return plans
+}
+
+// FaultCurve is one heuristic's degradation curve: T100 summed over the
+// Case A scenario suite at each intensity level, plus how many scenarios
+// still mapped every subtask.
+type FaultCurve struct {
+	Heuristic Heuristic
+	T100      []int
+	Complete  []int
+	Requeued  []int
+}
+
+// FaultSweepResult holds the fault-intensity sweep.
+type FaultSweepResult struct {
+	Weights   sched.Weights
+	Levels    []string
+	Scenarios int
+	Curves    []FaultCurve
+}
+
+// FaultSweep runs every SLRH variant over the Case A suite at each
+// rung of the fault ladder with the paper's default weights. Max-Max is
+// absent: the static mapper has no clock to inject faults into.
+func (e *Env) FaultSweep() (*FaultSweepResult, error) {
+	w := sched.NewWeights(0.5, 0.3)
+	heur := []Heuristic{HeurSLRH1, HeurSLRH2, HeurSLRH3}
+	insts := e.Instances(grid.CaseA)
+	levels := len(FaultLevelLabels)
+	res := &FaultSweepResult{
+		Weights:   w,
+		Levels:    FaultLevelLabels,
+		Scenarios: len(insts),
+		Curves:    make([]FaultCurve, len(heur)),
+	}
+	errs := make([]error, len(heur)*levels)
+	for hi := range heur {
+		res.Curves[hi] = FaultCurve{
+			Heuristic: heur[hi],
+			T100:      make([]int, levels),
+			Complete:  make([]int, levels),
+			Requeued:  make([]int, levels),
+		}
+	}
+	e.parMap(len(heur)*levels, func(k int) {
+		hi, lvl := k/levels, k%levels
+		v, ok := heur[hi].variant()
+		if !ok {
+			errs[k] = fmt.Errorf("exp: %s is not an SLRH variant", heur[hi])
+			return
+		}
+		for _, inst := range insts {
+			cfg := core.DefaultConfig(v, w)
+			cfg.Faults = FaultLadder(inst)[lvl]
+			r, err := core.Run(inst, cfg)
+			if err != nil {
+				errs[k] = fmt.Errorf("exp: %s at fault level %d: %w", heur[hi], lvl, err)
+				return
+			}
+			res.Curves[hi].T100[lvl] += r.Metrics.T100
+			res.Curves[hi].Requeued[lvl] += r.Requeued
+			if r.Metrics.Complete {
+				res.Curves[hi].Complete[lvl]++
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Render prints the degradation curves.
+func (f *FaultSweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault-intensity sweep (Case A, %d scenarios; alpha=%.2f beta=%.2f)\n",
+		f.Scenarios, f.Weights.Alpha, f.Weights.Beta)
+	fmt.Fprintf(&b, "%-18s", "fault level")
+	for _, c := range f.Curves {
+		fmt.Fprintf(&b, " %-22s", c.Heuristic.String()+" T100/compl/requeue")
+	}
+	fmt.Fprintln(&b)
+	for lvl, label := range f.Levels {
+		fmt.Fprintf(&b, "%-18s", label)
+		for _, c := range f.Curves {
+			fmt.Fprintf(&b, " %-22s", fmt.Sprintf("%d/%d/%d", c.T100[lvl], c.Complete[lvl], c.Requeued[lvl]))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

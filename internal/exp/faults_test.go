@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"adhocgrid/internal/grid"
+)
+
+// TestFaultSweepMonotoneSLRH1 is the robustness acceptance criterion:
+// under the cumulative fault ladder, SLRH-1's summed T100 at the paper's
+// default weights must be monotonically non-increasing in fault
+// intensity. The sweep runs through parMap, so `go test -race` also
+// exercises its concurrency.
+func TestFaultSweepMonotoneSLRH1(t *testing.T) {
+	env, err := NewEnv(Bench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := env.FaultSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != len(FaultLevelLabels) || len(res.Curves) == 0 {
+		t.Fatalf("sweep shape: %d levels, %d curves", len(res.Levels), len(res.Curves))
+	}
+	var slrh1 *FaultCurve
+	for i := range res.Curves {
+		if res.Curves[i].Heuristic == HeurSLRH1 {
+			slrh1 = &res.Curves[i]
+		}
+		if got := len(res.Curves[i].T100); got != len(res.Levels) {
+			t.Fatalf("%s curve has %d points, want %d", res.Curves[i].Heuristic, got, len(res.Levels))
+		}
+	}
+	if slrh1 == nil {
+		t.Fatal("no SLRH-1 curve")
+	}
+	if slrh1.T100[0] == 0 {
+		t.Fatal("fault-free SLRH-1 baseline completed no primary versions")
+	}
+	for lvl := 1; lvl < len(slrh1.T100); lvl++ {
+		if slrh1.T100[lvl] > slrh1.T100[lvl-1] {
+			t.Fatalf("SLRH-1 T100 not monotone: level %d (%s) has %d > level %d's %d\ncurve: %v",
+				lvl, res.Levels[lvl], slrh1.T100[lvl], lvl-1, slrh1.T100[lvl-1], slrh1.T100)
+		}
+	}
+	// The churned levels must actually disturb the schedule.
+	if slrh1.Requeued[len(res.Levels)-1] == 0 {
+		t.Fatal("highest fault level requeued nothing")
+	}
+}
+
+// TestFaultSweepDeterministic runs the sweep twice; the parallel
+// execution must not leak into the results.
+func TestFaultSweepDeterministic(t *testing.T) {
+	env, err := NewEnv(Bench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := env.FaultSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.FaultSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fault sweep not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestFaultLadderCumulative checks the ladder construction: each level's
+// plan strictly extends the previous one and validates against the
+// instance it was built for.
+func TestFaultLadderCumulative(t *testing.T) {
+	env, err := NewEnv(Bench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := env.Instance(grid.CaseA, 0, 0)
+	plans := FaultLadder(inst)
+	if len(plans) != len(FaultLevelLabels) {
+		t.Fatalf("%d plans for %d labels", len(plans), len(FaultLevelLabels))
+	}
+	if plans[0] != nil {
+		t.Fatal("level 0 must be the fault-free baseline")
+	}
+	prev := 0
+	for lvl := 1; lvl < len(plans); lvl++ {
+		if err := plans[lvl].Validate(inst.Grid.M(), inst.Scenario.N()); err != nil {
+			t.Fatalf("level %d plan invalid: %v", lvl, err)
+		}
+		size := len(plans[lvl].Events) + len(plans[lvl].Windows)
+		if size != prev+1 {
+			t.Fatalf("level %d has %d faults, want %d (cumulative ladder)", lvl, size, prev+1)
+		}
+		prev = size
+	}
+}

@@ -1,0 +1,359 @@
+// Package fault is the seeded, deterministic fault-plan engine behind
+// the dynamic-grid extension (paper §I: machines "appear and disappear
+// from the grid at unanticipated times", links see "spurious failures
+// and occasional noise"). A Plan is a static schedule of grid
+// disturbances — permanent machine loss, machine rejoin, transient
+// subtask failure, and timed link-bandwidth degradation windows — that
+// the clock-driven SLRH loop applies while it maps.
+//
+// Plans have two interchangeable encodings: a compact text DSL
+//
+//	lose:1@40000,fail:t217@52000,slow:links*0.5@[60000,90000],rejoin:1@110000
+//
+// and the JSON form produced by encoding/json on the Plan struct. The
+// DSL requires events in non-decreasing cycle order (a window is ordered
+// by its start); String emits the canonical spelling, so any two
+// equivalent plans serialize identically — the slrhd result cache keys
+// on that property. The package depends only on the standard library.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the event kinds of a plan.
+type Kind int
+
+const (
+	// Lose removes a machine from the grid permanently (until a Rejoin).
+	Lose Kind = iota
+	// Rejoin returns a previously lost machine with its remaining battery.
+	Rejoin
+	// Fail aborts one subtask's in-flight execution (transient failure).
+	Fail
+)
+
+// String returns the DSL keyword of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Lose:
+		return "lose"
+	case Rejoin:
+		return "rejoin"
+	case Fail:
+		return "fail"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// MarshalJSON encodes the kind as its DSL keyword.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	switch k {
+	case Lose, Rejoin, Fail:
+		return json.Marshal(k.String())
+	}
+	return nil, fmt.Errorf("fault: unknown event kind %d", int(k))
+}
+
+// UnmarshalJSON decodes a DSL keyword into the kind.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "lose":
+		*k = Lose
+	case "rejoin":
+		*k = Rejoin
+	case "fail":
+		*k = Fail
+	default:
+		return fmt.Errorf("fault: unknown event kind %q", s)
+	}
+	return nil
+}
+
+// Event is one discrete grid disturbance. Machine is meaningful for
+// Lose/Rejoin, Subtask for Fail.
+type Event struct {
+	Kind    Kind  `json:"kind"`
+	At      int64 `json:"at"`
+	Machine int   `json:"machine,omitempty"`
+	Subtask int   `json:"subtask,omitempty"`
+}
+
+// Window is one timed link-bandwidth degradation: transfers starting in
+// [Start, End) see every link at Factor times its nominal bandwidth, so
+// they take 1/Factor times longer and cost 1/Factor times the energy.
+type Window struct {
+	Start  int64   `json:"start"`
+	End    int64   `json:"end"`
+	Factor float64 `json:"factor"`
+}
+
+// Plan is a full fault schedule: discrete events plus degradation
+// windows. The zero value is the empty plan (no faults).
+type Plan struct {
+	Events  []Event  `json:"events,omitempty"`
+	Windows []Window `json:"windows,omitempty"`
+}
+
+// Empty reports whether the plan contains no faults.
+func (p *Plan) Empty() bool { return len(p.Events) == 0 && len(p.Windows) == 0 }
+
+// Normalize sorts the events and windows into the canonical order:
+// events by (cycle, kind, machine, subtask), windows by (start, end,
+// factor). Validate and String require a normalized plan to behave
+// canonically; ParsePlan output is normalized by construction.
+func (p *Plan) Normalize() {
+	sort.Slice(p.Events, func(a, b int) bool {
+		ea, eb := p.Events[a], p.Events[b]
+		if ea.At != eb.At {
+			return ea.At < eb.At
+		}
+		if ea.Kind != eb.Kind {
+			return ea.Kind < eb.Kind
+		}
+		if ea.Machine != eb.Machine {
+			return ea.Machine < eb.Machine
+		}
+		return ea.Subtask < eb.Subtask
+	})
+	sort.Slice(p.Windows, func(a, b int) bool {
+		wa, wb := p.Windows[a], p.Windows[b]
+		if wa.Start != wb.Start {
+			return wa.Start < wb.Start
+		}
+		if wa.End != wb.End {
+			return wa.End < wb.End
+		}
+		return wa.Factor < wb.Factor
+	})
+}
+
+// String renders the plan in the canonical DSL: events and windows
+// merged by cycle (events first on ties), each in its DSL spelling. The
+// empty plan renders as "". String sorts copies, so it is canonical even
+// on an un-normalized plan, and ParsePlan(p.String()) reproduces the
+// normalized plan.
+func (p *Plan) String() string {
+	q := Plan{
+		Events:  append([]Event(nil), p.Events...),
+		Windows: append([]Window(nil), p.Windows...),
+	}
+	q.Normalize()
+	var parts []string
+	e, w := 0, 0
+	for e < len(q.Events) || w < len(q.Windows) {
+		if e < len(q.Events) && (w >= len(q.Windows) || q.Events[e].At <= q.Windows[w].Start) {
+			ev := q.Events[e]
+			e++
+			switch ev.Kind {
+			case Fail:
+				parts = append(parts, fmt.Sprintf("fail:t%d@%d", ev.Subtask, ev.At))
+			default:
+				parts = append(parts, fmt.Sprintf("%s:%d@%d", ev.Kind, ev.Machine, ev.At))
+			}
+			continue
+		}
+		wd := q.Windows[w]
+		w++
+		parts = append(parts, fmt.Sprintf("slow:links*%s@[%d,%d]",
+			strconv.FormatFloat(wd.Factor, 'g', -1, 64), wd.Start, wd.End))
+	}
+	return strings.Join(parts, ",")
+}
+
+// splitItems splits a plan spec on commas that are not inside a
+// [start,end] window literal.
+func splitItems(s string) []string {
+	var items []string
+	depth, last := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				items = append(items, s[last:i])
+				last = i + 1
+			}
+		}
+	}
+	return append(items, s[last:])
+}
+
+// ParsePlan parses the fault DSL. The empty (or all-whitespace) string
+// is the empty plan. Events must appear in non-decreasing cycle order
+// (windows are ordered by their start cycle); cycles must be
+// non-negative; slowdown factors must lie in (0, 1]. Semantic checks
+// that need the grid and workload sizes (index ranges, duplicate loss,
+// rejoin-before-loss) live in Validate.
+func ParsePlan(s string) (*Plan, error) {
+	p := &Plan{}
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	prev := int64(-1)
+	checkCycle := func(at int64, item string) error {
+		if at < 0 {
+			return fmt.Errorf("fault: negative cycle in %q", item)
+		}
+		if at < prev {
+			return fmt.Errorf("fault: non-monotone cycle %d after %d in %q", at, prev, item)
+		}
+		prev = at
+		return nil
+	}
+	for _, raw := range splitItems(s) {
+		item := strings.TrimSpace(raw)
+		if item == "" {
+			return nil, fmt.Errorf("fault: empty item in plan %q", s)
+		}
+		kind, rest, ok := strings.Cut(item, ":")
+		if !ok {
+			return nil, fmt.Errorf("fault: bad item %q, want kind:spec", item)
+		}
+		switch kind {
+		case "lose", "rejoin":
+			mstr, cstr, ok := strings.Cut(rest, "@")
+			if !ok {
+				return nil, fmt.Errorf("fault: bad event %q, want %s:machine@cycle", item, kind)
+			}
+			m, err := strconv.Atoi(mstr)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad machine in %q: %v", item, err)
+			}
+			at, err := strconv.ParseInt(cstr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad cycle in %q: %v", item, err)
+			}
+			if err := checkCycle(at, item); err != nil {
+				return nil, err
+			}
+			k := Lose
+			if kind == "rejoin" {
+				k = Rejoin
+			}
+			p.Events = append(p.Events, Event{Kind: k, At: at, Machine: m})
+		case "fail":
+			tstr, cstr, ok := strings.Cut(rest, "@")
+			if !ok || !strings.HasPrefix(tstr, "t") {
+				return nil, fmt.Errorf("fault: bad event %q, want fail:tSUBTASK@cycle", item)
+			}
+			t, err := strconv.Atoi(tstr[1:])
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad subtask in %q: %v", item, err)
+			}
+			at, err := strconv.ParseInt(cstr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad cycle in %q: %v", item, err)
+			}
+			if err := checkCycle(at, item); err != nil {
+				return nil, err
+			}
+			p.Events = append(p.Events, Event{Kind: Fail, At: at, Subtask: t})
+		case "slow":
+			spec, winStr, ok := strings.Cut(rest, "@")
+			if !ok || !strings.HasPrefix(spec, "links*") {
+				return nil, fmt.Errorf("fault: bad window %q, want slow:links*factor@[start,end]", item)
+			}
+			f, err := strconv.ParseFloat(strings.TrimPrefix(spec, "links*"), 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad factor in %q: %v", item, err)
+			}
+			if !(f > 0 && f <= 1) {
+				return nil, fmt.Errorf("fault: slowdown factor %v in %q outside (0, 1]", f, item)
+			}
+			if !strings.HasPrefix(winStr, "[") || !strings.HasSuffix(winStr, "]") {
+				return nil, fmt.Errorf("fault: bad window %q, want slow:links*factor@[start,end]", item)
+			}
+			aStr, bStr, ok := strings.Cut(winStr[1:len(winStr)-1], ",")
+			if !ok {
+				return nil, fmt.Errorf("fault: bad window %q, want slow:links*factor@[start,end]", item)
+			}
+			a, err := strconv.ParseInt(strings.TrimSpace(aStr), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad window start in %q: %v", item, err)
+			}
+			b, err := strconv.ParseInt(strings.TrimSpace(bStr), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad window end in %q: %v", item, err)
+			}
+			if err := checkCycle(a, item); err != nil {
+				return nil, err
+			}
+			if b <= a {
+				return nil, fmt.Errorf("fault: slowdown window %q is empty or inverted", item)
+			}
+			p.Windows = append(p.Windows, Window{Start: a, End: b, Factor: f})
+		default:
+			return nil, fmt.Errorf("fault: unknown event kind %q in %q (want lose, rejoin, fail or slow)", kind, item)
+		}
+	}
+	p.Normalize()
+	return p, nil
+}
+
+// Validate checks the plan against a grid of m machines and a workload
+// of n subtasks. The plan must be normalized (events in cycle order);
+// Validate walks the machine liveness it implies, rejecting a second
+// loss of a machine without an intervening rejoin and a rejoin of a
+// machine that is not lost, each with a distinct error.
+func (p *Plan) Validate(m, n int) error {
+	lost := make([]bool, m)
+	prev := int64(0)
+	for _, e := range p.Events {
+		if e.At < 0 {
+			return fmt.Errorf("fault: negative cycle %d in %s event", e.At, e.Kind)
+		}
+		if e.At < prev {
+			return fmt.Errorf("fault: non-monotone cycle %d after %d (normalize the plan)", e.At, prev)
+		}
+		prev = e.At
+		switch e.Kind {
+		case Lose:
+			if e.Machine < 0 || e.Machine >= m {
+				return fmt.Errorf("fault: machine %d out of range [0,%d)", e.Machine, m)
+			}
+			if lost[e.Machine] {
+				return fmt.Errorf("fault: machine %d lost again at cycle %d without an intervening rejoin", e.Machine, e.At)
+			}
+			lost[e.Machine] = true
+		case Rejoin:
+			if e.Machine < 0 || e.Machine >= m {
+				return fmt.Errorf("fault: machine %d out of range [0,%d)", e.Machine, m)
+			}
+			if !lost[e.Machine] {
+				return fmt.Errorf("fault: machine %d rejoins at cycle %d before being lost", e.Machine, e.At)
+			}
+			lost[e.Machine] = false
+		case Fail:
+			if e.Subtask < 0 || e.Subtask >= n {
+				return fmt.Errorf("fault: subtask %d out of range [0,%d)", e.Subtask, n)
+			}
+		default:
+			return fmt.Errorf("fault: unknown event kind %d", int(e.Kind))
+		}
+	}
+	for _, w := range p.Windows {
+		if w.Start < 0 {
+			return fmt.Errorf("fault: negative cycle %d in slowdown window", w.Start)
+		}
+		if w.End <= w.Start {
+			return fmt.Errorf("fault: slowdown window [%d,%d] is empty or inverted", w.Start, w.End)
+		}
+		if !(w.Factor > 0 && w.Factor <= 1) {
+			return fmt.Errorf("fault: slowdown factor %v outside (0, 1]", w.Factor)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package fault
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParsePlanValid(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want Plan
+	}{
+		{"empty", "", Plan{}},
+		{"whitespace", "   ", Plan{}},
+		{"single loss", "lose:1@40000", Plan{Events: []Event{{Kind: Lose, At: 40000, Machine: 1}}}},
+		{"issue example", "lose:1@40000,fail:t217@52000,slow:links*0.5@[60000,90000],rejoin:1@110000",
+			Plan{
+				Events: []Event{
+					{Kind: Lose, At: 40000, Machine: 1},
+					{Kind: Fail, At: 52000, Subtask: 217},
+					{Kind: Rejoin, At: 110000, Machine: 1},
+				},
+				Windows: []Window{{Start: 60000, End: 90000, Factor: 0.5}},
+			}},
+		{"spaces between items", " lose:0@10 , fail:t3@20 ", Plan{Events: []Event{
+			{Kind: Lose, At: 10, Machine: 0},
+			{Kind: Fail, At: 20, Subtask: 3},
+		}}},
+		{"two windows", "slow:links*0.25@[0,10],slow:links*1@[10,20]", Plan{Windows: []Window{
+			{Start: 0, End: 10, Factor: 0.25},
+			{Start: 10, End: 20, Factor: 1},
+		}}},
+		{"same cycle", "lose:0@100,lose:1@100", Plan{Events: []Event{
+			{Kind: Lose, At: 100, Machine: 0},
+			{Kind: Lose, At: 100, Machine: 1},
+		}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParsePlan(tc.in)
+			if err != nil {
+				t.Fatalf("ParsePlan(%q): %v", tc.in, err)
+			}
+			if !reflect.DeepEqual(*got, tc.want) {
+				t.Fatalf("ParsePlan(%q) = %+v, want %+v", tc.in, *got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	tests := []struct {
+		name, in, wantErr string
+	}{
+		{"empty item", "lose:1@10,,fail:t2@20", "empty item"},
+		{"no colon", "lose1@10", "want kind:spec"},
+		{"unknown kind", "explode:1@10", `unknown event kind "explode"`},
+		{"lose no at", "lose:1", "want lose:machine@cycle"},
+		{"bad machine", "lose:x@10", "bad machine"},
+		{"bad cycle", "lose:1@ten", "bad cycle"},
+		{"negative cycle", "lose:1@-5", "negative cycle"},
+		{"non-monotone", "lose:1@500,fail:t2@400", "non-monotone cycle 400 after 500"},
+		{"fail missing t", "fail:217@52000", "want fail:tSUBTASK@cycle"},
+		{"fail bad subtask", "fail:tx@52000", "bad subtask"},
+		{"slow bad spec", "slow:0.5@[0,10]", "want slow:links*factor@[start,end]"},
+		{"slow bad factor", "slow:links*x@[0,10]", "bad factor"},
+		{"slow factor zero", "slow:links*0@[0,10]", "outside (0, 1]"},
+		{"slow factor above one", "slow:links*1.5@[0,10]", "outside (0, 1]"},
+		{"slow no brackets", "slow:links*0.5@0,10", "want slow:links*factor@[start,end]"},
+		{"slow inverted", "slow:links*0.5@[10,10]", "empty or inverted"},
+		{"slow negative start", "slow:links*0.5@[-1,10]", "negative cycle"},
+		{"window breaks order", "lose:1@500,slow:links*0.5@[400,900]", "non-monotone cycle 400 after 500"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParsePlan(tc.in)
+			if err == nil {
+				t.Fatalf("ParsePlan(%q): want error containing %q, got nil", tc.in, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParsePlan(%q) = %v, want error containing %q", tc.in, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidate(t *testing.T) {
+	const m, n = 4, 256
+	tests := []struct {
+		name, in, wantErr string
+	}{
+		{"ok", "lose:1@10,rejoin:1@20,lose:1@30,fail:t255@40,slow:links*0.5@[40,90]", ""},
+		{"machine out of range", "lose:4@10", "machine 4 out of range [0,4)"},
+		{"negative machine", "rejoin:0@10", "rejoins at cycle 10 before being lost"},
+		{"duplicate loss", "lose:1@10,lose:1@20", "machine 1 lost again at cycle 20 without an intervening rejoin"},
+		{"lose rejoin lose ok", "lose:1@10,rejoin:1@20,lose:1@30", ""},
+		{"rejoin before loss", "rejoin:2@10", "machine 2 rejoins at cycle 10 before being lost"},
+		{"subtask out of range", "fail:t256@10", "subtask 256 out of range [0,256)"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := ParsePlan(tc.in)
+			if err != nil {
+				t.Fatalf("ParsePlan(%q): %v", tc.in, err)
+			}
+			err = p.Validate(m, n)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate(%q): %v", tc.in, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate(%q) = %v, want error containing %q", tc.in, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateJSONBuiltPlan(t *testing.T) {
+	// Plans built programmatically (not via ParsePlan) hit the window and
+	// monotonicity checks in Validate.
+	p := &Plan{Windows: []Window{{Start: 10, End: 5, Factor: 0.5}}}
+	if err := p.Validate(4, 16); err == nil || !strings.Contains(err.Error(), "empty or inverted") {
+		t.Fatalf("inverted window: got %v", err)
+	}
+	p = &Plan{Windows: []Window{{Start: 0, End: 5, Factor: 2}}}
+	if err := p.Validate(4, 16); err == nil || !strings.Contains(err.Error(), "outside (0, 1]") {
+		t.Fatalf("bad factor: got %v", err)
+	}
+	p = &Plan{Events: []Event{{Kind: Lose, At: 20, Machine: 0}, {Kind: Lose, At: 10, Machine: 1}}}
+	if err := p.Validate(4, 16); err == nil || !strings.Contains(err.Error(), "non-monotone") {
+		t.Fatalf("unsorted plan: got %v", err)
+	}
+	p.Normalize()
+	if err := p.Validate(4, 16); err != nil {
+		t.Fatalf("normalized plan: %v", err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"",
+		"lose:1@40000",
+		"lose:1@40000,fail:t217@52000,slow:links*0.5@[60000,90000],rejoin:1@110000",
+		"slow:links*0.125@[0,10],lose:0@5000",
+		"lose:0@100,lose:1@100,fail:t7@100",
+	}
+	for _, s := range specs {
+		p, err := ParsePlan(s)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", s, err)
+		}
+		out := p.String()
+		q, err := ParsePlan(out)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", out, s, err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("round trip of %q: %+v != %+v", s, p, q)
+		}
+		if q.String() != out {
+			t.Fatalf("String not canonical for %q: %q != %q", s, q.String(), out)
+		}
+	}
+}
+
+func TestStringCanonicalizesSpelling(t *testing.T) {
+	a, err := ParsePlan("lose:1@40000 , rejoin:1@110000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParsePlan("lose:1@40000,rejoin:1@110000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("equivalent plans render differently: %q vs %q", a.String(), b.String())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p, err := ParsePlan("lose:1@40000,fail:t217@52000,slow:links*0.5@[60000,90000],rejoin:1@110000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"kind":"lose"`) {
+		t.Fatalf("kinds should encode as keywords, got %s", b)
+	}
+	var q Plan
+	if err := json.Unmarshal(b, &q); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*p, q) {
+		t.Fatalf("JSON round trip: %+v != %+v", *p, q)
+	}
+	var bad Plan
+	if err := json.Unmarshal([]byte(`{"events":[{"kind":"explode","at":1}]}`), &bad); err == nil {
+		t.Fatal("unknown kind should fail to unmarshal")
+	}
+}

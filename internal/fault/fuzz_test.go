@@ -1,0 +1,37 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParsePlan checks the parser's round-trip property: any spec the
+// parser accepts must re-render through String into a spec that parses
+// to the identical plan, with String a fixpoint (the canonical-spelling
+// guarantee the slrhd cache key relies on). The parser must also never
+// panic on arbitrary input.
+func FuzzParsePlan(f *testing.F) {
+	f.Add("lose:1@40000,fail:t217@52000,slow:links*0.5@[60000,90000],rejoin:1@110000")
+	f.Add("lose:0@0")
+	f.Add("slow:links*1@[0,1]")
+	f.Add("fail:t0@9223372036854775807")
+	f.Add(",")
+	f.Add("slow:links*0.5@[1,2],slow:links*0.5@[1,2]")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			return
+		}
+		out := p.String()
+		q, err := ParsePlan(out)
+		if err != nil {
+			t.Fatalf("String output %q of accepted spec %q does not re-parse: %v", out, s, err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("round trip of %q via %q: %+v != %+v", s, out, p, q)
+		}
+		if q.String() != out {
+			t.Fatalf("String not a fixpoint for %q: %q != %q", s, q.String(), out)
+		}
+	})
+}

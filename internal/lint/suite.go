@@ -11,6 +11,7 @@ var DeterminismCritical = []string{
 	"adhocgrid/internal/core",
 	"adhocgrid/internal/sim",
 	"adhocgrid/internal/exp",
+	"adhocgrid/internal/fault",
 	"adhocgrid/internal/maxmax",
 	"adhocgrid/internal/workload",
 	"adhocgrid/internal/serve",
@@ -28,6 +29,7 @@ var ScoringPackages = []string{
 // by the Fig2 error-propagation rule.
 var ErrorHygienePackages = []string{
 	"adhocgrid/internal/exp",
+	"adhocgrid/internal/fault",
 	"adhocgrid/internal/serve",
 	"adhocgrid/cmd/",
 }

@@ -154,6 +154,116 @@ func (s *State) LoseMachine(j int, now int64) ([]int, error) {
 	return requeued, nil
 }
 
+// RejoinMachine returns machine j to the grid at cycle `now`. The machine
+// comes back with whatever battery its ledger says is left — energy it
+// sank on discarded work while alive, or took with it at the loss, is
+// gone for good (pessimistic, consistent with SunkEnergy accounting).
+// The closed outage window [lossCycle, now) is recorded and observable
+// via Downtime. Nothing is requeued: the loss already unwound everything
+// that depended on j, and its timelines were released at that point, so
+// the machine rejoins with clean capacity from `now` onward.
+func (s *State) RejoinMachine(j int, now int64) error {
+	if j < 0 || j >= s.Inst.Grid.M() {
+		return fmt.Errorf("sched: RejoinMachine(%d) out of range", j)
+	}
+	if s.deadAt == nil || s.deadAt[j] == aliveForever {
+		return fmt.Errorf("sched: machine %d is not lost", j)
+	}
+	if now < s.deadAt[j] {
+		return fmt.Errorf("sched: machine %d cannot rejoin at cycle %d before its loss at %d",
+			j, now, s.deadAt[j])
+	}
+	if s.downtime == nil {
+		s.downtime = make([][]Interval, s.Inst.Grid.M())
+	}
+	s.downtime[j] = append(s.downtime[j], Interval{s.deadAt[j], now})
+	s.deadAt[j] = aliveForever
+	// Liveness is part of the machine's cached-plan identity, and a rejoin
+	// grows the candidate pool — resources grow back, ending the current
+	// shrink-monotone epoch.
+	s.bumpGen(j)
+	s.shrinkEpoch++
+	return nil
+}
+
+// Downtime returns the closed outage windows of machine j, in the order
+// the machine was lost. A window's Start is the loss cycle and its End
+// the rejoin cycle; a currently-dead machine's open outage is not listed
+// (see DeadAt).
+func (s *State) Downtime(j int) []Interval {
+	if s.downtime == nil {
+		return nil
+	}
+	return s.downtime[j]
+}
+
+// FailSubtask aborts subtask i's in-flight execution at cycle `now`: the
+// attempt produces nothing, the energy spent on it is sunk, and i plus
+// every mapped descendant is unwound so the scheduler can re-map them
+// (possibly degrading to the secondary version). The caller must ensure
+// i is actually executing — Start <= now < End — or an error is returned
+// and the schedule is untouched. It returns the ids of the subtasks that
+// must be re-mapped, in increasing order.
+func (s *State) FailSubtask(i int, now int64) ([]int, error) {
+	if i < 0 || i >= s.N() {
+		return nil, fmt.Errorf("sched: FailSubtask(%d) out of range", i)
+	}
+	a := s.Assignments[i]
+	if a == nil {
+		return nil, fmt.Errorf("sched: subtask %d is not mapped", i)
+	}
+	if now < a.Start || now >= a.End {
+		return nil, fmt.Errorf("sched: subtask %d is not executing at cycle %d (runs [%d,%d))",
+			i, now, a.Start, a.End)
+	}
+	if s.sunk == nil {
+		s.sunk = make([]float64, s.Inst.Grid.M())
+	}
+	// Unwinding refunds descendants' bookings — resources grow back,
+	// ending the current shrink-monotone epoch.
+	s.shrinkEpoch++
+
+	graph := s.Inst.Scenario.Graph
+	order, err := graph.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	void := make([]bool, s.N())
+	void[i] = true
+	// Every mapped descendant of the failed attempt is void: its inputs
+	// derive from a result that will never exist. One forward topological
+	// pass suffices — unlike machine loss there is no stranded-output
+	// feedback, because the surviving parents are still alive and their
+	// completed outputs remain fetchable.
+	for _, k := range order {
+		if s.Assignments[k] == nil || void[k] {
+			continue
+		}
+		for _, p := range graph.Parents(k) {
+			if void[p] {
+				void[k] = true
+				break
+			}
+		}
+	}
+
+	// unwind's uniform energy rule does the right thing here: the failed
+	// attempt has Start <= now, so its execution charge is sunk, except in
+	// the Start == now edge where nothing has run yet and a refund is the
+	// honest outcome. Descendants all have Start > now (they wait on i's
+	// output) and are refunded in full.
+	var requeued []int
+	for _, k := range order {
+		if void[k] {
+			s.unwind(k, now)
+			requeued = append(requeued, k)
+		}
+	}
+	s.recomputeAggregates()
+	sortInts(requeued)
+	return requeued, nil
+}
+
 // findTransfer returns the transfer in a's incoming list whose parent is
 // p, or nil.
 func findTransfer(a *Assignment, p int) *Transfer {
@@ -178,39 +288,36 @@ func (s *State) unwind(i int, now int64) {
 	for _, tr := range a.Transfers {
 		s.bumpGen(tr.From)
 	}
-	if s.Alive(a.Machine) {
-		if err := s.ExecTL[a.Machine].Unbook(a.Start, a.End-a.Start); err != nil {
-			panic("sched: unwind exec unbook failed: " + err.Error())
-		}
-		if a.Start >= now {
-			s.Ledger.Refund(a.Machine, a.ExecEnergy)
-		} else {
-			// The execution had started; its energy is genuinely spent.
-			s.sunk[a.Machine] += a.ExecEnergy
-		}
+	// Timelines are released even on a machine that is currently dead:
+	// should it rejoin later, its link and execution capacity must not be
+	// blocked by phantom bookings of long-voided work. Energy, in
+	// contrast, stays charged (as sunk) whenever the owner is dead or the
+	// work had started — a dead machine's battery walks away with it, so
+	// nothing is refundable there even if it returns.
+	if err := s.ExecTL[a.Machine].Unbook(a.Start, a.End-a.Start); err != nil {
+		panic("sched: unwind exec unbook failed: " + err.Error())
+	}
+	if s.Alive(a.Machine) && a.Start >= now {
+		s.Ledger.Refund(a.Machine, a.ExecEnergy)
 	} else {
+		// The execution had started (or its machine is gone); its energy
+		// is genuinely spent.
 		s.sunk[a.Machine] += a.ExecEnergy
 	}
 	for _, tr := range a.Transfers {
 		dur := tr.End - tr.Start
-		if s.Alive(tr.From) {
-			if dur > 0 {
-				if err := s.SendTL[tr.From].Unbook(tr.Start, dur); err != nil {
-					panic("sched: unwind send unbook failed: " + err.Error())
-				}
+		if dur > 0 {
+			if err := s.SendTL[tr.From].Unbook(tr.Start, dur); err != nil {
+				panic("sched: unwind send unbook failed: " + err.Error())
 			}
-			if tr.Start >= now {
-				s.Ledger.Refund(tr.From, tr.Energy)
-			} else {
-				s.sunk[tr.From] += tr.Energy
-			}
-		} else {
-			s.sunk[tr.From] += tr.Energy
-		}
-		if s.Alive(tr.To) && dur > 0 {
 			if err := s.RecvTL[tr.To].Unbook(tr.Start, dur); err != nil {
 				panic("sched: unwind recv unbook failed: " + err.Error())
 			}
+		}
+		if s.Alive(tr.From) && tr.Start >= now {
+			s.Ledger.Refund(tr.From, tr.Energy)
+		} else {
+			s.sunk[tr.From] += tr.Energy
 		}
 	}
 	s.Assignments[i] = nil

@@ -1,0 +1,308 @@
+package sched_test
+
+import (
+	"testing"
+
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/sim"
+	"adhocgrid/internal/workload"
+)
+
+// aggregatesConsistent recomputes Mapped/T100/AET from the assignment
+// records and compares them with the state's counters (sim.Verify performs
+// the same cross-check plus the full replay; this keeps the failure
+// message local).
+func aggregatesConsistent(t *testing.T, st *sched.State, label string) {
+	t.Helper()
+	mapped, t100 := 0, 0
+	var aet int64
+	for _, a := range st.Assignments {
+		if a == nil {
+			continue
+		}
+		mapped++
+		if a.Version == workload.Primary {
+			t100++
+		}
+		if a.End > aet {
+			aet = a.End
+		}
+	}
+	if mapped != st.Mapped || t100 != st.T100 || aet != st.AETCycles {
+		t.Fatalf("%s: aggregates drifted: state says mapped=%d T100=%d AET=%d, replay finds %d/%d/%d",
+			label, st.Mapped, st.T100, st.AETCycles, mapped, t100, aet)
+	}
+}
+
+func TestLoseMachineAtCycleZero(t *testing.T) {
+	st, err := randomState(11, 48, 48, grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requeued, err := st.LoseMachine(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At cycle 0 nothing has completed: every subtask that was on machine 1
+	// (or descended from one) is requeued, and none survives there.
+	if len(requeued) == 0 {
+		t.Fatal("cycle-0 loss requeued nothing")
+	}
+	for _, a := range st.Assignments {
+		if a != nil && a.Machine == 1 {
+			t.Fatalf("subtask %d survives on machine lost at cycle 0", a.Subtask)
+		}
+	}
+	aggregatesConsistent(t, st, "cycle-0 loss")
+	if v := sim.Verify(st); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestLoseMachineDoubleLossDoesNotCorrupt(t *testing.T) {
+	st, err := randomState(11, 48, 48, grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoseMachine(2, 100); err != nil {
+		t.Fatal(err)
+	}
+	mapped, t100, aet := st.Mapped, st.T100, st.AETCycles
+	if _, err := st.LoseMachine(2, 200); err == nil {
+		t.Fatal("double loss accepted")
+	}
+	if st.Mapped != mapped || st.T100 != t100 || st.AETCycles != aet {
+		t.Fatalf("failed double loss moved aggregates: %d/%d/%d -> %d/%d/%d",
+			mapped, t100, aet, st.Mapped, st.T100, st.AETCycles)
+	}
+	aggregatesConsistent(t, st, "double loss")
+	if v := sim.Verify(st); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestLoseMachineLastAlive(t *testing.T) {
+	st, err := randomState(11, 48, 48, grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lose every machine at cycle 0: with nothing complete, the whole
+	// schedule unwinds and the ready set is back to the DAG's roots.
+	for j := 0; j < st.Inst.Grid.M(); j++ {
+		if _, err := st.LoseMachine(j, 0); err != nil {
+			t.Fatalf("losing machine %d: %v", j, err)
+		}
+	}
+	if st.Mapped != 0 || st.T100 != 0 || st.AETCycles != 0 {
+		t.Fatalf("grid empty but mapped=%d T100=%d AET=%d", st.Mapped, st.T100, st.AETCycles)
+	}
+	aggregatesConsistent(t, st, "last alive")
+	if v := sim.Verify(st); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	roots := 0
+	for i := 0; i < st.N(); i++ {
+		if len(st.Inst.Scenario.Graph.Parents(i)) == 0 {
+			roots++
+		}
+	}
+	if got := len(st.ReadySet(nil)); got != roots {
+		t.Fatalf("ready set has %d entries, want the %d roots", got, roots)
+	}
+}
+
+func TestRejoinMachineErrors(t *testing.T) {
+	st, err := randomState(11, 32, 16, grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RejoinMachine(-1, 0); err == nil {
+		t.Fatal("out-of-range rejoin accepted")
+	}
+	if err := st.RejoinMachine(1, 0); err == nil {
+		t.Fatal("rejoin of an alive machine accepted")
+	}
+	if _, err := st.LoseMachine(1, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RejoinMachine(1, 400); err == nil {
+		t.Fatal("rejoin before the loss cycle accepted")
+	}
+	if err := st.RejoinMachine(1, 800); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RejoinMachine(1, 900); err == nil {
+		t.Fatal("rejoin of a rejoined machine accepted")
+	}
+}
+
+func TestRejoinMachineRestoresCapacity(t *testing.T) {
+	st, err := randomState(11, 48, 24, grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen0 := st.Gen(1)
+	if _, err := st.LoseMachine(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	ready := st.ReadySet(nil)
+	if len(ready) == 0 {
+		t.Fatal("nothing ready after the loss")
+	}
+	if _, err := st.PlanCandidate(ready[0], 1, workload.Secondary, 10); err == nil {
+		t.Fatal("planning on a dead machine accepted")
+	}
+	if err := st.RejoinMachine(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Alive(1) {
+		t.Fatal("machine 1 still dead after rejoin")
+	}
+	if st.Gen(1) == gen0 {
+		t.Fatal("rejoin did not bump the machine's generation")
+	}
+	if d := st.Downtime(1); len(d) != 1 || d[0].Start != 0 || d[0].End != 10 {
+		t.Fatalf("downtime %v, want [{0 10}]", d)
+	}
+	// The rejoined machine accepts work again, from the rejoin cycle on.
+	committed := false
+	for _, i := range st.ReadySet(nil) {
+		plan, err := st.PlanCandidate(i, 1, workload.Secondary, 10)
+		if err != nil {
+			continue
+		}
+		if plan.Start < 10 {
+			t.Fatalf("post-rejoin plan starts at %d, before the rejoin", plan.Start)
+		}
+		if err := st.Commit(plan); err != nil {
+			t.Fatal(err)
+		}
+		committed = true
+		break
+	}
+	if !committed {
+		t.Fatal("no subtask could be mapped onto the rejoined machine")
+	}
+	// Churn can repeat: a second loss of the same machine is legal now.
+	if _, err := st.LoseMachine(1, 2000); err != nil {
+		t.Fatalf("second loss after rejoin: %v", err)
+	}
+	if v := sim.Verify(st); len(v) != 0 {
+		t.Fatalf("violations after churn: %v", v)
+	}
+}
+
+func TestFailSubtaskErrors(t *testing.T) {
+	st, err := randomState(11, 48, 48, grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.FailSubtask(-1, 0); err == nil {
+		t.Fatal("out-of-range subtask accepted")
+	}
+	unmapped := -1
+	for i := 0; i < st.N(); i++ {
+		if st.Assignments[i] == nil {
+			unmapped = i
+			break
+		}
+	}
+	if unmapped >= 0 {
+		if _, err := st.FailSubtask(unmapped, 0); err == nil {
+			t.Fatal("failing an unmapped subtask accepted")
+		}
+	}
+	var target int
+	found := false
+	for i, a := range st.Assignments {
+		if a != nil && a.End-a.Start >= 2 {
+			target, found = i, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no long-enough assignment")
+	}
+	a := st.Assignments[target]
+	if _, err := st.FailSubtask(target, a.Start-1); err == nil {
+		t.Fatal("failing before the execution starts accepted")
+	}
+	if _, err := st.FailSubtask(target, a.End); err == nil {
+		t.Fatal("failing after the execution ends accepted")
+	}
+}
+
+func TestFailSubtaskUnwindsDescendants(t *testing.T) {
+	st, err := randomState(11, 48, 48, grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick the mapped subtask with the most mapped descendants reachable
+	// through the graph, failing it mid-execution.
+	graph := st.Inst.Scenario.Graph
+	var target int
+	found := false
+	for i, a := range st.Assignments {
+		if a != nil && a.End-a.Start >= 2 && len(graph.Children(i)) > 0 {
+			target, found = i, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no mapped subtask with children")
+	}
+	a := st.Assignments[target]
+	mid := a.Start + (a.End-a.Start)/2
+	machine := a.Machine
+	sunkBefore := st.SunkEnergy(machine)
+
+	requeued, err := st.FailSubtask(target, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Assignments[target] != nil {
+		t.Fatal("failed subtask still mapped")
+	}
+	inRequeue := func(i int) bool {
+		for _, r := range requeued {
+			if r == i {
+				return true
+			}
+		}
+		return false
+	}
+	if !inRequeue(target) {
+		t.Fatalf("failed subtask %d not in requeue list %v", target, requeued)
+	}
+	// Every formerly-mapped child must have been unwound with it.
+	for _, c := range graph.Children(target) {
+		if st.Assignments[c] != nil {
+			t.Fatalf("child %d of failed subtask still mapped", c)
+		}
+	}
+	// The aborted attempt had started, so its energy is sunk, not refunded.
+	if st.SunkEnergy(machine) <= sunkBefore {
+		t.Fatalf("sunk energy on machine %d did not grow: %v -> %v",
+			machine, sunkBefore, st.SunkEnergy(machine))
+	}
+	aggregatesConsistent(t, st, "fail")
+	if v := sim.Verify(st); len(v) != 0 {
+		t.Fatalf("violations after failure: %v", v)
+	}
+	// The subtask can be attempted again.
+	remapped := false
+	for j := 0; j < st.Inst.Grid.M() && !remapped; j++ {
+		if plan, err := st.PlanCandidate(target, j, workload.Secondary, mid); err == nil {
+			if st.Commit(plan) == nil {
+				remapped = true
+			}
+		}
+	}
+	if !remapped {
+		t.Fatal("failed subtask could not be re-mapped")
+	}
+	if v := sim.Verify(st); len(v) != 0 {
+		t.Fatalf("violations after re-map: %v", v)
+	}
+}

@@ -34,8 +34,9 @@ type TransferGeom struct {
 	From      int     // machine the parent is mapped to
 	ParentEnd int64   // parent's execution completion cycle
 	Bits      float64 // item size transmitted
-	Dur       int64   // link occupancy in cycles
-	Energy    float64 // sender-side communication energy
+	Dur       int64   // nominal link occupancy in cycles
+	DurSec    float64 // nominal link occupancy in seconds (pre-rounding)
+	Energy    float64 // nominal sender-side communication energy
 }
 
 // CandidateGeom is the placement-independent pricing of one (subtask,
@@ -71,7 +72,7 @@ func (s *State) FillCandidateGeom(i, j int, g *CandidateGeom) error {
 		durSec := s.Inst.Grid.CommTime(bits, pa.Machine, j)
 		g.Transfers = append(g.Transfers, TransferGeom{
 			Parent: p, From: pa.Machine, ParentEnd: pa.End, Bits: bits,
-			Dur:    grid.SecondsToCycles(durSec),
+			Dur: grid.SecondsToCycles(durSec), DurSec: durSec,
 			Energy: s.Inst.Grid.Machines[pa.Machine].CommRate * durSec,
 		})
 	}
@@ -124,6 +125,20 @@ func (s *State) planVersionsFromGeom(i, j int, now int64, g *CandidateGeom) (pri
 	return primary, perr, secondary, serr
 }
 
+// stretchComm returns the link occupancy and sender energy of a transfer
+// with nominal duration nomDur cycles (durSec seconds pre-rounding) and
+// nominal energy nomEnergy when it starts at cycle c. Outside every
+// degradation window the integer-derived nominal values are returned
+// untouched, so fault-free schedules are bit-identical with and without
+// this hook; inside a window both stretch by 1/factor.
+func (s *State) stretchComm(nomDur int64, durSec, nomEnergy float64, c int64) (int64, float64) {
+	f := s.LinkFactorAt(c)
+	if f >= 1 {
+		return nomDur, nomEnergy
+	}
+	return grid.SecondsToCycles(durSec / f), nomEnergy / f
+}
+
 // tentBooking records one tentative link booking for rollback.
 type tentBooking struct {
 	tl         *Timeline
@@ -169,60 +184,73 @@ func (s *State) placeIncoming(i, j int, now int64, g *CandidateGeom) (int64, []T
 			return 0, nil, fmt.Errorf("sched: parent %d of %d stranded on lost machine %d", tg.Parent, i, tg.From)
 		}
 
-		// The sending machine must still have energy for this transfer
-		// on top of its earlier siblings'.
-		cum := tg.Energy
+		// Find the earliest slot free on BOTH the sender's out-link and
+		// the receiver's in-link, at or after the parent's completion and
+		// the current clock. The occupancy depends on the start cycle when
+		// a link-degradation window is active, so the search iterates to a
+		// fixpoint: the duration is recomputed whenever the candidate start
+		// moves, and a slot is accepted only when the fit and the duration
+		// sampled at it agree.
+		start := tg.ParentEnd
+		if start < now {
+			start = now
+		}
+		send, recv := s.SendTL[tg.From], s.RecvTL[j]
+		dur, energy := s.stretchComm(tg.Dur, tg.DurSec, tg.Energy, start)
+		for {
+			s1 := send.EarliestFit(start, dur)
+			s2 := recv.EarliestFit(s1, dur)
+			if s2 != s1 {
+				start = s2
+				dur, energy = s.stretchComm(tg.Dur, tg.DurSec, tg.Energy, start)
+				continue
+			}
+			d2, e2 := s.stretchComm(tg.Dur, tg.DurSec, tg.Energy, s1)
+			if d2 == dur {
+				start, energy = s1, e2
+				break
+			}
+			start, dur, energy = s1, d2, e2
+		}
+
+		// The sending machine must still have energy for this transfer on
+		// top of its earlier siblings'. The cost is the placed (possibly
+		// stretched) energy, so the check follows the slot search.
+		cum := energy
 		found := false
 		for ci := range costs {
 			if costs[ci].machine == tg.From {
-				costs[ci].cost += tg.Energy
+				costs[ci].cost += energy
 				cum = costs[ci].cost
 				found = true
 				break
 			}
 		}
 		if !found {
-			costs = append(costs, machineCost{tg.From, tg.Energy})
+			costs = append(costs, machineCost{tg.From, energy})
 		}
 		if s.Ledger.Remaining(tg.From) < cum {
 			return 0, nil, fmt.Errorf("sched: sender machine %d out of energy for transfer %d->%d",
 				tg.From, tg.Parent, i)
 		}
 
-		// Find the earliest slot free on BOTH the sender's out-link and
-		// the receiver's in-link, at or after the parent's completion and
-		// the current clock.
-		start := tg.ParentEnd
-		if start < now {
-			start = now
-		}
-		send, recv := s.SendTL[tg.From], s.RecvTL[j]
-		for {
-			s1 := send.EarliestFit(start, tg.Dur)
-			s2 := recv.EarliestFit(s1, tg.Dur)
-			if s2 == s1 {
-				start = s1
-				break
-			}
-			start = s2
-		}
-		if tg.Dur > 0 {
-			if err := send.Book(start, tg.Dur); err != nil {
+		if dur > 0 {
+			if err := send.Book(start, dur); err != nil {
 				return 0, nil, fmt.Errorf("sched: internal send booking: %w", err)
 			}
-			booked = append(booked, tentBooking{send, start, tg.Dur})
-			if err := recv.Book(start, tg.Dur); err != nil {
+			booked = append(booked, tentBooking{send, start, dur})
+			if err := recv.Book(start, dur); err != nil {
 				return 0, nil, fmt.Errorf("sched: internal recv booking: %w", err)
 			}
-			booked = append(booked, tentBooking{recv, start, tg.Dur})
+			booked = append(booked, tentBooking{recv, start, dur})
 		}
-		end := start + tg.Dur
+		end := start + dur
 		if end > arrival {
 			arrival = end
 		}
 		transfers = append(transfers, Transfer{
 			Parent: tg.Parent, Child: i, From: tg.From, To: j,
-			Start: start, End: end, Bits: tg.Bits, Energy: tg.Energy,
+			Start: start, End: end, Bits: tg.Bits, Energy: energy,
 		})
 	}
 	return arrival, transfers, nil

@@ -102,15 +102,11 @@ func (s *State) PlanCandidateRO(i, j int, v workload.Version, now int64) (Plan, 
 		k := s.Inst.ChildIndex(p, i)
 		bits := s.Inst.OutBits(p, k, pa.Version)
 		durSec := s.Inst.Grid.CommTime(bits, pa.Machine, j)
-		dur := grid.SecondsToCycles(durSec)
-		energy := s.Inst.Grid.Machines[pa.Machine].CommRate * durSec
+		nomDur := grid.SecondsToCycles(durSec)
+		nomEnergy := s.Inst.Grid.Machines[pa.Machine].CommRate * durSec
 
-		senderCost[pa.Machine] += energy
-		if s.Ledger.Remaining(pa.Machine) < senderCost[pa.Machine] {
-			return plan, fmt.Errorf("sched: sender machine %d out of energy for transfer %d->%d",
-				pa.Machine, p, i)
-		}
-
+		// Same fixpoint as placeIncoming: the occupancy depends on the
+		// start cycle when a link-degradation window is active.
 		start := pa.End
 		if start < now {
 			start = now
@@ -118,14 +114,27 @@ func (s *State) PlanCandidateRO(i, j int, v workload.Version, now int64) (Plan, 
 		send, recv := s.SendTL[pa.Machine], s.RecvTL[j]
 		sendExtra := scratch.send[pa.Machine]
 		recvExtra := scratch.recv[j]
+		dur, energy := s.stretchComm(nomDur, durSec, nomEnergy, start)
 		for {
 			s1 := send.EarliestFitWith(sendExtra, start, dur)
 			s2 := recv.EarliestFitWith(recvExtra, s1, dur)
-			if s2 == s1 {
-				start = s1
+			if s2 != s1 {
+				start = s2
+				dur, energy = s.stretchComm(nomDur, durSec, nomEnergy, start)
+				continue
+			}
+			d2, e2 := s.stretchComm(nomDur, durSec, nomEnergy, s1)
+			if d2 == dur {
+				start, energy = s1, e2
 				break
 			}
-			start = s2
+			start, dur, energy = s1, d2, e2
+		}
+
+		senderCost[pa.Machine] += energy
+		if s.Ledger.Remaining(pa.Machine) < senderCost[pa.Machine] {
+			return plan, fmt.Errorf("sched: sender machine %d out of energy for transfer %d->%d",
+				pa.Machine, p, i)
 		}
 		if dur > 0 {
 			scratch.addSend(pa.Machine, Interval{start, start + dur})

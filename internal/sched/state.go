@@ -54,9 +54,11 @@ type State struct {
 	unmappedParent []int     // remaining unmapped parents per subtask
 	ready          []int     // sorted ids: unmapped subtasks with all parents mapped
 	gen            []uint64  // per machine: bumped whenever its timelines, energy or liveness change
-	shrinkEpoch    uint64    // bumped whenever resources grow back (loss unwinding)
+	shrinkEpoch    uint64    // bumped whenever resources grow back (loss/failure unwinding, rejoin)
 	deadAt         []int64   // loss cycle per machine; nil or MaxInt64 = alive
-	sunk           []float64 // energy spent on work later discarded by a loss
+	sunk           []float64 // energy spent on work later discarded by a loss or failure
+	downtime       [][]Interval   // closed outage windows per machine (loss ... rejoin)
+	slowdowns      []LinkSlowdown // static link-degradation windows, set before scheduling
 
 	// Reusable pricing scratch. Pricing entry points are sequential (the
 	// concurrent scorer uses PlanCandidateRO, which touches none of these).
@@ -135,6 +137,43 @@ func (s *State) readyRemove(i int) {
 	if k < len(s.ready) && s.ready[k] == i {
 		s.ready = append(s.ready[:k], s.ready[k+1:]...)
 	}
+}
+
+// LinkSlowdown is one timed bandwidth-degradation window: a transfer
+// whose link occupancy starts in [Start, End) sees every link at Factor
+// times its nominal bandwidth, so it takes 1/Factor times longer and
+// costs the sender 1/Factor times the nominal energy. The factor is
+// sampled at the transfer's start cycle — that keeps placement a pure
+// function of (geometry, timelines, clock), which the plan cache and the
+// replay verifier both rely on.
+type LinkSlowdown struct {
+	Start, End int64
+	Factor     float64 // bandwidth multiplier in (0, 1]
+}
+
+// SetLinkSlowdowns installs the link-degradation windows for this run.
+// Windows are static scheduling inputs: they must be set before any
+// candidate is priced or committed, and never changed afterwards (the
+// plan cache assumes the stretch function is fixed for the whole run).
+func (s *State) SetLinkSlowdowns(ws []LinkSlowdown) {
+	s.slowdowns = append([]LinkSlowdown(nil), ws...)
+}
+
+// LinkSlowdowns returns the installed degradation windows. The slice is
+// shared with the state and must not be mutated.
+func (s *State) LinkSlowdowns() []LinkSlowdown { return s.slowdowns }
+
+// LinkFactorAt returns the bandwidth factor in effect for a transfer
+// starting at cycle c: the smallest factor among the windows containing
+// c, or 1 when none does.
+func (s *State) LinkFactorAt(c int64) float64 {
+	f := 1.0
+	for _, w := range s.slowdowns {
+		if c >= w.Start && c < w.End && w.Factor < f {
+			f = w.Factor
+		}
+	}
+	return f
 }
 
 // Gen returns machine j's mutation generation. It increases monotonically

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"adhocgrid/internal/grid"
+)
+
+// TestFaultKeyFolding proves that every accepted spelling of one fault
+// sequence — Lose sugar, the DSL, or a mix — lands on one cache key,
+// and that distinct plans do not.
+func TestFaultKeyFolding(t *testing.T) {
+	base := testRequest()
+
+	dsl := base
+	dsl.Faults = "lose:1@4000,rejoin:1@8000"
+
+	sugar := base
+	sugar.Lose = []LossEvent{{Machine: 1, At: 4000}}
+	sugar.Faults = "rejoin:1@8000"
+
+	if dsl.Key() != sugar.Key() {
+		t.Fatalf("lose sugar and DSL spellings of one plan diverge:\n%s\n%s",
+			dsl.Canonical().Faults, sugar.Canonical().Faults)
+	}
+	canon := sugar.Canonical()
+	if canon.Lose != nil {
+		t.Fatalf("canonical form kept the Lose sugar: %+v", canon.Lose)
+	}
+	if canon.Faults != "lose:1@4000,rejoin:1@8000" {
+		t.Fatalf("canonical faults spelling = %q", canon.Faults)
+	}
+
+	other := base
+	other.Faults = "lose:2@4000,rejoin:2@8000"
+	if other.Key() == dsl.Key() {
+		t.Fatal("distinct fault plans share a cache key")
+	}
+	if base.Key() == dsl.Key() {
+		t.Fatal("fault-free and faulted requests share a cache key")
+	}
+
+	// A plan that fails to parse is left verbatim for Validate.
+	bad := base
+	bad.Faults = "explode:1@4000"
+	if got := bad.Canonical().Faults; got != "explode:1@4000" {
+		t.Fatalf("unparseable plan rewritten to %q", got)
+	}
+	if err := bad.Canonical().Validate(0); err == nil {
+		t.Fatal("unparseable plan validated")
+	}
+}
+
+// TestFaultMapMissThenHitByteIdentical is the service determinism
+// guarantee under churn: a faulted request's cache hit and a direct
+// recomputation both reproduce the miss bytes exactly.
+func TestFaultMapMissThenHitByteIdentical(t *testing.T) {
+	// Derive event anchors from the fault-free run so the churn lands
+	// inside the active part of the schedule at any scale.
+	req := testRequest()
+	req.Trace = false
+	baseOut, err := Execute(req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aet := grid.SecondsToCycles(baseOut.Result.Metrics.AETSeconds)
+	if aet < 8 {
+		t.Fatalf("baseline AET of %d cycles is too short to churn", aet)
+	}
+	loseAt := aet / 4
+	req.Faults = fmt.Sprintf("lose:1@%d,slow:links*0.5@[%d,%d],rejoin:1@%d",
+		loseAt, loseAt, 4*aet, loseAt+aet/4)
+
+	_, ts := newTestServer(t, Config{})
+	body := mustMarshal(t, req)
+	miss := postMap(t, ts, body)
+	missBody := readBody(t, miss)
+	if miss.StatusCode != http.StatusOK {
+		t.Fatalf("miss status = %d, body %s", miss.StatusCode, missBody)
+	}
+	hit := postMap(t, ts, body)
+	hitBody := readBody(t, hit)
+	if got := hit.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second faulted response X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(missBody, hitBody) {
+		t.Fatalf("faulted cache hit not byte-identical to miss:\nmiss: %s\nhit:  %s", missBody, hitBody)
+	}
+
+	out, err := Execute(req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, out.Result); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), missBody) {
+		t.Fatalf("served faulted bytes differ from direct recomputation:\nserved: %s\ndirect: %s",
+			missBody, buf.Bytes())
+	}
+
+	var res Result
+	if err := json.Unmarshal(missBody, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.VerifyOK {
+		t.Fatalf("faulted run failed verification: %v", res.Violations)
+	}
+	if res.FaultsApplied != 2 {
+		t.Fatalf("FaultsApplied = %d, want 2 (loss + rejoin)", res.FaultsApplied)
+	}
+	if res.Requeued == 0 {
+		t.Fatal("machine loss requeued nothing")
+	}
+	m := res.Machines[1]
+	if !m.Alive || len(m.Downtime) != 1 || m.Downtime[0].Start != loseAt {
+		t.Fatalf("machine 1 report does not show the outage window: %+v", m)
+	}
+	// The Lose-sugar spelling of the same plan is the same cache entry.
+	sugar := req
+	sugar.Faults = fmt.Sprintf("slow:links*0.5@[%d,%d],rejoin:1@%d", loseAt, 4*aet, loseAt+aet/4)
+	sugar.Lose = []LossEvent{{Machine: 1, At: loseAt}}
+	resp := postMap(t, ts, mustMarshal(t, sugar))
+	respBody := readBody(t, resp)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("sugar spelling missed the cache: X-Cache = %q", got)
+	}
+	if !bytes.Equal(respBody, missBody) {
+		t.Fatal("sugar spelling served different bytes")
+	}
+}
+
+// TestFaultValidationOverHTTP exercises the plan validator through the
+// service: each malformed plan must come back as a 400 with a JSON error.
+func TestFaultValidationOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"syntax error", `{"n": 48, "case": "A", "heuristic": "slrh1", "alpha": 0.5, "beta": 0.3, "faults": "explode:1@40"}`},
+		{"duplicate loss", `{"n": 48, "case": "A", "heuristic": "slrh1", "alpha": 0.5, "beta": 0.3, "faults": "lose:1@40,lose:1@50"}`},
+		{"machine out of range", `{"n": 48, "case": "A", "heuristic": "slrh1", "alpha": 0.5, "beta": 0.3, "faults": "lose:99@40"}`},
+		{"subtask out of range", `{"n": 48, "case": "A", "heuristic": "slrh1", "alpha": 0.5, "beta": 0.3, "faults": "fail:t48@40"}`},
+		{"rejoin before loss", `{"n": 48, "case": "A", "heuristic": "slrh1", "alpha": 0.5, "beta": 0.3, "faults": "rejoin:1@40"}`},
+		{"dup loss across forms", `{"n": 48, "case": "A", "heuristic": "slrh1", "alpha": 0.5, "beta": 0.3, "faults": "lose:1@50", "lose": [{"machine":1,"at":40}]}`},
+		{"faults on maxmax", `{"n": 48, "case": "A", "heuristic": "maxmax", "alpha": 0.5, "beta": 0.3, "faults": "lose:1@40"}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postMap(t, ts, []byte(tc.body))
+			body := readBody(t, resp)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (body %s)", resp.StatusCode, body)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Fatalf("error body not JSON with error field: %s", body)
+			}
+		})
+	}
+}

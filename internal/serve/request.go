@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"adhocgrid/internal/core"
+	"adhocgrid/internal/fault"
 	"adhocgrid/internal/grid"
 	"adhocgrid/internal/sched"
 )
@@ -55,8 +56,16 @@ type Request struct {
 	Adaptive bool `json:"adaptive,omitempty"`
 	// EnergyScale multiplies every battery (0 means auto |T|/1024).
 	EnergyScale float64 `json:"energy_scale,omitempty"`
-	// Lose injects machine-loss events (SLRH variants only).
+	// Lose injects machine-loss events (SLRH variants only). Sugar for
+	// the equivalent lose: items of Faults; both forms fold into one
+	// canonical plan, so they share a cache key.
 	Lose []LossEvent `json:"lose,omitempty"`
+	// Faults is a full fault plan in the internal/fault DSL, e.g.
+	// "lose:1@40000,fail:t217@52000,slow:links*0.5@[60000,90000],
+	// rejoin:1@110000" (SLRH variants only). Canonicalization re-spells
+	// it via fault.Plan.String, so any accepted spelling of the same plan
+	// shares a cache key.
+	Faults string `json:"faults,omitempty"`
 	// Trace captures a per-timestep trace document, retrievable via
 	// GET /v1/runs/{id}/trace using the response's X-Run-Id header.
 	Trace bool `json:"trace,omitempty"`
@@ -96,7 +105,29 @@ func (r Request) Canonical() Request {
 	if len(r.Lose) == 0 {
 		r.Lose = nil
 	}
+	// Fold the Lose sugar and the Faults DSL into one canonically-spelled
+	// plan, so every spelling of the same fault sequence shares a cache
+	// key. A spec that does not parse is left verbatim for Validate to
+	// reject with the parser's message.
+	if pl, err := r.faultPlan(); err == nil {
+		r.Lose = nil
+		r.Faults = pl.String()
+	}
 	return r
+}
+
+// faultPlan parses the Faults DSL and merges the Lose sugar into it,
+// returning the normalized combined plan.
+func (r Request) faultPlan() (*fault.Plan, error) {
+	pl, err := fault.ParsePlan(r.Faults)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range r.Lose {
+		pl.Events = append(pl.Events, fault.Event{Kind: fault.Lose, At: e.At, Machine: e.Machine})
+	}
+	pl.Normalize()
+	return pl, nil
 }
 
 // gridCase resolves the Case field of a canonical request.
@@ -162,8 +193,17 @@ func (r Request) Validate(maxN int) error {
 				return fmt.Errorf("bad loss event %+v: machine and cycle must be non-negative", e)
 			}
 		}
-	} else if len(r.Lose) > 0 || r.Adaptive {
-		return fmt.Errorf("lose/adaptive apply to the SLRH variants only")
+		pl, err := r.faultPlan()
+		if err != nil {
+			return err
+		}
+		//lint:errdrop gridCase was validated just above, so it cannot fail here
+		c, _ := r.gridCase()
+		if err := pl.Validate(grid.ForCase(c).M(), r.N); err != nil {
+			return err
+		}
+	} else if len(r.Lose) > 0 || r.Faults != "" || r.Adaptive {
+		return fmt.Errorf("lose/faults/adaptive apply to the SLRH variants only")
 	}
 	return nil
 }

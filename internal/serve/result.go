@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"adhocgrid/internal/core"
+	"adhocgrid/internal/fault"
 	"adhocgrid/internal/grid"
 	"adhocgrid/internal/maxmax"
 	"adhocgrid/internal/rng"
@@ -34,6 +35,12 @@ type MetricsReport struct {
 	Feasible   bool    `json:"feasible"`
 }
 
+// CycleWindow is a half-open cycle interval [start, end).
+type CycleWindow struct {
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+}
+
 // MachineReport is the final per-machine account.
 type MachineReport struct {
 	ID        int     `json:"id"`
@@ -42,6 +49,8 @@ type MachineReport struct {
 	Remaining float64 `json:"remaining"`
 	Alive     bool    `json:"alive"`
 	DeadAt    int64   `json:"dead_at,omitempty"`
+	// Downtime lists closed loss-to-rejoin outage windows, oldest first.
+	Downtime []CycleWindow `json:"downtime,omitempty"`
 }
 
 // Result is the response body of POST /v1/map and, byte for byte, the
@@ -58,10 +67,14 @@ type Result struct {
 	TSE        float64         `json:"tse"`
 	Metrics    MetricsReport   `json:"metrics"`
 	Steps      int             `json:"steps"`              // heuristic activations (SLRH) or assignments (maxmax)
-	Requeued   int             `json:"requeued,omitempty"` // subtasks re-mapped after machine losses
-	Machines   []MachineReport `json:"machines"`
-	VerifyOK   bool            `json:"verify_ok"`
-	Violations []string        `json:"violations,omitempty"`
+	Requeued   int             `json:"requeued,omitempty"` // subtasks re-mapped after losses and failures
+	// FaultsApplied / FaultsSkipped count fault-plan events that fired and
+	// changed the run vs fail events that found nothing in flight.
+	FaultsApplied int             `json:"faults_applied,omitempty"`
+	FaultsSkipped int             `json:"faults_skipped,omitempty"`
+	Machines      []MachineReport `json:"machines"`
+	VerifyOK      bool            `json:"verify_ok"`
+	Violations    []string        `json:"violations,omitempty"`
 }
 
 // Outcome bundles a run's serializable result with its side products:
@@ -100,12 +113,14 @@ func Execute(req Request, maxN int) (*Outcome, error) {
 	w := sched.NewWeights(req.Alpha, req.Beta)
 
 	var (
-		metrics  sched.Metrics
-		state    *sched.State
-		steps    int
-		requeued int
-		elapsed  float64
-		rec      *trace.Recorder
+		metrics          sched.Metrics
+		state            *sched.State
+		steps            int
+		requeued         int
+		applied, skipped int
+		plan             *fault.Plan
+		elapsed          float64
+		rec              *trace.Recorder
 	)
 	//lint:errdrop Validate already rejected unknown heuristics, so variant cannot fail here
 	if variant, isSLRH, _ := req.variant(); isSLRH {
@@ -115,8 +130,10 @@ func Execute(req Request, maxN int) (*Outcome, error) {
 		if req.Adaptive {
 			cfg.Adaptive = core.NewAdaptiveController(w)
 		}
-		for _, e := range req.Lose {
-			cfg.Events = append(cfg.Events, core.Event{At: e.At, Machine: e.Machine})
+		//lint:errdrop Validate already rejected malformed fault specs, so faultPlan cannot fail here
+		plan, _ = req.faultPlan()
+		if plan != nil && !plan.Empty() {
+			cfg.Faults = plan
 		}
 		if req.Trace {
 			rec = trace.NewRecorder(1)
@@ -128,6 +145,7 @@ func Execute(req Request, maxN int) (*Outcome, error) {
 		}
 		metrics, state = res.Metrics, res.State
 		steps, requeued = res.Timesteps, res.Requeued
+		applied, skipped = res.FaultsApplied, res.FaultsSkipped
 		elapsed = res.Elapsed.Seconds()
 	} else {
 		res, err := maxmax.Run(inst, maxmax.Config{Weights: w})
@@ -154,9 +172,11 @@ func Execute(req Request, maxN int) (*Outcome, error) {
 			MetTau:     metrics.MetTau,
 			Feasible:   metrics.Feasible(),
 		},
-		Steps:    steps,
-		Requeued: requeued,
-		VerifyOK: true,
+		Steps:         steps,
+		Requeued:      requeued,
+		FaultsApplied: applied,
+		FaultsSkipped: skipped,
+		VerifyOK:      true,
 	}
 	for j := 0; j < inst.Grid.M(); j++ {
 		m := MachineReport{
@@ -169,9 +189,14 @@ func Execute(req Request, maxN int) (*Outcome, error) {
 		if !m.Alive {
 			m.DeadAt = state.DeadAt(j)
 		}
+		for _, iv := range state.Downtime(j) {
+			m.Downtime = append(m.Downtime, CycleWindow{Start: iv.Start, End: iv.End})
+		}
 		result.Machines = append(result.Machines, m)
 	}
-	for _, v := range sim.Verify(state) {
+	// VerifyPlan subsumes Verify and additionally cross-checks the run
+	// against the requested fault plan (nil for maxmax or no faults).
+	for _, v := range sim.VerifyPlan(state, plan) {
 		result.VerifyOK = false
 		result.Violations = append(result.Violations, v.String())
 	}

@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"testing"
+
+	"adhocgrid/internal/fault"
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/rng"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/workload"
+)
+
+// hasKind reports whether any violation carries the kind.
+func hasKind(vs []Violation, kind string) bool {
+	for _, v := range vs {
+		if v.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// buildGreedySlow is buildGreedy with link-degradation windows installed
+// before any pricing, so the schedule is built under the degraded model.
+// Data items are made 20× larger than the paper default so nominal
+// transfer durations span several whole cycles — with 0.1 Mbit secondary
+// items every transfer rounds up to one cycle with or without a slowdown,
+// and the stretch would be invisible.
+func buildGreedySlow(t *testing.T, n int, seed uint64, ws []sched.LinkSlowdown) *sched.State {
+	t.Helper()
+	p := workload.DefaultParams(n)
+	p.EnergyScale = 1
+	p.DataLo, p.DataHi = 2e6, 2e7
+	p.TauScale = 3 // room for the fatter, slower transfers
+	s, err := workload.Generate(p, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Instantiate(grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sched.NewState(inst, sched.NewWeights(0.5, 0.3))
+	st.SetLinkSlowdowns(ws)
+	order, err := s.Graph.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin placement forces transfers across every machine pair,
+	// not just the fast links an earliest-finish builder would prefer.
+	for k, i := range order {
+		committed := false
+		for off := 0; off < inst.Grid.M() && !committed; off++ {
+			j := (k + off) % inst.Grid.M()
+			if plan, err := st.PlanCandidate(i, j, workload.Secondary, 0); err == nil {
+				if st.Commit(plan) == nil {
+					committed = true
+				}
+			}
+		}
+		if !committed {
+			t.Fatalf("subtask %d unschedulable under degradation", i)
+		}
+	}
+	return st
+}
+
+// TestVerifyCatchesWorkOnDeadMachine corrupts a schedule so completed
+// work on a lost machine appears to run past the loss cycle.
+func TestVerifyCatchesWorkOnDeadMachine(t *testing.T) {
+	st := buildGreedy(t, 96, 8, grid.CaseA)
+	// Losing at the realized AET strands nothing (all transfers done), so
+	// completed work on the machine survives and can be corrupted.
+	lossAt := st.AETCycles
+	if _, err := st.LoseMachine(1, lossAt); err != nil {
+		t.Fatal(err)
+	}
+	var victim *sched.Assignment
+	for _, a := range st.Assignments {
+		if a != nil && a.Machine == 1 {
+			victim = a
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("no completed work survived on the dead machine")
+	}
+	victim.End = lossAt + 100
+	if vs := Verify(st); !hasKind(vs, "loss") {
+		t.Fatalf("execution past the loss not flagged as loss: %v", vs)
+	}
+}
+
+// TestVerifyCatchesDowntimeOverlap corrupts a schedule so work appears to
+// run on a machine during its closed loss-to-rejoin outage window.
+func TestVerifyCatchesDowntimeOverlap(t *testing.T) {
+	st := buildGreedy(t, 96, 8, grid.CaseA)
+	lossAt := st.AETCycles
+	if _, err := st.LoseMachine(1, lossAt); err != nil {
+		t.Fatal(err)
+	}
+	rejoinAt := lossAt + 500
+	if err := st.RejoinMachine(1, rejoinAt); err != nil {
+		t.Fatal(err)
+	}
+	if vs := Verify(st); len(vs) != 0 {
+		t.Fatalf("clean churned schedule has violations: %v", vs)
+	}
+	var victim *sched.Assignment
+	for _, a := range st.Assignments {
+		if a != nil && a.Machine == 1 {
+			victim = a
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("no completed work survived on the churned machine")
+	}
+	victim.Start, victim.End = lossAt+1, lossAt+1+(victim.End-victim.Start)
+	if vs := Verify(st); !hasKind(vs, "loss") {
+		t.Fatalf("execution inside the outage window not flagged: %v", vs)
+	}
+}
+
+// TestVerifyPlanCatchesMissedFailure hands VerifyPlan a plan whose fail
+// event should have aborted an in-flight execution that the schedule
+// still carries intact.
+func TestVerifyPlanCatchesMissedFailure(t *testing.T) {
+	st := buildGreedy(t, 64, 9, grid.CaseA)
+	var target int
+	found := false
+	for i, a := range st.Assignments {
+		if a != nil && a.End-a.Start >= 2 {
+			target, found = i, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no long-enough assignment")
+	}
+	a := st.Assignments[target]
+	mid := a.Start + (a.End-a.Start)/2
+	pl := &fault.Plan{Events: []fault.Event{{Kind: fault.Fail, At: mid, Subtask: target}}}
+	if vs := VerifyPlan(st, pl); !hasKind(vs, "fault") {
+		t.Fatalf("unaborted failed attempt not flagged: %v", vs)
+	}
+	// Once the failure is actually applied, the same plan verifies.
+	if _, err := st.FailSubtask(target, mid); err != nil {
+		t.Fatal(err)
+	}
+	if vs := VerifyPlan(st, pl); len(vs) != 0 {
+		t.Fatalf("applied failure still flagged: %v", vs)
+	}
+}
+
+// TestVerifyPlanCatchesMissingChurn hands VerifyPlan a plan whose loss
+// and rejoin the schedule never saw.
+func TestVerifyPlanCatchesMissingChurn(t *testing.T) {
+	st := buildGreedy(t, 64, 10, grid.CaseA)
+	lossAt := st.AETCycles / 4
+	pl := &fault.Plan{Events: []fault.Event{
+		{Kind: fault.Lose, At: lossAt, Machine: 1},
+		{Kind: fault.Rejoin, At: lossAt + 100, Machine: 1},
+	}}
+	vs := VerifyPlan(st, pl)
+	if !hasKind(vs, "fault") {
+		t.Fatalf("unapplied churn not flagged: %v", vs)
+	}
+	// Apply the churn; now the plan is consistent with the state.
+	if _, err := st.LoseMachine(1, lossAt); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RejoinMachine(1, lossAt+100); err != nil {
+		t.Fatal(err)
+	}
+	if vs := VerifyPlan(st, pl); len(vs) != 0 {
+		t.Fatalf("applied churn still flagged: %v", vs)
+	}
+	// Events past the final AET never fire and must not be demanded.
+	future := &fault.Plan{Events: []fault.Event{
+		{Kind: fault.Lose, At: st.AETCycles + 1, Machine: 2},
+	}}
+	if vs := VerifyPlan(st, future); len(vs) != 0 {
+		t.Fatalf("unfired future event demanded: %v", vs)
+	}
+}
+
+// TestVerifyCatchesIgnoredDegradationWindow builds a schedule under a
+// half-bandwidth window, then shrinks one stretched transfer back to its
+// nominal duration and energy — the verifier must reject both.
+func TestVerifyCatchesIgnoredDegradationWindow(t *testing.T) {
+	ws := []sched.LinkSlowdown{{Start: 0, End: 1 << 40, Factor: 0.5}}
+	st := buildGreedySlow(t, 96, 13, ws)
+	if vs := VerifyPlan(st, &fault.Plan{Windows: []fault.Window{{Start: 0, End: 1 << 40, Factor: 0.5}}}); len(vs) != 0 {
+		t.Fatalf("clean degraded schedule has violations: %v", vs)
+	}
+	var victim *sched.Transfer
+	var nomCyc int64
+	var nomEnergy float64
+	for _, a := range st.Assignments {
+		if a == nil {
+			continue
+		}
+		for k := range a.Transfers {
+			tr := &a.Transfers[k]
+			sec := st.Inst.Grid.CommTime(tr.Bits, tr.From, tr.To)
+			cyc := grid.SecondsToCycles(sec)
+			if cyc > 0 && tr.End-tr.Start >= 2*cyc {
+				victim, nomCyc = tr, cyc
+				nomEnergy = st.Inst.Grid.Machines[tr.From].CommRate * sec
+				break
+			}
+		}
+		if victim != nil {
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no stretched transfer found under the window")
+	}
+	victim.End = victim.Start + nomCyc
+	victim.Energy = nomEnergy
+	vs := Verify(st)
+	if !hasKind(vs, "duration") {
+		t.Fatalf("nominal-duration transfer inside window not flagged: %v", vs)
+	}
+	if !hasKind(vs, "energy") {
+		t.Fatalf("nominal-energy transfer inside window not flagged: %v", vs)
+	}
+}
+
+// TestVerifyPlanCatchesWindowMismatch hands VerifyPlan a plan whose
+// windows differ from the ones the schedule was built with.
+func TestVerifyPlanCatchesWindowMismatch(t *testing.T) {
+	st := buildGreedy(t, 32, 14, grid.CaseA)
+	pl := &fault.Plan{Windows: []fault.Window{{Start: 0, End: 100, Factor: 0.5}}}
+	if vs := VerifyPlan(st, pl); !hasKind(vs, "fault") {
+		t.Fatalf("missing window installation not flagged: %v", vs)
+	}
+}

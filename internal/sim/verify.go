@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 
+	"adhocgrid/internal/fault"
 	"adhocgrid/internal/grid"
 	"adhocgrid/internal/sched"
 	"adhocgrid/internal/workload"
@@ -149,13 +150,22 @@ func Verify(st *sched.State) []Violation {
 			if math.Abs(tr.Bits-wantBits) > 1e-6 {
 				violatef(&out, "data", "transfer %d->%d carries %v bits, want %v", p, i, tr.Bits, wantBits)
 			}
+			// A transfer that starts inside a link-degradation window is
+			// slower and costlier by the window's factor. The operation
+			// order mirrors sched.stretchComm exactly (divide the nominal
+			// seconds and energy, then round), so fault-free schedules and
+			// degraded ones alike must match bit-for-bit.
 			wantSec := inst.Grid.CommTime(tr.Bits, tr.From, tr.To)
+			wantTE := inst.Grid.Machines[tr.From].CommRate * wantSec
+			if f := st.LinkFactorAt(tr.Start); f < 1 {
+				wantSec /= f
+				wantTE /= f
+			}
 			wantCyc := grid.SecondsToCycles(wantSec)
 			if tr.End-tr.Start < wantCyc {
 				violatef(&out, "duration", "transfer %d->%d booked %d cycles, needs %d",
 					p, i, tr.End-tr.Start, wantCyc)
 			}
-			wantTE := inst.Grid.Machines[tr.From].CommRate * wantSec
 			if math.Abs(tr.Energy-wantTE) > energyTol {
 				violatef(&out, "energy", "transfer %d->%d energy %v, want %v", p, i, tr.Energy, wantTE)
 			}
@@ -220,22 +230,40 @@ func Verify(st *sched.State) []Violation {
 		}
 	}
 
-	// Machine loss: nothing may execute or transmit on a machine past its
-	// loss time, except work that had already completed.
+	// Machine loss and churn: nothing may execute, transmit, or receive on
+	// a machine while it is out of the grid — past its loss time if it is
+	// still dead, or inside any closed outage window if it rejoined.
 	for j := 0; j < m; j++ {
-		if st.Alive(j) {
-			continue
-		}
-		lost := st.DeadAt(j)
-		for _, sp := range execSpans[j] {
-			if sp.end > lost {
-				violatef(&out, "loss", "machine %d lost at %d but %s runs until %d", j, lost, sp.what, sp.end)
+		if !st.Alive(j) {
+			lost := st.DeadAt(j)
+			for _, sp := range execSpans[j] {
+				if sp.end > lost {
+					violatef(&out, "loss", "machine %d lost at %d but %s runs until %d", j, lost, sp.what, sp.end)
+				}
+			}
+			for _, sp := range sendSpans[j] {
+				if sp.end > lost {
+					violatef(&out, "loss", "machine %d lost at %d but %s transmits until %d", j, lost, sp.what, sp.end)
+				}
+			}
+			for _, sp := range recvSpans[j] {
+				if sp.end > lost {
+					violatef(&out, "loss", "machine %d lost at %d but %s arrives until %d", j, lost, sp.what, sp.end)
+				}
 			}
 		}
-		for _, sp := range sendSpans[j] {
-			if sp.end > lost {
-				violatef(&out, "loss", "machine %d lost at %d but %s transmits until %d", j, lost, sp.what, sp.end)
+		for _, w := range st.Downtime(j) {
+			overlap := func(kind string, spans []span) {
+				for _, sp := range spans {
+					if sp.end > w.Start && sp.start < w.End {
+						violatef(&out, "loss", "machine %d was out during [%d,%d) but %s %s spans [%d,%d)",
+							j, w.Start, w.End, kind, sp.what, sp.start, sp.end)
+					}
+				}
 			}
+			overlap("exec", execSpans[j])
+			overlap("send", sendSpans[j])
+			overlap("recv", recvSpans[j])
 		}
 	}
 
@@ -248,6 +276,81 @@ func Verify(st *sched.State) []Violation {
 	}
 	if aet != st.AETCycles {
 		violatef(&out, "aggregate", "state says AET=%d, replay finds %d", st.AETCycles, aet)
+	}
+	return out
+}
+
+// VerifyPlan runs Verify and additionally checks the schedule's
+// consistency with a fault plan: the state's installed link-degradation
+// windows match the plan's, every loss and rejoin that can have fired is
+// reflected in the machine's outage record, and no failed subtask's final
+// attempt spans its failure instant. Events with At beyond the final AET
+// never fire (the run stops once nothing can change) and are skipped; an
+// unfired event can only sit past the final AET, so the guard admits no
+// false positives. pl must be normalized (ParsePlan output is).
+func VerifyPlan(st *sched.State, pl *fault.Plan) []Violation {
+	out := Verify(st)
+	if pl == nil {
+		return out
+	}
+
+	ws := st.LinkSlowdowns()
+	if len(ws) != len(pl.Windows) {
+		violatef(&out, "fault", "schedule built with %d link-degradation windows, plan has %d",
+			len(ws), len(pl.Windows))
+	} else {
+		for k, w := range pl.Windows {
+			if ws[k].Start != w.Start || ws[k].End != w.End || ws[k].Factor != w.Factor {
+				violatef(&out, "fault", "installed slowdown window %d is [%d,%d)*%v, plan says [%d,%d)*%v",
+					k, ws[k].Start, ws[k].End, ws[k].Factor, w.Start, w.End, w.Factor)
+			}
+		}
+	}
+
+	for _, ev := range pl.Events {
+		switch ev.Kind {
+		case fault.Lose:
+			if ev.At > st.AETCycles {
+				continue
+			}
+			if !st.Alive(ev.Machine) && st.DeadAt(ev.Machine) == ev.At {
+				continue
+			}
+			found := false
+			for _, w := range st.Downtime(ev.Machine) {
+				if w.Start == ev.At {
+					found = true
+					break
+				}
+			}
+			if !found {
+				violatef(&out, "fault", "plan loses machine %d at cycle %d but the state records no such outage",
+					ev.Machine, ev.At)
+			}
+		case fault.Rejoin:
+			if ev.At > st.AETCycles {
+				continue
+			}
+			found := false
+			for _, w := range st.Downtime(ev.Machine) {
+				if w.End == ev.At {
+					found = true
+					break
+				}
+			}
+			if !found {
+				violatef(&out, "fault", "plan rejoins machine %d at cycle %d but the state records no outage ending there",
+					ev.Machine, ev.At)
+			}
+		case fault.Fail:
+			// The final attempt may legitimately start exactly at the fault
+			// cycle (a post-failure remap priced at now == At), but an
+			// attempt already running at the instant must have been aborted.
+			if a := st.Assignments[ev.Subtask]; a != nil && a.Start < ev.At && ev.At < a.End {
+				violatef(&out, "fault", "subtask %d's final attempt [%d,%d) spans its planned failure at cycle %d",
+					ev.Subtask, a.Start, a.End, ev.At)
+			}
+		}
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"adhocgrid/internal/fault"
 	"adhocgrid/internal/lrnn"
 	"adhocgrid/internal/maxmax"
 	"adhocgrid/internal/opt"
@@ -41,6 +42,44 @@ func Verify(s *Schedule) []Violation { return sim.Verify(s) }
 
 // VerifyComplete additionally requires a complete mapping within τ.
 func VerifyComplete(s *Schedule) []Violation { return sim.VerifyComplete(s) }
+
+// Fault-plan re-exports (internal/fault): deterministic fault injection
+// for the SLRH clock — machine churn, transient subtask failures, and
+// link-bandwidth degradation windows.
+type (
+	// FaultPlan is a deterministic sequence of fault events plus
+	// link-degradation windows, attached to a run via Config.Faults.
+	FaultPlan = fault.Plan
+	// FaultEvent is one planned disturbance (loss, rejoin or failure).
+	FaultEvent = fault.Event
+	// FaultWindow degrades every link's bandwidth by Factor over
+	// [Start, End) cycles.
+	FaultWindow = fault.Window
+	// FaultKind discriminates fault events.
+	FaultKind = fault.Kind
+)
+
+// Fault event kinds.
+const (
+	// FaultLose removes a machine permanently (until a rejoin).
+	FaultLose = fault.Lose
+	// FaultRejoin returns a previously lost machine to service.
+	FaultRejoin = fault.Rejoin
+	// FaultFail aborts one subtask's in-flight execution attempt.
+	FaultFail = fault.Fail
+)
+
+// ParseFaultPlan parses the fault DSL, e.g.
+// "lose:1@40000,fail:t217@52000,slow:links*0.5@[60000,90000],rejoin:1@110000".
+// The returned plan is normalized; attach it via Config.Faults.
+func ParseFaultPlan(s string) (*FaultPlan, error) { return fault.ParsePlan(s) }
+
+// VerifyPlan runs Verify and additionally cross-checks the schedule
+// against a fault plan: nothing may run on a machine during its outages,
+// planned failures must have aborted their attempts, and the plan's
+// degradation windows must match the ones the schedule was built under.
+// A nil plan is exactly Verify.
+func VerifyPlan(s *Schedule, pl *FaultPlan) []Violation { return sim.VerifyPlan(s, pl) }
 
 // SearchOptions controls OptimizeWeights; zero values take the paper's
 // defaults (coarse 0.1, fine 0.02).
