@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix-hints test race check bench fuzz serve-smoke fault-smoke
+.PHONY: all build vet lint lint-fix-hints test race check bench bench-json bench-compare fuzz serve-smoke fault-smoke
 
 all: check
 
@@ -40,10 +40,31 @@ check: build vet lint race
 serve-smoke:
 	$(GO) run ./cmd/slrhd -smoke
 
-# Incremental-state speedup benchmark at Default() scale (|T|=256),
-# cache on vs off; see README.md "Performance".
+# Full testing.B benchmark sweep. -short skips the table/figure benches
+# that regenerate whole experiments per iteration; drop it (BENCH_SHORT=)
+# to run everything. See README.md "Benchmarking".
+BENCH_SHORT ?= -short
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSLRH$$' -benchtime 30x .
+	$(GO) test -run '^$$' -bench 'Benchmark.*' -benchtime 10x $(BENCH_SHORT) .
+
+# Machine-readable perf baseline: run the perf suite and write a
+# schema-versioned JSON report (ns/op, allocs/op, schedule metrics,
+# derived speedups — no wall-clock timestamps). BENCH_FLAGS=-short for
+# CI-smoke iteration counts.
+BENCH_OUT ?= BENCH_5.json
+bench-json:
+	$(GO) run ./cmd/benchrunner -out $(BENCH_OUT) $(BENCH_FLAGS)
+
+# Regression gate: compare a fresh report against a committed baseline;
+# exits non-zero when any benchmark's ns/op grew past TOLERANCE or a
+# baseline benchmark is missing. Full-iteration runs use the strict 10%
+# default; CI smoke passes a wider TOLERANCE because shared runners add
+# double-digit run-to-run noise that even a min-of-iters estimator can't
+# remove. Usage: make bench-compare BASE=BENCH_5.json [TOLERANCE=0.25]
+BASE ?= BENCH_5.json
+TOLERANCE ?= 0.10
+bench-compare:
+	$(GO) run ./cmd/benchrunner -compare $(BENCH_OUT) -base $(BASE) -tolerance $(TOLERANCE)
 
 # Determinism smoke for the fault engine: one canned churn plan (loss,
 # transient failure, link degradation, rejoin) run twice through

@@ -10,6 +10,7 @@
 package adhocgrid_test
 
 import (
+	"runtime"
 	"testing"
 
 	"adhocgrid"
@@ -41,9 +42,14 @@ func benchInstance(b *testing.B, n int, c grid.Case, energyScale float64) *workl
 	return inst
 }
 
-// newBenchEnv builds a fresh bench-scale experiment environment.
+// newBenchEnv builds a fresh bench-scale experiment environment. The
+// table/figure benches built on it regenerate whole experiments per
+// iteration, so they honor -short (`make bench` passes it by default).
 func newBenchEnv(b *testing.B) *exp.Env {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("experiment-scale bench; run without -short")
+	}
 	env, err := exp.NewEnv(exp.Bench())
 	if err != nil {
 		b.Fatal(err)
@@ -67,6 +73,9 @@ func BenchmarkTable1Configs(b *testing.B) {
 }
 
 func BenchmarkTable3MinimumRatio(b *testing.B) {
+	if testing.Short() {
+		b.Skip("|T|=1024 table bench; run without -short")
+	}
 	inst := benchInstance(b, 1024, grid.CaseA, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -81,6 +90,9 @@ func BenchmarkTable3MinimumRatio(b *testing.B) {
 }
 
 func BenchmarkTable4UpperBound(b *testing.B) {
+	if testing.Short() {
+		b.Skip("|T|=1024 table bench; run without -short")
+	}
 	insts := make([]*workload.Instance, 0, 3)
 	for _, c := range grid.AllCases {
 		insts = append(insts, benchInstance(b, 1024, c, 0))
@@ -320,6 +332,36 @@ func BenchmarkSLRH(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkSLRHParallel is the tentpole's headline measurement: SLRH-1
+// at |T|=1024, serial vs the parallel candidate prefill + scorer at
+// GOMAXPROCS workers. The schedules are byte-identical (parallel_test.go
+// proves it); only the wall time may differ. On hosts with ≥4 cores the
+// parallel variant is expected ≥1.5x faster; the committed BENCH_5.json
+// records the ratio measured on the baseline host alongside its
+// gomaxprocs.
+func BenchmarkSLRHParallel(b *testing.B) {
+	inst := benchInstance(b, 1024, grid.CaseA, 0)
+	w := sched.NewWeights(0.5, 0.3)
+	b.Run("serial", func(b *testing.B) {
+		cfg := core.DefaultConfig(core.SLRH1, w)
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(inst, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		cfg := core.DefaultConfig(core.SLRH1, w)
+		cfg.PoolWorkers = runtime.GOMAXPROCS(0)
+		cfg.ScoreWorkers = runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(inst, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkMaxMax(b *testing.B) {

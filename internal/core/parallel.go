@@ -1,0 +1,163 @@
+package core
+
+import (
+	"adhocgrid/internal/par"
+	"adhocgrid/internal/sched"
+)
+
+// Parallel candidate scoring (DESIGN.md §14).
+//
+// The SLRH inner loop visits machines strictly in numeric order and every
+// commit can change what later machines see, so the sweep itself cannot
+// be reordered without changing the emitted plan. What *is* embarrassingly
+// parallel is the pricing: at the start of a timestep no commit has
+// happened yet, so every (subtask, machine) candidate of every available
+// machine prices against the same frozen state, and the read-only planner
+// (sched.PlanCandidateRO / PlanVersionsFromGeomRO) prices it without
+// touching shared timelines.
+//
+// Config.PoolWorkers therefore drives a per-timestep *prefill*: the
+// runner collects, in deterministic (machine, subtask) order, every
+// candidate pair the sweep could consult that the plan cache cannot
+// already serve, prices them concurrently with par.Map — each task
+// writing only its own cache entry — and then runs the ordinary serial
+// sweep against the warm cache. Entries invalidated by commits made
+// mid-sweep fall back to the cache's usual revalidation/replay/reprice
+// paths, so the sweep's results are byte-identical to the serial run by
+// the cache-transparency guarantee the differential tests pin down.
+//
+// With the plan cache disabled there is nowhere to store prefilled
+// pricings, so PoolWorkers degrades to the per-pool concurrent scorer
+// (Config.ScoreWorkers), which is likewise result-identical.
+
+// pricedTask is one prefill work item: a candidate pair to price.
+type pricedTask struct {
+	i, j int
+}
+
+// poolWorkers resolves the effective prefill fan-out.
+func (r *runner) poolWorkers() int {
+	if r.cfg.PoolWorkers <= 1 {
+		return 1
+	}
+	return r.cfg.PoolWorkers
+}
+
+// workerScratch returns per-goroutine pricing scratches for a fan-out
+// of w, growing the runner's pool on first use. Entry k is owned by
+// worker k for the duration of one MapWorkers call.
+func (r *runner) workerScratch(w int) []sched.PlanScratch {
+	for len(r.scratches) < w {
+		r.scratches = append(r.scratches, sched.PlanScratch{})
+	}
+	return r.scratches
+}
+
+// prefillPools warms the plan cache for the timestep at clock `now`: it
+// prices every (eligible subtask, available machine) pair the cache
+// cannot serve, in parallel, against the not-yet-mutated state. Must be
+// called before the first pool build of the timestep.
+func (r *runner) prefillPools(now int64) {
+	st := r.st
+	r.readyBuf = st.ReadySet(r.readyBuf)
+	r.prefillBuf = r.prefillBuf[:0]
+	for j := 0; j < st.Inst.Grid.M(); j++ {
+		if !st.MachineAvailable(j, now) {
+			continue
+		}
+		for _, i := range r.readyBuf {
+			if st.Inst.ArrivalCycle(i) > now {
+				continue
+			}
+			if r.cfg.OptimisticComm {
+				if !st.FeasibleSLRHOptimistic(i, j) {
+					continue
+				}
+			} else if !st.FeasibleSLRH(i, j) {
+				continue
+			}
+			if _, ok := r.cachedPair(i, j, now); ok {
+				continue
+			}
+			r.prefillBuf = append(r.prefillBuf, pricedTask{i, j})
+		}
+	}
+	tasks := r.prefillBuf
+	w := r.poolWorkers()
+	scratch := r.workerScratch(w)
+	par.MapWorkers(w, len(tasks), func(worker, k int) {
+		t := tasks[k]
+		r.priceEntryRO(r.cache.entry(t.i, t.j), t.i, t.j, now, &scratch[worker])
+	})
+}
+
+// priceEntryRO prices candidate (i, j) directly into its cache entry
+// using only read-only state accesses, replaying the entry's geometry
+// when it is current for the shrink epoch and capturing it first
+// otherwise — the exact decision tree of repriceEntry, with
+// PlanVersionsFromGeomRO substituted for the mutating replay. Entries
+// are priced by at most one goroutine at a time (par.Map hands every
+// index to exactly one worker), and captureGeom/finishStore only read
+// the shared state, so concurrent calls on distinct entries are safe.
+func (r *runner) priceEntryRO(e *planEntry, i, j int, now int64, sc *sched.PlanScratch) {
+	if !r.geomCurrent(e) && !r.captureGeom(e, i, j) {
+		e.pair = planPair{}
+		r.finishStore(e, i, j, now)
+		return
+	}
+	planP, errP, planS, errS := r.st.PlanVersionsFromGeomRO(i, j, now, &e.geom, sc)
+	e.pair = planPair{planP: planP, planS: planS, okP: errP == nil, okS: errS == nil}
+	r.finishStore(e, i, j, now)
+}
+
+// scoreParallel prices the eligible candidates of one pool concurrently
+// with the read-only planner, preserving the sequential results and
+// order. With the cache enabled, hits are resolved on the runner's
+// goroutine and every miss is priced straight into its cache entry;
+// without it, pricings land in a per-call buffer.
+func (r *runner) scoreParallel(j int, now int64) {
+	if r.cache != nil {
+		r.needBuf = r.needBuf[:0]
+		for _, i := range r.eligible {
+			if _, ok := r.cachedPair(i, j, now); !ok {
+				r.needBuf = append(r.needBuf, i)
+			}
+		}
+		need := r.needBuf
+		scratch := r.workerScratch(r.cfg.ScoreWorkers)
+		par.MapWorkers(r.cfg.ScoreWorkers, len(need), func(worker, k int) {
+			i := need[k]
+			r.priceEntryRO(r.cache.entry(i, j), i, j, now, &scratch[worker])
+		})
+		for _, i := range r.eligible {
+			// Every entry is now priced at `now` with current deps, so
+			// this is a guaranteed cache hit returning the stored pair.
+			if c, ok := r.selectVersion(i, r.plansFor(i, j, now)); ok {
+				r.pool = append(r.pool, c)
+			}
+		}
+		return
+	}
+	pairs := make([]planPair, len(r.eligible))
+	scratch := r.workerScratch(r.cfg.ScoreWorkers)
+	par.MapWorkers(r.cfg.ScoreWorkers, len(r.eligible), func(worker, k int) {
+		pairs[k] = r.pricePairRO(r.eligible[k], j, now, &scratch[worker])
+	})
+	for k, i := range r.eligible {
+		if c, ok := r.selectVersion(i, &pairs[k]); ok {
+			r.pool = append(r.pool, c)
+		}
+	}
+}
+
+// pricePairRO prices both versions of (i, j) without mutating shared
+// state: geometry into a plan-local scratch, then the read-only replay.
+// Identical to pricePair by the PlanVersionsFromGeomRO equivalence.
+func (r *runner) pricePairRO(i, j int, now int64, sc *sched.PlanScratch) planPair {
+	var g sched.CandidateGeom
+	if err := r.st.FillCandidateGeom(i, j, &g); err != nil {
+		return planPair{}
+	}
+	planP, errP, planS, errS := r.st.PlanVersionsFromGeomRO(i, j, now, &g, sc)
+	return planPair{planP: planP, planS: planS, okP: errP == nil, okS: errS == nil}
+}

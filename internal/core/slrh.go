@@ -21,7 +21,6 @@ package core
 import (
 	"fmt"
 	"slices"
-	"sync"
 	"time"
 
 	"adhocgrid/internal/fault"
@@ -96,11 +95,20 @@ type Config struct {
 	// reservation (§IV design choice; see BenchmarkAblationCommEnergy).
 	OptimisticComm bool
 
-	// ScoreWorkers > 1 prices pool candidates concurrently with the
+	// ScoreWorkers > 1 prices one pool's candidates concurrently with the
 	// read-only planner — the software analogue of the parallel hardware
 	// (DSP/FPGA) evaluation the paper proposes (§II). Results are
 	// identical to sequential scoring. 0 or 1 scores sequentially.
 	ScoreWorkers int
+
+	// PoolWorkers > 1 prefills the candidate plan cache in parallel at
+	// the start of every timestep: the pools of all available machines
+	// are priced concurrently against the frozen state before the serial
+	// machine sweep consumes them, so the emitted plan stays byte-
+	// identical to the serial path (DESIGN.md §14). 0 or 1 disables the
+	// prefill; the knob is inert while DisablePlanCache is set (there is
+	// no cache to warm — ScoreWorkers still parallelizes per pool).
+	PoolWorkers int
 
 	// DisablePlanCache turns off the generation-tracked candidate plan
 	// cache (see plancache.go) and re-prices every eligible candidate at
@@ -166,14 +174,17 @@ type candidate struct {
 
 // runner holds per-run scratch state so the hot loop does not allocate.
 type runner struct {
-	st        *sched.State
-	cfg       Config
-	readyBuf  []int
-	eligible  []int
-	pool      []candidate
-	cache     *planCache   // nil when Config.DisablePlanCache
-	pairBuf   planPair     // pricing scratch when the cache is off
-	revalCost []senderCost // reusable revalidation scratch
+	st         *sched.State
+	cfg        Config
+	readyBuf   []int
+	eligible   []int
+	pool       []candidate
+	cache      *planCache   // nil when Config.DisablePlanCache
+	pairBuf    planPair     // pricing scratch when the cache is off
+	revalCost  []senderCost // reusable revalidation scratch
+	prefillBuf []pricedTask // per-timestep parallel prefill work list
+	needBuf    []int        // per-pool parallel scoring miss list
+	scratches  []sched.PlanScratch // one read-only pricing scratch per worker
 }
 
 // Run executes the SLRH heuristic on the instance and returns the
@@ -291,6 +302,9 @@ func runOn(st *sched.State, cfg Config) (*Result, error) {
 		if cfg.Adaptive != nil {
 			st.SetWeights(cfg.Adaptive.Update(st, now))
 		}
+		if cfg.PoolWorkers > 1 && r.cache != nil {
+			r.prefillPools(now)
+		}
 
 		res.Timesteps++
 		mappedBefore := st.Mapped
@@ -393,76 +407,6 @@ func (r *runner) buildPool(j int, now int64) {
 			return a.subtask - b.subtask
 		}
 	})
-}
-
-// scoreParallel prices the eligible candidates concurrently with the
-// read-only planner, preserving the sequential results and order. Cache
-// hits are resolved (and misses stored) sequentially on the runner's
-// goroutine; only the misses are priced in parallel.
-func (r *runner) scoreParallel(j int, now int64) {
-	pairs := make([]planPair, len(r.eligible))
-	need := make([]int, 0, len(r.eligible))
-	for k, i := range r.eligible {
-		if r.cache != nil {
-			if pair, ok := r.cachedPair(i, j, now); ok {
-				pairs[k] = *pair
-				continue
-			}
-			// A geometry replay mutates timelines tentatively, so it must
-			// stay on the runner's goroutine; it is cheap enough not to
-			// need the workers.
-			if e := r.cache.entry(i, j); r.geomCurrent(e) {
-				pairs[k] = *r.repriceEntry(e, i, j, now)
-				continue
-			}
-		}
-		need = append(need, k)
-	}
-	workers := r.cfg.ScoreWorkers
-	if workers > len(need) {
-		workers = len(need)
-	}
-	if workers > 1 {
-		var wg sync.WaitGroup
-		for g := 0; g < workers; g++ {
-			wg.Add(1)
-			go func(g int) {
-				defer wg.Done()
-				for n := g; n < len(need); n += workers {
-					k := need[n]
-					pairs[k] = r.pricePairRO(r.eligible[k], j, now)
-				}
-			}(g)
-		}
-		wg.Wait()
-	} else {
-		for _, k := range need {
-			pairs[k] = r.pricePairRO(r.eligible[k], j, now)
-		}
-	}
-	if r.cache != nil {
-		for _, k := range need {
-			i := r.eligible[k]
-			e := r.cache.entry(i, j)
-			e.pair = pairs[k]
-			r.finishStore(e, i, j, now)
-			r.captureGeom(e, i, j)
-		}
-	}
-	for k, i := range r.eligible {
-		if c, ok := r.selectVersion(i, &pairs[k]); ok {
-			r.pool = append(r.pool, c)
-		}
-	}
-}
-
-// pricePairRO is pricePair built on the read-only planner, safe for
-// concurrent invocation against the same state.
-func (r *runner) pricePairRO(i, j int, now int64) planPair {
-	st := r.st
-	planS, errS := st.PlanCandidateRO(i, j, workload.Secondary, now)
-	planP, errP := st.PlanCandidateRO(i, j, workload.Primary, now)
-	return planPair{planP: planP, planS: planS, okP: errP == nil, okS: errS == nil}
 }
 
 // plansFor returns the candidate pricing for (i, j), consulting and

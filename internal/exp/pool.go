@@ -11,37 +11,19 @@
 //     guarantee (Close runs every accepted job before returning).
 package exp
 
-import "sync"
+import (
+	"sync"
+
+	"adhocgrid/internal/par"
+)
 
 // ParMap applies fn to every index in [0, n) using at most `workers`
 // concurrent goroutines (a non-positive count means sequential). fn must
-// write only to its own index's output.
+// write only to its own index's output. The implementation lives in
+// internal/par so the SLRH core's concurrent scorer can share it
+// without importing this package (exp imports core).
 func ParMap(workers, n int, fn func(k int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for k := 0; k < n; k++ {
-			fn(k)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for g := 0; g < workers; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range next {
-				fn(k)
-			}
-		}()
-	}
-	for k := 0; k < n; k++ {
-		next <- k
-	}
-	close(next)
-	wg.Wait()
+	par.Map(workers, n, fn)
 }
 
 // Pool is a bounded worker pool: `workers` goroutines draining a job

@@ -9,11 +9,11 @@ package exp
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
 	"adhocgrid/internal/grid"
+	"adhocgrid/internal/par"
 	"adhocgrid/internal/rng"
 	"adhocgrid/internal/sched"
 	"adhocgrid/internal/workload"
@@ -75,10 +75,7 @@ func (s Scale) Scenarios() int { return s.NumETC * s.NumDAG }
 
 // workers resolves the worker count.
 func (s Scale) workers() int {
-	if s.Workers > 0 {
-		return s.Workers
-	}
-	return runtime.GOMAXPROCS(0)
+	return par.Workers(s.Workers)
 }
 
 // Env is a generated experiment environment: the workload suite plus the

@@ -15,6 +15,8 @@ var DeterminismCritical = []string{
 	"adhocgrid/internal/maxmax",
 	"adhocgrid/internal/workload",
 	"adhocgrid/internal/serve",
+	"adhocgrid/internal/par",
+	"adhocgrid/internal/perf",
 }
 
 // ScoringPackages hold objective evaluation and tie-breaking, where
@@ -31,6 +33,7 @@ var ErrorHygienePackages = []string{
 	"adhocgrid/internal/exp",
 	"adhocgrid/internal/fault",
 	"adhocgrid/internal/serve",
+	"adhocgrid/internal/perf",
 	"adhocgrid/cmd/",
 }
 

@@ -1,0 +1,92 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultTolerance is the relative ns/op growth Compare allows before
+// calling a benchmark a regression (10%).
+const DefaultTolerance = 0.10
+
+// Regression is one benchmark that got slower than the baseline allows.
+type Regression struct {
+	Name    string
+	BaseNs  float64
+	CurNs   float64
+	Growth  float64 // (cur-base)/base
+	Message string
+}
+
+// Compare diffs cur against base: any benchmark present in both whose
+// ns/op grew more than tolerance is a regression; benchmarks the
+// baseline has but cur lacks are errors (coverage must not silently
+// shrink). A benchmark only cur has is fine — baselines are updated by
+// committing a new report. Returns the regression list and a non-nil
+// error when the gate should fail.
+func Compare(cur, base *Report, tolerance float64) ([]Regression, error) {
+	if tolerance <= 0 {
+		tolerance = DefaultTolerance
+	}
+	if cur.SchemaVersion != base.SchemaVersion {
+		return nil, fmt.Errorf("schema mismatch: current v%d vs baseline v%d — regenerate the baseline",
+			cur.SchemaVersion, base.SchemaVersion)
+	}
+	var problems []string
+	var regs []Regression
+	for _, bb := range base.Benchmarks {
+		cb := cur.Bench(bb.Name)
+		if cb == nil {
+			problems = append(problems, fmt.Sprintf("benchmark %s present in baseline but not in current run", bb.Name))
+			continue
+		}
+		if bb.NsPerOp <= 0 {
+			continue
+		}
+		growth := (cb.NsPerOp - bb.NsPerOp) / bb.NsPerOp
+		if growth > tolerance {
+			regs = append(regs, Regression{
+				Name:   bb.Name,
+				BaseNs: bb.NsPerOp,
+				CurNs:  cb.NsPerOp,
+				Growth: growth,
+				Message: fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, tolerance %.0f%%)",
+					bb.Name, cb.NsPerOp, bb.NsPerOp, 100*growth, 100*tolerance),
+			})
+		}
+	}
+	if len(problems) > 0 || len(regs) > 0 {
+		for _, r := range regs {
+			problems = append(problems, r.Message)
+		}
+		return regs, fmt.Errorf("bench compare failed:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil, nil
+}
+
+// MinParallelSpeedup is the speedup the |T|=1024 parallel scorer must
+// reach over serial on a machine with at least MinSpeedupCores cores.
+const (
+	MinParallelSpeedup = 1.5
+	MinSpeedupCores    = 4
+)
+
+// Check validates a fresh report's expectations: on a ≥4-core machine
+// the |T|=1024 parallel scorer must be at least 1.5x the serial path.
+// On smaller machines there is no parallelism to measure, so the check
+// passes vacuously (the report still records GOMAXPROCS, so a baseline
+// produced on a small machine is recognizable as such).
+func Check(r *Report) error {
+	if r.GoMaxProcs < MinSpeedupCores {
+		return nil
+	}
+	speedup, ok := r.Derive("speedup_parallel_n1024")
+	if !ok {
+		return nil // filtered run without both |T|=1024 benches
+	}
+	if speedup < MinParallelSpeedup {
+		return fmt.Errorf("parallel speedup at |T|=1024 is %.2fx on %d cores, expected ≥ %.1fx",
+			speedup, r.GoMaxProcs, MinParallelSpeedup)
+	}
+	return nil
+}

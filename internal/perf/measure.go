@@ -1,0 +1,37 @@
+package perf
+
+import (
+	"runtime"
+	"time"
+)
+
+// measure runs op iters times after one untimed warm-up call. NsPerOp
+// is the FASTEST iteration, not the mean: the minimum estimates the
+// noise-free cost of the code and is stable at the small iteration
+// counts CI smoke uses, where a mean is at the mercy of one GC pause or
+// scheduler preemption. (Baseline and gate share the estimator, so the
+// comparison is apples to apples.) Allocation rates are per-op means
+// from the runtime's allocator counters. These are the only two
+// wall-clock reads in the harness; the values feed the report, never a
+// scheduling decision.
+func measure(iters int, op func()) (nsPerOp, allocsPerOp, bytesPerOp float64) {
+	op() // warm up: pools, caches and page tables settle
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	best := int64(-1)
+	for k := 0; k < iters; k++ {
+		start := time.Now() //lint:wallclock benchmark timing; measurement output, never a scheduling input
+		op()
+		d := time.Since(start).Nanoseconds() //lint:wallclock closes the benchmark-timing pair above
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	nsPerOp = float64(best)
+	allocsPerOp = float64(after.Mallocs-before.Mallocs) / n
+	bytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / n
+	return nsPerOp, allocsPerOp, bytesPerOp
+}

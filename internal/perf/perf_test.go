@@ -1,0 +1,173 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// report builds a minimal report with the given (name, ns/op) pairs.
+func report(pairs ...interface{}) *Report {
+	r := &Report{SchemaVersion: SchemaVersion, Suite: DefaultSuite}
+	for k := 0; k < len(pairs); k += 2 {
+		r.Benchmarks = append(r.Benchmarks, BenchResult{
+			Name: pairs[k].(string), Iterations: 1, NsPerOp: pairs[k+1].(float64),
+		})
+	}
+	return r
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := report("a", 100.0, "b", 200.0)
+	cur := report("a", 109.0, "b", 180.0) // +9% and faster: both fine
+	if regs, err := Compare(cur, base, 0.10); err != nil || len(regs) != 0 {
+		t.Fatalf("Compare = %v, %v; want clean pass", regs, err)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := report("a", 100.0, "b", 200.0)
+	cur := report("a", 150.0, "b", 200.0)
+	regs, err := Compare(cur, base, 0.10)
+	if err == nil {
+		t.Fatal("Compare accepted a 50% regression")
+	}
+	if len(regs) != 1 || regs[0].Name != "a" {
+		t.Fatalf("regressions = %+v, want exactly bench a", regs)
+	}
+	if regs[0].Growth < 0.49 || regs[0].Growth > 0.51 {
+		t.Errorf("growth = %v, want ~0.5", regs[0].Growth)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := report("a", 100.0, "b", 200.0)
+	cur := report("a", 100.0)
+	if _, err := Compare(cur, base, 0.10); err == nil {
+		t.Fatal("Compare accepted shrunken coverage")
+	}
+	// The other direction — a new benchmark not yet in the baseline —
+	// must pass: baselines trail the suite.
+	if _, err := Compare(base, cur, 0.10); err != nil {
+		t.Fatalf("Compare rejected a superset run: %v", err)
+	}
+}
+
+func TestCompareSchemaMismatch(t *testing.T) {
+	base := report("a", 100.0)
+	cur := report("a", 100.0)
+	cur.SchemaVersion = SchemaVersion + 1
+	if _, err := Compare(cur, base, 0.10); err == nil {
+		t.Fatal("Compare accepted mismatched schema versions")
+	}
+}
+
+func TestCheckSpeedupExpectation(t *testing.T) {
+	r := &Report{SchemaVersion: SchemaVersion, GoMaxProcs: 8,
+		Derived: []Metric{{Name: "speedup_parallel_n1024", Value: 1.1}}}
+	if err := Check(r); err == nil {
+		t.Fatal("Check accepted 1.1x on 8 cores")
+	}
+	r.Derived[0].Value = 1.7
+	if err := Check(r); err != nil {
+		t.Fatalf("Check rejected 1.7x on 8 cores: %v", err)
+	}
+	// Below the core floor the check is vacuous regardless of the ratio.
+	r.GoMaxProcs = 1
+	r.Derived[0].Value = 0.9
+	if err := Check(r); err != nil {
+		t.Fatalf("Check not vacuous on 1 core: %v", err)
+	}
+}
+
+func TestReportFileRoundTrip(t *testing.T) {
+	r := report("a", 123.0)
+	r.Seed = 7
+	r.GoMaxProcs = 2
+	r.Derived = []Metric{{Name: "x", Value: 1.5}}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteFile(path, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, have bytes.Buffer
+	if err := Write(&want, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&have, got); err != nil {
+		t.Fatal(err)
+	}
+	if want.String() != have.String() {
+		t.Fatalf("round trip changed the report:\n%s\nvs\n%s", want.String(), have.String())
+	}
+}
+
+// TestReportCarriesNoTimestamps: the serialized report must not leak
+// wall-clock fields — keys are a closed set.
+func TestReportCarriesNoTimestamps(t *testing.T) {
+	r := report("a", 1.0)
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"time", "date", "stamp", "host"} {
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		for key := range m {
+			if strings.Contains(strings.ToLower(key), banned) {
+				t.Errorf("report key %q looks like an environment fingerprint", key)
+			}
+		}
+	}
+}
+
+// TestRunSubsetDeterministicMetrics runs the real suite (one fast
+// benchmark, one iteration) twice and requires the schedule-quality
+// metrics to agree exactly — ns/op may move, t100 may not.
+func TestRunSubsetDeterministicMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real scheduler")
+	}
+	opts := Options{Iters: 1, Filter: []string{"slrh1_serial_n256", "slrh1_parallel_n256"}}
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Benchmarks) != 2 || len(b.Benchmarks) != 2 {
+		t.Fatalf("filter selected %d/%d benchmarks, want 2/2", len(a.Benchmarks), len(b.Benchmarks))
+	}
+	for k := range a.Benchmarks {
+		am, bm := a.Benchmarks[k].Metrics, b.Benchmarks[k].Metrics
+		if len(am) == 0 {
+			t.Fatalf("%s: no metrics sampled", a.Benchmarks[k].Name)
+		}
+		for i := range am {
+			if am[i] != bm[i] {
+				t.Errorf("%s metric %s: %v vs %v across runs",
+					a.Benchmarks[k].Name, am[i].Name, am[i].Value, bm[i].Value)
+			}
+		}
+	}
+	// Serial and parallel must also agree with each other (byte-identical
+	// schedules), and the derived speedup must have been computed.
+	for i := range a.Benchmarks[0].Metrics {
+		if a.Benchmarks[0].Metrics[i] != a.Benchmarks[1].Metrics[i] {
+			t.Errorf("serial vs parallel metric %s: %v vs %v",
+				a.Benchmarks[0].Metrics[i].Name, a.Benchmarks[0].Metrics[i].Value, a.Benchmarks[1].Metrics[i].Value)
+		}
+	}
+	if _, ok := a.Derive("speedup_parallel_n256"); !ok {
+		t.Error("derived speedup_parallel_n256 missing")
+	}
+}

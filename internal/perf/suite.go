@@ -1,0 +1,250 @@
+package perf
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+
+	"adhocgrid/internal/core"
+	"adhocgrid/internal/exp"
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/maxmax"
+	"adhocgrid/internal/par"
+	"adhocgrid/internal/rng"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/serve"
+	"adhocgrid/internal/workload"
+)
+
+// Options selects what the harness runs.
+type Options struct {
+	// Iters overrides every benchmark's iteration count (0 keeps the
+	// per-benchmark defaults).
+	Iters int
+	// Short switches to the reduced iteration counts (CI smoke).
+	Short bool
+	// Filter restricts the run to benchmarks whose name contains any of
+	// the given substrings (empty = the full suite).
+	Filter []string
+	// Workers is the fan-out of the *_parallel benchmarks and the slrhd
+	// service (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultSuite is the name of the shipped suite.
+const DefaultSuite = "slrh-core"
+
+// benchmark is one suite entry. setup builds the instance outside the
+// timed region and returns the op to measure plus a sampler that reads
+// schedule-quality metrics after the final iteration.
+type benchmark struct {
+	name       string
+	iters      int
+	shortIters int
+	setup      func(workers int) (op func(), sample func() []Metric, err error)
+}
+
+// weights are the canonical experiment weights (α=0.5, β=0.3, γ=0.2).
+func weights() sched.Weights { return sched.NewWeights(0.5, 0.3) }
+
+// instance generates the fixed-seed workload at |T|=n on grid case A.
+func instance(n int) (*workload.Instance, error) {
+	s, err := workload.Generate(workload.DefaultParams(n), rng.New(exp.DefaultSeed))
+	if err != nil {
+		return nil, err
+	}
+	return s.Instantiate(grid.CaseA)
+}
+
+// slrhBench builds one SLRH-1 benchmark at |T|=n. workers > 1 turns on
+// the parallel candidate scorer; uncached disables the plan cache.
+func slrhBench(n, workers int, uncached bool) func(int) (func(), func() []Metric, error) {
+	return func(fanout int) (func(), func() []Metric, error) {
+		inst, err := instance(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := core.DefaultConfig(core.SLRH1, weights())
+		cfg.DisablePlanCache = uncached
+		if workers != 0 {
+			cfg.PoolWorkers = fanout
+			cfg.ScoreWorkers = fanout
+		}
+		var last *core.Result
+		op := func() {
+			res, err := core.Run(inst, cfg)
+			if err != nil {
+				panic(fmt.Sprintf("perf: core.Run(|T|=%d): %v", n, err))
+			}
+			last = res
+		}
+		sample := func() []Metric {
+			return []Metric{
+				{Name: "t100_cycles", Value: float64(last.Metrics.T100)},
+				{Name: "mapped", Value: float64(last.Metrics.Mapped)},
+				{Name: "timesteps", Value: float64(last.Timesteps)},
+			}
+		}
+		return op, sample, nil
+	}
+}
+
+// maxmaxBench builds the Max-Max baseline benchmark at |T|=n.
+func maxmaxBench(n int) func(int) (func(), func() []Metric, error) {
+	return func(int) (func(), func() []Metric, error) {
+		inst, err := instance(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := maxmax.Config{Weights: weights()}
+		var last *maxmax.Result
+		op := func() {
+			res, err := maxmax.Run(inst, cfg)
+			if err != nil {
+				panic(fmt.Sprintf("perf: maxmax.Run(|T|=%d): %v", n, err))
+			}
+			last = res
+		}
+		sample := func() []Metric {
+			return []Metric{
+				{Name: "t100_cycles", Value: float64(last.Metrics.T100)},
+				{Name: "mapped", Value: float64(last.Metrics.Mapped)},
+			}
+		}
+		return op, sample, nil
+	}
+}
+
+// slrhdBench measures POST /v1/map end to end against an in-process
+// service: decode, admission, run, verify, encode. Iterations ping-pong
+// between two fixed seeds against a single-entry result cache, so every
+// request is a miss (full compute path) yet the work is identical at any
+// iteration count — full runs and CI smoke measure the same two ops.
+func slrhdBench(n int) func(int) (func(), func() []Metric, error) {
+	return func(fanout int) (func(), func() []Metric, error) {
+		srv := serve.New(serve.Config{ScoreWorkers: fanout, CacheSize: 1})
+		ts := httptest.NewServer(srv.Handler())
+		// Leaked intentionally for the process lifetime of the runner: the
+		// harness exits right after the suite, and tearing down mid-suite
+		// would skew later benchmarks with drain work.
+		seed := uint64(2) // first op flips this to 1
+		var lastStatus, lastBytes int
+		op := func() {
+			seed = 3 - seed // ping-pong 1 ↔ 2: two workloads, all cache misses
+			body := fmt.Sprintf(
+				`{"n": %d, "case": "A", "heuristic": "slrh1", "seed": %d, "alpha": 0.5, "beta": 0.3}`,
+				n, exp.DefaultSeed+seed)
+			resp, err := http.Post(ts.URL+"/v1/map", "application/json", strings.NewReader(body))
+			if err != nil {
+				panic(fmt.Sprintf("perf: POST /v1/map: %v", err))
+			}
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				panic(fmt.Sprintf("perf: read /v1/map body: %v", err))
+			}
+			if err := resp.Body.Close(); err != nil {
+				panic(fmt.Sprintf("perf: close /v1/map body: %v", err))
+			}
+			lastStatus, lastBytes = resp.StatusCode, buf.Len()
+		}
+		sample := func() []Metric {
+			return []Metric{
+				{Name: "status", Value: float64(lastStatus)},
+				{Name: "response_bytes", Value: float64(lastBytes)},
+			}
+		}
+		return op, sample, nil
+	}
+}
+
+// suite returns the slrh-core benchmark list. Names are stable: CI
+// compares baselines by name.
+func suite() []benchmark {
+	return []benchmark{
+		{name: "slrh1_serial_n256", iters: 30, shortIters: 5, setup: slrhBench(256, 0, false)},
+		{name: "slrh1_parallel_n256", iters: 30, shortIters: 5, setup: slrhBench(256, 1, false)},
+		{name: "slrh1_uncached_n256", iters: 10, shortIters: 3, setup: slrhBench(256, 0, true)},
+		{name: "slrh1_serial_n1024", iters: 8, shortIters: 4, setup: slrhBench(1024, 0, false)},
+		{name: "slrh1_parallel_n1024", iters: 8, shortIters: 4, setup: slrhBench(1024, 1, false)},
+		{name: "maxmax_n256", iters: 30, shortIters: 5, setup: maxmaxBench(256)},
+		{name: "slrhd_map_n96", iters: 40, shortIters: 6, setup: slrhdBench(96)},
+	}
+}
+
+// selected reports whether name passes the filter.
+func selected(name string, filter []string) bool {
+	if len(filter) == 0 {
+		return true
+	}
+	for _, f := range filter {
+		if strings.Contains(name, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the suite and assembles the report. Benchmarks run
+// strictly in declaration order, one at a time.
+func Run(opts Options) (*Report, error) {
+	workers := par.Workers(opts.Workers)
+	if workers < 2 {
+		// Even on one core the *_parallel benches must go through the
+		// concurrent scorer — there they measure its overhead; the speedup
+		// story needs real cores (the report records how many we had).
+		workers = 2
+	}
+	r := &Report{
+		SchemaVersion: SchemaVersion,
+		Suite:         DefaultSuite,
+		Seed:          exp.DefaultSeed,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		ScoreWorkers:  workers,
+	}
+	for _, b := range suite() {
+		if !selected(b.name, opts.Filter) {
+			continue
+		}
+		iters := b.iters
+		if opts.Short {
+			iters = b.shortIters
+		}
+		if opts.Iters > 0 {
+			iters = opts.Iters
+		}
+		op, sample, err := b.setup(workers)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", b.name, err)
+		}
+		ns, allocs, bts := measure(iters, op)
+		r.Benchmarks = append(r.Benchmarks, BenchResult{
+			Name:        b.name,
+			Iterations:  iters,
+			NsPerOp:     ns,
+			AllocsPerOp: allocs,
+			BytesPerOp:  bts,
+			Metrics:     sample(),
+		})
+	}
+	r.Derived = derive(r)
+	return r, nil
+}
+
+// derive computes the cross-benchmark speedup ratios (>1 means the
+// first-named configuration is slower, i.e. the second wins).
+func derive(r *Report) []Metric {
+	var out []Metric
+	ratio := func(name, num, den string) {
+		a, b := r.Bench(num), r.Bench(den)
+		if a != nil && b != nil && b.NsPerOp > 0 {
+			out = append(out, Metric{Name: name, Value: a.NsPerOp / b.NsPerOp})
+		}
+	}
+	ratio("speedup_parallel_n256", "slrh1_serial_n256", "slrh1_parallel_n256")
+	ratio("speedup_parallel_n1024", "slrh1_serial_n1024", "slrh1_parallel_n1024")
+	ratio("speedup_plan_cache_n256", "slrh1_uncached_n256", "slrh1_serial_n256")
+	return out
+}

@@ -38,25 +38,63 @@ func (t *Timeline) EarliestFitWith(extra []Interval, after, dur int64) int64 {
 	}
 }
 
-// roScratch keeps the tentative link occupancy of one plan under
-// construction, keyed by machine.
-type roScratch struct {
-	send map[int][]Interval
-	recv map[int][]Interval
+// PlanScratch holds the reusable buffers of read-only pricing: the
+// tentative link occupancy of the plan under construction plus the
+// per-sender energy tally. Grids are a handful of machines and
+// candidates have a handful of parents, so flat slices with linear
+// scans beat maps — and a scratch reused across calls (one per scoring
+// goroutine) makes pricing allocation-free apart from the plan's own
+// transfer list. A PlanScratch must never be shared concurrently; the
+// zero value is ready to use.
+type PlanScratch struct {
+	sendM  []int      // sender machine of sendIv[k]
+	sendIv []Interval // tentative send-link occupancy, in placement order
+	recvIv []Interval // tentative recv-link occupancy (receiver is always the candidate's machine)
+	gather []Interval // per-lookup staging for sendExtras
+	costs  []machineCost
 }
 
-func (sc *roScratch) addSend(machine int, iv Interval) {
-	if sc.send == nil {
-		sc.send = make(map[int][]Interval, 4)
-	}
-	sc.send[machine] = append(sc.send[machine], iv)
+// reset readies the scratch for the next pricing call, keeping capacity.
+func (sc *PlanScratch) reset() {
+	sc.sendM = sc.sendM[:0]
+	sc.sendIv = sc.sendIv[:0]
+	sc.recvIv = sc.recvIv[:0]
+	sc.costs = sc.costs[:0]
 }
 
-func (sc *roScratch) addRecv(machine int, iv Interval) {
-	if sc.recv == nil {
-		sc.recv = make(map[int][]Interval, 2)
+// sendExtras gathers the tentative intervals already placed on the given
+// sender's link. The returned slice is valid until the next addSend or
+// sendExtras call.
+func (sc *PlanScratch) sendExtras(machine int) []Interval {
+	sc.gather = sc.gather[:0]
+	for k, m := range sc.sendM {
+		if m == machine {
+			sc.gather = append(sc.gather, sc.sendIv[k])
+		}
 	}
-	sc.recv[machine] = append(sc.recv[machine], iv)
+	return sc.gather
+}
+
+func (sc *PlanScratch) addSend(machine int, iv Interval) {
+	sc.sendM = append(sc.sendM, machine)
+	sc.sendIv = append(sc.sendIv, iv)
+}
+
+func (sc *PlanScratch) addRecv(iv Interval) {
+	sc.recvIv = append(sc.recvIv, iv)
+}
+
+// addCost accumulates energy against a sender machine and returns the
+// new cumulative figure.
+func (sc *PlanScratch) addCost(machine int, energy float64) float64 {
+	for k := range sc.costs {
+		if sc.costs[k].machine == machine {
+			sc.costs[k].cost += energy
+			return sc.costs[k].cost
+		}
+	}
+	sc.costs = append(sc.costs, machineCost{machine, energy})
+	return energy
 }
 
 // PlanCandidateRO prices mapping subtask i at version v onto machine j
@@ -81,10 +119,9 @@ func (s *State) PlanCandidateRO(i, j int, v workload.Version, now int64) (Plan, 
 		return plan, fmt.Errorf("sched: machine %d lacks energy for subtask %d %v", j, i, v)
 	}
 
-	var scratch roScratch
+	var scratch PlanScratch
 	arrival := now
 	var transfers []Transfer
-	senderCost := make(map[int]float64)
 	for _, p := range graph.Parents(i) {
 		pa := s.Assignments[p]
 		if pa == nil {
@@ -112,8 +149,8 @@ func (s *State) PlanCandidateRO(i, j int, v workload.Version, now int64) (Plan, 
 			start = now
 		}
 		send, recv := s.SendTL[pa.Machine], s.RecvTL[j]
-		sendExtra := scratch.send[pa.Machine]
-		recvExtra := scratch.recv[j]
+		sendExtra := scratch.sendExtras(pa.Machine)
+		recvExtra := scratch.recvIv
 		dur, energy := s.stretchComm(nomDur, durSec, nomEnergy, start)
 		for {
 			s1 := send.EarliestFitWith(sendExtra, start, dur)
@@ -131,14 +168,13 @@ func (s *State) PlanCandidateRO(i, j int, v workload.Version, now int64) (Plan, 
 			start, dur, energy = s1, d2, e2
 		}
 
-		senderCost[pa.Machine] += energy
-		if s.Ledger.Remaining(pa.Machine) < senderCost[pa.Machine] {
+		if s.Ledger.Remaining(pa.Machine) < scratch.addCost(pa.Machine, energy) {
 			return plan, fmt.Errorf("sched: sender machine %d out of energy for transfer %d->%d",
 				pa.Machine, p, i)
 		}
 		if dur > 0 {
 			scratch.addSend(pa.Machine, Interval{start, start + dur})
-			scratch.addRecv(j, Interval{start, start + dur})
+			scratch.addRecv(Interval{start, start + dur})
 		}
 		end := start + dur
 		if end > arrival {
@@ -163,4 +199,114 @@ func (s *State) PlanCandidateRO(i, j int, v workload.Version, now int64) (Plan, 
 		Transfers:  transfers,
 	}
 	return plan, nil
+}
+
+// PlanVersionsFromGeomRO prices both versions of candidate (i, j) from a
+// previously captured geometry without mutating any shared state — the
+// read-only analogue of PlanVersionsFromGeom, built on EarliestFitWith
+// and plan-local scratch instead of tentative timeline bookings. g must
+// have been filled within the current shrink epoch; the result is then
+// identical to PlanVersionsFromGeom(i, j, now, g). sc provides reusable
+// buffers (nil is allowed and allocates locally); give each goroutine
+// its own. Safe to call concurrently with other read-only pricing calls
+// on the same State; it must not race with Commit.
+func (s *State) PlanVersionsFromGeomRO(i, j int, now int64, g *CandidateGeom, sc *PlanScratch) (primary Plan, perr error, secondary Plan, serr error) {
+	if err := s.planChecks(i, j); err != nil {
+		return primary, err, secondary, err
+	}
+	rem := s.Ledger.Remaining(j)
+	priOK := rem >= g.GuardNeed[workload.Primary]
+	secOK := rem >= g.GuardNeed[workload.Secondary]
+	if !priOK {
+		perr = fmt.Errorf("sched: machine %d lacks energy for subtask %d %v", j, i, workload.Primary)
+	}
+	if !secOK {
+		serr = fmt.Errorf("sched: machine %d lacks energy for subtask %d %v", j, i, workload.Secondary)
+	}
+	if !priOK && !secOK {
+		return primary, perr, secondary, serr
+	}
+	arrival, transfers, err := s.placeIncomingRO(i, j, now, g, sc)
+	if err != nil {
+		return primary, err, secondary, err
+	}
+	if priOK {
+		primary, perr = s.finishPlanDur(i, j, workload.Primary,
+			g.ExecEnergy[workload.Primary], g.ExecDur[workload.Primary], arrival, transfers)
+	}
+	if secOK {
+		secondary, serr = s.finishPlanDur(i, j, workload.Secondary,
+			g.ExecEnergy[workload.Secondary], g.ExecDur[workload.Secondary], arrival, transfers)
+	}
+	return primary, perr, secondary, serr
+}
+
+// placeIncomingRO is placeIncoming without the tentative bookings: the
+// link occupancy of earlier siblings is carried in plan-local interval
+// sets and folded into every fit search via EarliestFitWith, so the
+// shared timelines are only read. The fixpoint loop, the sender-energy
+// accumulation order and every guard mirror placeIncoming exactly —
+// the two must stay in lockstep for the byte-identity guarantee.
+func (s *State) placeIncomingRO(i, j int, now int64, g *CandidateGeom, sc *PlanScratch) (int64, []Transfer, error) {
+	arrival := now
+	if g.Arrival0 > arrival {
+		arrival = g.Arrival0
+	}
+	var transfers []Transfer
+	if len(g.Transfers) > 0 {
+		transfers = make([]Transfer, 0, len(g.Transfers))
+	}
+	if sc == nil {
+		sc = &PlanScratch{}
+	}
+	sc.reset()
+	for idx := range g.Transfers {
+		tg := &g.Transfers[idx]
+		if !s.Alive(tg.From) {
+			return 0, nil, fmt.Errorf("sched: parent %d of %d stranded on lost machine %d", tg.Parent, i, tg.From)
+		}
+
+		start := tg.ParentEnd
+		if start < now {
+			start = now
+		}
+		send, recv := s.SendTL[tg.From], s.RecvTL[j]
+		sendExtra := sc.sendExtras(tg.From)
+		recvExtra := sc.recvIv
+		dur, energy := s.stretchComm(tg.Dur, tg.DurSec, tg.Energy, start)
+		for {
+			s1 := send.EarliestFitWith(sendExtra, start, dur)
+			s2 := recv.EarliestFitWith(recvExtra, s1, dur)
+			if s2 != s1 {
+				start = s2
+				dur, energy = s.stretchComm(tg.Dur, tg.DurSec, tg.Energy, start)
+				continue
+			}
+			d2, e2 := s.stretchComm(tg.Dur, tg.DurSec, tg.Energy, s1)
+			if d2 == dur {
+				start, energy = s1, e2
+				break
+			}
+			start, dur, energy = s1, d2, e2
+		}
+
+		if s.Ledger.Remaining(tg.From) < sc.addCost(tg.From, energy) {
+			return 0, nil, fmt.Errorf("sched: sender machine %d out of energy for transfer %d->%d",
+				tg.From, tg.Parent, i)
+		}
+
+		if dur > 0 {
+			sc.addSend(tg.From, Interval{start, start + dur})
+			sc.addRecv(Interval{start, start + dur})
+		}
+		end := start + dur
+		if end > arrival {
+			arrival = end
+		}
+		transfers = append(transfers, Transfer{
+			Parent: tg.Parent, Child: i, From: tg.From, To: j,
+			Start: start, End: end, Bits: tg.Bits, Energy: energy,
+		})
+	}
+	return arrival, transfers, nil
 }

@@ -70,6 +70,51 @@ func TestROPlanEquivalence(t *testing.T) {
 	}
 }
 
+// TestROGeomReplayEquivalence: the read-only geometry replay must
+// reproduce the mutating replay (and hence fresh pricing) bit for bit,
+// for both versions, on every candidate reachable from randomly built
+// schedules. This is the correctness base of the SLRH parallel
+// candidate prefill (DESIGN.md §14).
+func TestROGeomReplayEquivalence(t *testing.T) {
+	f := func(seed uint64, nowPick uint16) bool {
+		st, err := randomState(seed, 48, 24, grid.CaseA)
+		if err != nil {
+			return false
+		}
+		now := int64(nowPick)
+		ready := st.ReadySet(nil)
+		var g sched.CandidateGeom
+		// One scratch reused across every candidate, as the parallel
+		// scorer does per worker: stale-buffer bugs would surface here.
+		var sc sched.PlanScratch
+		for _, i := range ready {
+			for j := 0; j < st.Inst.Grid.M(); j++ {
+				if err := st.FillCandidateGeom(i, j, &g); err != nil {
+					continue
+				}
+				wantP, wantPE, wantS, wantSE := st.PlanVersionsFromGeom(i, j, now, &g)
+				gotP, gotPE, gotS, gotSE := st.PlanVersionsFromGeomRO(i, j, now, &g, &sc)
+				if (wantPE == nil) != (gotPE == nil) || (wantSE == nil) != (gotSE == nil) {
+					t.Logf("error mismatch i=%d j=%d: %v/%v vs %v/%v", i, j, wantPE, wantSE, gotPE, gotSE)
+					return false
+				}
+				if wantPE == nil && !reflect.DeepEqual(wantP, gotP) {
+					t.Logf("primary mismatch i=%d j=%d:\n%+v\nvs\n%+v", i, j, wantP, gotP)
+					return false
+				}
+				if wantSE == nil && !reflect.DeepEqual(wantS, gotS) {
+					t.Logf("secondary mismatch i=%d j=%d:\n%+v\nvs\n%+v", i, j, wantS, gotS)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestROPlanConcurrentSafe prices many candidates from many goroutines
 // against one state; run with -race this verifies the read-only claim.
 func TestROPlanConcurrentSafe(t *testing.T) {

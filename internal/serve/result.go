@@ -87,11 +87,21 @@ type Outcome struct {
 	Elapsed float64 // heuristic wall time, seconds
 }
 
-// Execute runs one request to completion. The request is canonicalized
-// and validated (with the given problem-size cap) first; every error is
-// a client error except workload-generation failures, which Execute
-// wraps as internal.
+// Execute runs one request to completion serially. The request is
+// canonicalized and validated (with the given problem-size cap) first;
+// every error is a client error except workload-generation failures,
+// which Execute wraps as internal.
 func Execute(req Request, maxN int) (*Outcome, error) {
+	return ExecuteWorkers(req, maxN, 0)
+}
+
+// ExecuteWorkers is Execute with a candidate-scoring fan-out: SLRH runs
+// set core.Config.PoolWorkers/ScoreWorkers to scoreWorkers (≤ 1 means
+// serial). The parallel scorer is result-transparent (DESIGN.md §14),
+// so the response body is byte-identical at every worker count — the
+// service's result cache and the `slrhsim -json` parity both survive
+// any fan-out.
+func ExecuteWorkers(req Request, maxN, scoreWorkers int) (*Outcome, error) {
 	req = req.Canonical()
 	if err := req.Validate(maxN); err != nil {
 		return nil, &RequestError{Err: err}
@@ -127,6 +137,8 @@ func Execute(req Request, maxN int) (*Outcome, error) {
 		cfg := core.DefaultConfig(variant, w)
 		cfg.DeltaT = req.DeltaT
 		cfg.Horizon = req.Horizon
+		cfg.PoolWorkers = scoreWorkers
+		cfg.ScoreWorkers = scoreWorkers
 		if req.Adaptive {
 			cfg.Adaptive = core.NewAdaptiveController(w)
 		}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -353,5 +354,72 @@ func TestExecuteRejectsBeforeComputing(t *testing.T) {
 		if !errors.As(err, &reqErr) {
 			t.Fatalf("validation failure should be a RequestError, got %T", err)
 		}
+	}
+}
+
+// TestExecuteWorkersByteIdentical: the per-run scoring fan-out must not
+// change a single response byte — the result cache and the slrhsim
+// parity depend on it. Covers an SLRH run with faults and a maxmax run
+// (where the knob is simply ignored).
+func TestExecuteWorkersByteIdentical(t *testing.T) {
+	reqs := []Request{
+		{N: 48, Case: "A", Heuristic: "slrh2", Seed: 11, Alpha: 0.5, Beta: 0.3, Faults: "lose:1@400,rejoin:1@900"},
+		{N: 48, Case: "B", Heuristic: "maxmax", Seed: 11, Alpha: 0.5, Beta: 0.3},
+	}
+	for _, req := range reqs {
+		serial, err := Execute(req, 0)
+		if err != nil {
+			t.Fatalf("%s serial: %v", req.Heuristic, err)
+		}
+		var want bytes.Buffer
+		if err := EncodeResult(&want, serial.Result); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			out, err := ExecuteWorkers(req, 0, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", req.Heuristic, workers, err)
+			}
+			var got bytes.Buffer
+			if err := EncodeResult(&got, out.Result); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Errorf("%s: workers=%d response differs from serial", req.Heuristic, workers)
+			}
+		}
+	}
+}
+
+// TestScoreWorkersDefaults: the config resolver splits GOMAXPROCS
+// across run workers, honors explicit values, and maps negative to
+// serial.
+func TestScoreWorkersDefaults(t *testing.T) {
+	got := Config{Workers: 1}.withDefaults()
+	if want := runtime.GOMAXPROCS(0); got.ScoreWorkers != want {
+		t.Errorf("one run worker: ScoreWorkers = %d, want %d", got.ScoreWorkers, want)
+	}
+	got = Config{Workers: 2 * runtime.GOMAXPROCS(0)}.withDefaults()
+	if got.ScoreWorkers != 1 {
+		t.Errorf("saturated: ScoreWorkers = %d, want 1", got.ScoreWorkers)
+	}
+	if got = (Config{ScoreWorkers: 3}).withDefaults(); got.ScoreWorkers != 3 {
+		t.Errorf("explicit: ScoreWorkers = %d, want 3", got.ScoreWorkers)
+	}
+	if got = (Config{ScoreWorkers: -1}).withDefaults(); got.ScoreWorkers != 1 {
+		t.Errorf("negative: ScoreWorkers = %d, want 1 (serial)", got.ScoreWorkers)
+	}
+}
+
+// TestScoreWorkersGauge: the fan-out is visible on /metrics.
+func TestScoreWorkersGauge(t *testing.T) {
+	_, ts := newTestServer(t, Config{ScoreWorkers: 5})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(readBody(t, resp))
+	if !strings.Contains(body, "slrhd_score_workers 5") {
+		t.Errorf("metrics missing slrhd_score_workers 5:\n%s", body)
 	}
 }

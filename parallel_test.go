@@ -1,0 +1,140 @@
+// Differential tests for the parallel candidate scorer: the per-timestep
+// cache prefill (Config.PoolWorkers) and the per-pool concurrent scorer
+// (Config.ScoreWorkers) must be invisible in the results — every SLRH
+// variant must produce a bit-for-bit identical schedule at every shard
+// count, with the plan cache on and off, and with fault plans active.
+// The whole file runs under -race in CI, which also checks the
+// read-only pricing claim behind the fan-out (DESIGN.md §14).
+package adhocgrid_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"adhocgrid/internal/core"
+	"adhocgrid/internal/exp"
+	"adhocgrid/internal/fault"
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/rng"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/workload"
+)
+
+// shardCounts returns the shard counts the differential suite sweeps:
+// degenerate (1), minimal contention (2), and whatever the host offers.
+func shardCounts() []int {
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// assertParallelTransparent runs cfg serially and at every shard count
+// with the cache on and off, and fails unless all schedules are
+// identical to the serial export.
+func assertParallelTransparent(t *testing.T, inst *workload.Instance, cfg core.Config, label string) {
+	t.Helper()
+	serial := cfg
+	serial.PoolWorkers = 0
+	serial.ScoreWorkers = 0
+	want := runExport(t, inst, serial)
+	for _, shards := range shardCounts() {
+		for _, disable := range []bool{false, true} {
+			par := cfg
+			par.PoolWorkers = shards
+			par.ScoreWorkers = shards
+			par.DisablePlanCache = disable
+			got := runExport(t, inst, par)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: shards=%d cacheOff=%v differs from serial\nparallel: mapped=%d T100=%d TEC=%g AET=%g\nserial:   mapped=%d T100=%d TEC=%g AET=%g",
+					label, shards, disable,
+					got.Metrics.Mapped, got.Metrics.T100, got.Metrics.TEC, got.Metrics.AETSeconds,
+					want.Metrics.Mapped, want.Metrics.T100, want.Metrics.TEC, want.Metrics.AETSeconds)
+			}
+		}
+	}
+}
+
+// TestParallelDifferentialSuite proves the tentpole's acceptance
+// criterion: SLRH-1/2/3 at shard counts {1, 2, NumCPU}, with the plan
+// cache enabled and disabled, produce schedules identical to the serial
+// path on every grid case of the Bench() suite.
+func TestParallelDifferentialSuite(t *testing.T) {
+	env, err := exp.NewEnv(exp.Bench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sched.NewWeights(0.5, 0.3)
+	for _, c := range grid.AllCases {
+		inst := env.Instance(c, 0, 0)
+		for _, v := range []core.Variant{core.SLRH1, core.SLRH2, core.SLRH3} {
+			cfg := core.DefaultConfig(v, w)
+			assertParallelTransparent(t, inst, cfg, v.String()+"/case"+c.String())
+		}
+	}
+}
+
+// TestParallelDifferentialFaultPlan repeats the sweep with the full
+// fault surface active — a transient failure, a loss/rejoin churn pair,
+// and a link-degradation window — so the prefill is exercised across
+// shrink-epoch bumps and pricing-relevant windows.
+func TestParallelDifferentialFaultPlan(t *testing.T) {
+	env, err := exp.NewEnv(exp.Bench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := env.Instance(grid.CaseA, 0, 0)
+	w := sched.NewWeights(0.5, 0.3)
+	spec := "fail:t7@" + itoa(inst.TauCycles/16) +
+		",lose:1@" + itoa(inst.TauCycles/8) +
+		",slow:links*0.5@[" + itoa(inst.TauCycles/6) + "," + itoa(inst.TauCycles) + "]" +
+		",rejoin:1@" + itoa(inst.TauCycles/4)
+	pl, err := fault.ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []core.Variant{core.SLRH1, core.SLRH2, core.SLRH3} {
+		cfg := core.DefaultConfig(v, w)
+		cfg.Faults = pl
+		assertParallelTransparent(t, inst, cfg, v.String()+"/faultplan")
+	}
+}
+
+// TestParallelDifferentialArrivals checks the arrival gating under the
+// prefill: a subtask released mid-run must enter the warm pools only
+// once its arrival cycle passes, exactly as in the serial path.
+func TestParallelDifferentialArrivals(t *testing.T) {
+	p := workload.DefaultParams(96)
+	p.ArrivalRate = 0.01
+	s, err := workload.Generate(p, rng.New(exp.DefaultSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Instantiate(grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sched.NewWeights(0.5, 0.3)
+	for _, v := range []core.Variant{core.SLRH1, core.SLRH3} {
+		assertParallelTransparent(t, inst, core.DefaultConfig(v, w), v.String()+"/arrivals")
+	}
+}
+
+// TestParallelDifferentialDefaultScale runs one larger instance
+// (|T|=256, the Default() experiment scale) through SLRH-1 to catch
+// divergences that only appear once pools grow past the Bench() sizes.
+func TestParallelDifferentialDefaultScale(t *testing.T) {
+	p := workload.DefaultParams(256)
+	s, err := workload.Generate(p, rng.New(exp.DefaultSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Instantiate(grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(core.SLRH1, sched.NewWeights(0.5, 0.3))
+	assertParallelTransparent(t, inst, cfg, "SLRH-1/n256")
+}
