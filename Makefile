@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix-hints test race check bench bench-json bench-compare fuzz serve-smoke fault-smoke
+.PHONY: all build vet lint lint-fix-hints test race check bench bench-json bench-compare fuzz serve-smoke fault-smoke admission-smoke
 
 all: check
 
@@ -39,6 +39,14 @@ check: build vet lint race
 # and metrics, then drains. No external tools (curl etc.) needed.
 serve-smoke:
 	$(GO) run ./cmd/slrhd -smoke
+
+# End-to-end smoke of the cost-predictive admission path: warms the
+# latency model with real runs, checks the capacity planner's answer,
+# provokes a cost shed (429 + Retry-After) via an unmeetable class
+# target, rejects an unknown class, and reconciles the shed/calibration
+# metrics. See README.md "Service classes".
+admission-smoke:
+	$(GO) run ./cmd/slrhd -admission-smoke
 
 # Full testing.B benchmark sweep. -short skips the table/figure benches
 # that regenerate whole experiments per iteration; drop it (BENCH_SHORT=)

@@ -4,8 +4,10 @@
 //
 // Endpoints:
 //
-//	POST /v1/map              map one scenario (same knobs as slrhsim)
+//	POST /v1/map              map one scenario (same knobs as slrhsim,
+//	                          plus a "class" service-class field)
 //	GET  /v1/runs/{id}/trace  trace document of a recent traced run
+//	GET  /v1/capacity         fitted cost models + sustainable rates
 //	GET  /metrics             Prometheus text metrics
 //	GET  /healthz             liveness
 //	GET  /readyz              readiness (503 while draining)
@@ -16,12 +18,16 @@
 // Examples:
 //
 //	slrhd -addr :8080 -workers 4 -queue 64
-//	slrhd -smoke        # start on a random port, self-test, drain, exit
+//	slrhd -smoke           # start on a random port, self-test, drain, exit
+//	slrhd -admission-smoke # self-test the cost-predictive admission path
+//	slrhd -capacity        # calibrate the cost model, print the capacity
+//	                       # report, exit
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -56,23 +62,30 @@ func run(args []string) error {
 		RunHistory:   *opts.runs,
 		MaxN:         *opts.maxN,
 	}
-	if *opts.smoke {
+	switch {
+	case *opts.smoke:
 		return runSmoke(cfg)
+	case *opts.admissionSmoke:
+		return runAdmissionSmoke(cfg)
+	case *opts.capacity:
+		return runCapacity(cfg)
 	}
 	return runDaemon(*opts.addr, *opts.drainTimeout, cfg)
 }
 
 // options collects the parsed flag values.
 type options struct {
-	addr         *string
-	workers      *int
-	scoreWorkers *int
-	queue        *int
-	cache        *int
-	runs         *int
-	maxN         *int
-	drainTimeout *time.Duration
-	smoke        *bool
+	addr           *string
+	workers        *int
+	scoreWorkers   *int
+	queue          *int
+	cache          *int
+	runs           *int
+	maxN           *int
+	drainTimeout   *time.Duration
+	smoke          *bool
+	admissionSmoke *bool
+	capacity       *bool
 }
 
 // newFlags declares the flag set (shared by the daemon and smoke paths).
@@ -88,6 +101,10 @@ func newFlags() (*flag.FlagSet, options) {
 		maxN:         fs.Int("maxn", 2048, "largest |T| accepted per request (-1 = unlimited)"),
 		drainTimeout: fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound"),
 		smoke:        fs.Bool("smoke", false, "start on a loopback port, self-test the endpoints, drain and exit"),
+		admissionSmoke: fs.Bool("admission-smoke", false,
+			"start on a loopback port, self-test the cost-predictive admission path (model warm-up, capacity answer, cost shed with model-derived Retry-After), drain and exit"),
+		capacity: fs.Bool("capacity", false,
+			"calibrate the cost model with probe runs, print this instance's capacity report as JSON and exit"),
 	}
 }
 
@@ -192,6 +209,15 @@ func runSmoke(cfg serve.Config) error {
 	}
 	fmt.Println("smoke: health/ready/metrics ok")
 
+	capBody, _, err := get(client, base+"/v1/capacity")
+	if err != nil {
+		return fmt.Errorf("capacity: %w", err)
+	}
+	if !strings.Contains(string(capBody), `"models"`) {
+		return fmt.Errorf("capacity report missing models section: %s", capBody)
+	}
+	fmt.Printf("smoke: capacity ok, %d bytes\n", len(capBody))
+
 	s.BeginDrain()
 	if body, code, err := getStatus(client, base+"/readyz"); err != nil || code != http.StatusServiceUnavailable {
 		return fmt.Errorf("readyz while draining = %d %s (err %v), want 503", code, body, err)
@@ -203,6 +229,135 @@ func runSmoke(cfg serve.Config) error {
 	}
 	s.Close()
 	fmt.Println("smoke: drained cleanly — all checks passed")
+	return nil
+}
+
+// runCapacity is `slrhd -capacity`: warm the cost model with probe
+// runs of every heuristic, print the instance's capacity report, exit.
+func runCapacity(cfg serve.Config) error {
+	s := serve.New(cfg)
+	defer s.Close()
+	if err := s.Calibrate(); err != nil {
+		return err
+	}
+	rep, err := s.Capacity(serve.CapacityQuery{})
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}
+
+// runAdmissionSmoke self-tests the cost-predictive admission path: warm
+// the model over real traffic, read a capacity answer back, provoke a
+// cost shed through a deliberately impossible class target, and check
+// the calibration metrics — then drain. Non-nil return means failure.
+func runAdmissionSmoke(cfg serve.Config) error {
+	// One worker and a class whose target no real run can meet once the
+	// model has a single observation.
+	cfg.Workers = 1
+	cfg.Classes = append(serve.DefaultClasses(),
+		serve.Class{Name: "impossible", Priority: 0, TargetSeconds: 1e-9})
+	s := serve.New(cfg)
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("admission-smoke: serving on %s\n", base)
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Warm the model: two sizes pin the slope of the slrh1 cost line.
+	for i, n := range []int{64, 128} {
+		body := fmt.Sprintf(`{"n": %d, "case": "A", "heuristic": "slrh1", "seed": %d, "alpha": 0.5, "beta": 0.3}`, n, 100+i)
+		if _, _, err := post(client, base+"/v1/map", body); err != nil {
+			return fmt.Errorf("warm-up |T|=%d: %w", n, err)
+		}
+	}
+	fmt.Println("admission-smoke: model warmed on 2 runs")
+
+	capBody, _, err := get(client, base+"/v1/capacity?heuristic=slrh1&n=1024&class=interactive")
+	if err != nil {
+		return fmt.Errorf("capacity: %w", err)
+	}
+	var rep struct {
+		Answer struct {
+			CostSeconds float64 `json:"cost_seconds"`
+			ReqPerSec   float64 `json:"req_per_sec"`
+		} `json:"answer"`
+	}
+	if err := json.Unmarshal(capBody, &rep); err != nil {
+		return fmt.Errorf("capacity report: %w", err)
+	}
+	if rep.Answer.CostSeconds <= 0 || rep.Answer.ReqPerSec <= 0 {
+		return fmt.Errorf("capacity answer lacks a positive estimate after warm-up: %s", capBody)
+	}
+	fmt.Printf("admission-smoke: capacity answer ok — sustains %.1f req/s of |T|=1024 slrh1 (%.4fs each)\n",
+		rep.Answer.ReqPerSec, rep.Answer.CostSeconds)
+
+	// A warmed model must cost-shed the impossible class with a
+	// model-derived Retry-After.
+	resp, err := client.Post(base+"/v1/map", "application/json",
+		strings.NewReader(`{"n": 64, "case": "A", "heuristic": "slrh1", "seed": 999, "alpha": 0.5, "beta": 0.3, "class": "impossible"}`))
+	if err != nil {
+		return fmt.Errorf("shed probe: %w", err)
+	}
+	shedBody, err := readAll(resp)
+	if err != nil {
+		return fmt.Errorf("shed probe body: %w", err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		return fmt.Errorf("impossible-class request got %d (%s), want 429", resp.StatusCode, shedBody)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		return fmt.Errorf("cost shed missing Retry-After header")
+	}
+	fmt.Printf("admission-smoke: cost shed ok — 429 with Retry-After %ss\n", resp.Header.Get("Retry-After"))
+
+	// Unknown classes are client errors, not sheds.
+	resp, err = client.Post(base+"/v1/map", "application/json",
+		strings.NewReader(`{"n": 64, "case": "A", "heuristic": "slrh1", "seed": 7, "alpha": 0.5, "beta": 0.3, "class": "platinum"}`))
+	if err != nil {
+		return fmt.Errorf("class probe: %w", err)
+	}
+	if _, err := readAll(resp); err != nil {
+		return fmt.Errorf("class probe body: %w", err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("unknown class got %d, want 400", resp.StatusCode)
+	}
+
+	metrics, _, err := get(client, base+"/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	for _, want := range []string{
+		`slrhd_shed_total{reason="cost"} 1`,
+		`slrhd_prediction_ratio_count{heuristic="slrh1"} 1`,
+		`slrhd_model_observations{heuristic="slrh1"} 2`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			return fmt.Errorf("metrics missing %q", want)
+		}
+	}
+	fmt.Println("admission-smoke: calibration metrics ok")
+
+	s.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	s.Close()
+	fmt.Println("admission-smoke: drained cleanly — all checks passed")
 	return nil
 }
 

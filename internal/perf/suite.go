@@ -160,6 +160,52 @@ func slrhdBench(n int) func(int) (func(), func() []Metric, error) {
 	}
 }
 
+// admissionBatch is how many Decide/Complete round-trips one
+// admission-benchmark op performs: a single decision is tens of
+// nanoseconds, far below the timer floor, so the suite prices them by
+// the thousand (the reported ns/op is per batch).
+const admissionBatch = 1000
+
+// admissionBench measures the pure admission decision against a warmed
+// cost model: predict, rule, book backlog, retire. This is the hot
+// per-request overhead the cost-predictive path added in front of
+// /v1/map, so CI watches it stays in the noise next to the runs it
+// guards.
+func admissionBench() func(int) (func(), func() []Metric, error) {
+	return func(workers int) (func(), func() []Metric, error) {
+		model := serve.NewCostModel()
+		for i := 0; i < 10; i++ {
+			for _, n := range []int{64, 256, 1024} {
+				model.Observe("slrh1", n, 0.005+0.0002*float64(n))
+			}
+		}
+		adm := serve.NewAdmission(model, workers, 1)
+		cls := serve.Class{Name: "interactive", Priority: 0, TargetSeconds: 2}
+		var admitted, shed float64
+		op := func() {
+			for i := 0; i < admissionBatch; i++ {
+				// Size varies across a few bins so prediction is not one
+				// constant lookup; Complete keeps the backlog bounded.
+				d := adm.Decide("slrh1", 64+(i&1023), cls)
+				if d.Admit {
+					admitted++
+					adm.Complete(d.Predicted)
+				} else {
+					shed++
+				}
+			}
+		}
+		sample := func() []Metric {
+			return []Metric{
+				{Name: "admitted", Value: admitted},
+				{Name: "shed", Value: shed},
+				{Name: "backlog_seconds", Value: adm.Backlog()},
+			}
+		}
+		return op, sample, nil
+	}
+}
+
 // suite returns the slrh-core benchmark list. Names are stable: CI
 // compares baselines by name.
 func suite() []benchmark {
@@ -171,6 +217,7 @@ func suite() []benchmark {
 		{name: "slrh1_parallel_n1024", iters: 8, shortIters: 4, setup: slrhBench(1024, 1, false)},
 		{name: "maxmax_n256", iters: 30, shortIters: 5, setup: maxmaxBench(256)},
 		{name: "slrhd_map_n96", iters: 40, shortIters: 6, setup: slrhdBench(96)},
+		{name: "admission_decide_x1000", iters: 50, shortIters: 10, setup: admissionBench()},
 	}
 }
 

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"math"
+	"sync"
+)
+
+// Shed reasons, indexing the slrhd_shed_total series.
+var shedReasons = []string{"cost", "queue"}
+
+const (
+	shedCost  = 0 // predicted completion exceeds the class target
+	shedQueue = 1 // pool queue full (or closed)
+)
+
+// Decision is one admission verdict for a request.
+type Decision struct {
+	// Admit reports whether the request may enter the run queue.
+	Admit bool
+	// Predicted is the request's own predicted wall cost in seconds
+	// (zero while the model is cold).
+	Predicted float64
+	// Wait is the predicted queue delay ahead of the request: the
+	// predicted cost of all admitted-but-unfinished work divided across
+	// the workers.
+	Wait float64
+	// RetryAfterSeconds is the model-derived client backoff for a shed
+	// request: how long until enough backlog drains that the request
+	// could meet its class target, never below the configured floor.
+	RetryAfterSeconds int
+	// Reason indexes shedReasons when Admit is false.
+	Reason int
+}
+
+// Admission is the cost-predictive admission controller (DESIGN.md
+// §15). It prices each request with the CostModel, tracks the predicted
+// cost of everything admitted but not yet finished, and admits a
+// request only when its predicted completion time — backlog drain plus
+// its own cost — fits the service class's latency target. A shed
+// request gets a Retry-After derived from the same prediction instead
+// of a constant.
+//
+// The controller only sees predicted seconds, never the wall clock, and
+// its verdicts steer only admit/queue/shed and headers: response bodies
+// remain a pure function of the request.
+type Admission struct {
+	model      *CostModel
+	workers    float64
+	retryFloor int
+
+	mu      sync.Mutex
+	backlog float64 // predicted seconds of admitted-but-unfinished work
+}
+
+// NewAdmission builds a controller over model for a pool of `workers`
+// runs in flight, with retryFloor as the minimum Retry-After hint
+// (both clamped to at least 1).
+func NewAdmission(model *CostModel, workers, retryFloor int) *Admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if retryFloor < 1 {
+		retryFloor = 1
+	}
+	return &Admission{model: model, workers: float64(workers), retryFloor: retryFloor}
+}
+
+// Decide prices one request and rules on it. An admitted request's
+// predicted cost joins the backlog; the caller must pair every
+// admitting Decide with exactly one Complete (including when a
+// downstream queue refuses the job).
+func (a *Admission) Decide(heuristic string, n int, cls Class) Decision {
+	own := a.model.Predict(heuristic, n)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	wait := a.backlog / a.workers
+	d := Decision{Predicted: own, Wait: wait}
+	if cls.TargetSeconds > 0 && wait+own > cls.TargetSeconds {
+		d.Reason = shedCost
+		d.RetryAfterSeconds = a.retryAfter(wait + own - cls.TargetSeconds)
+		return d
+	}
+	d.Admit = true
+	a.backlog += own
+	return d
+}
+
+// Complete retires an admitted request's predicted cost from the
+// backlog, whether the run finished, failed, was skipped for a dead
+// client, or never reached the queue.
+func (a *Admission) Complete(predicted float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.backlog -= predicted
+	if a.backlog < 0 {
+		a.backlog = 0
+	}
+}
+
+// Backlog returns the predicted seconds of admitted-but-unfinished
+// work (the slrhd_backlog_predicted_seconds gauge).
+func (a *Admission) Backlog() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.backlog
+}
+
+// QueueRetry converts the current backlog into the Retry-After hint for
+// a queue-overflow shed: the predicted time for one worker slot to free
+// up. The caller must have already retired its own Decide via Complete.
+func (a *Admission) QueueRetry() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.retryAfter(a.backlog / a.workers)
+}
+
+// retryAfter rounds a predicted delay in seconds up to a whole-second
+// Retry-After, clamped to [retryFloor, 600].
+func (a *Admission) retryAfter(seconds float64) int {
+	r := int(math.Ceil(seconds))
+	if r < a.retryFloor {
+		r = a.retryFloor
+	}
+	if r > 600 {
+		r = 600
+	}
+	return r
+}

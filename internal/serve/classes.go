@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Class is one service class: a latency target steering cost-predictive
+// admission and a priority band ordering the run queue (0 = most
+// urgent). Classes are admission metadata only — they decide whether
+// and when a request runs, never what it computes — so every class
+// shares one cache entry per canonical request and response bytes are
+// identical across classes.
+type Class struct {
+	Name string `json:"name"`
+	// Priority is the pool queue band; lower runs first.
+	Priority int `json:"priority"`
+	// TargetSeconds is the predicted-completion budget (queue wait plus
+	// own cost) a request must fit to be admitted. Zero means no latency
+	// target: the class is never cost-shed, only queue-overflow-shed.
+	TargetSeconds float64 `json:"target_seconds,omitempty"`
+}
+
+// DefaultClassName is the class assumed when a request leaves the
+// field empty.
+const DefaultClassName = "batch"
+
+// DefaultClasses is the shipped service-class set: interactive traffic
+// gets the head of the queue and a tight completion budget, batch is
+// the roomy default, best-effort is never cost-shed and yields to
+// everything else.
+func DefaultClasses() []Class {
+	return []Class{
+		{Name: "interactive", Priority: 0, TargetSeconds: 2},
+		{Name: "batch", Priority: 1, TargetSeconds: 60},
+		{Name: "best-effort", Priority: 2, TargetSeconds: 0},
+	}
+}
+
+// classFor resolves a request's class name against the configured set.
+// The empty name selects DefaultClassName (falling back to the first
+// configured class if the default name is absent from a custom set).
+func (c Config) classFor(name string) (Class, error) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		name = DefaultClassName
+		for _, cls := range c.Classes {
+			if cls.Name == name {
+				return cls, nil
+			}
+		}
+		return c.Classes[0], nil
+	}
+	for _, cls := range c.Classes {
+		if cls.Name == name {
+			return cls, nil
+		}
+	}
+	return Class{}, fmt.Errorf("unknown class %q (want %s)", name, classNames(c.Classes))
+}
+
+// classNames renders the configured class names for error messages.
+func classNames(classes []Class) string {
+	names := make([]string, len(classes))
+	for i, cls := range classes {
+		names[i] = cls.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// priorityBands returns the number of pool queue bands the class set
+// needs (max priority + 1).
+func priorityBands(classes []Class) int {
+	bands := 1
+	for _, cls := range classes {
+		if cls.Priority+1 > bands {
+			bands = cls.Priority + 1
+		}
+	}
+	return bands
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -92,8 +93,11 @@ func TestLoadAdmissionControl(t *testing.T) {
 	if got := s.mapRequests[statusIndex(t, http.StatusTooManyRequests)].Value(); got != shed429 {
 		t.Fatalf("requests_total{429} = %d, observed %d", got, shed429)
 	}
-	if hits, misses := s.cacheHits.Value(), s.cacheMisses.Value(); hits+misses != ok200 {
-		t.Fatalf("cache hits %d + misses %d != 200-responses %d", hits, misses, ok200)
+	// Every key is distinct here, so coalesced stays 0, but the full
+	// disposition invariant is hits + misses + coalesced == 200s.
+	hits, misses, coalesced := s.cacheHits.Value(), s.cacheMisses.Value(), s.coalesced.Value()
+	if hits+misses+coalesced != ok200 {
+		t.Fatalf("hits %d + misses %d + coalesced %d != 200-responses %d", hits, misses, coalesced, ok200)
 	}
 	var runs uint64
 	for _, c := range s.runsTotal {
@@ -237,5 +241,156 @@ func TestCacheEvictionFIFO(t *testing.T) {
 	}
 	if c.Len() != 2 {
 		t.Fatalf("cache len %d, want 2", c.Len())
+	}
+}
+
+// TestClientDisconnectMidQueueSkipsRun is the regression test for the
+// disconnect leak: a client that gives up while its job is still queued
+// must release its handler immediately, and the queued job — having no
+// remaining waiters — must be skipped rather than computed for nobody.
+func TestClientDisconnectMidQueueSkipsRun(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueSize: 4})
+
+	// Pin the only worker so the request parks in the queue.
+	release := make(chan struct{})
+	for !s.pool.TrySubmit(func() { <-release }) {
+		time.Sleep(time.Millisecond)
+	}
+	for s.pool.Depth() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/map", bytes.NewReader(loadBody(t, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(httpReq)
+		if err == nil {
+			readBody(t, resp)
+		}
+		done <- err
+	}()
+	for s.pool.Depth() != 1 { // wait for the job to be admitted and queued
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("canceled client got a response, want a context error")
+	}
+	// The handler must have returned before the job ran — the worker is
+	// still pinned — and recorded the disconnect.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.mapCanceled.Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("map_canceled_total = %d, want 1", s.mapCanceled.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.runsSkipped.Value(); got != 0 {
+		t.Fatalf("job skipped before the worker even freed up: runs_skipped = %d", got)
+	}
+
+	// Let the worker reach the orphaned job: it must skip, not compute.
+	close(release)
+	s.Close() // waits for the queue to drain
+	if got := s.runsSkipped.Value(); got != 1 {
+		t.Fatalf("runs_skipped_total = %d, want 1", got)
+	}
+	var runs uint64
+	for _, c := range s.runsTotal {
+		runs += c.Value()
+	}
+	if runs != 0 {
+		t.Fatalf("runs_total = %d, want 0: the orphaned job must not execute", runs)
+	}
+	if d := s.pool.Depth(); d != 0 {
+		t.Fatalf("queue depth %d after drain", d)
+	}
+	if len(s.flights) != 0 {
+		t.Fatalf("%d flights leaked after drain", len(s.flights))
+	}
+}
+
+// TestCoalescingSingleExecution is the regression test for the
+// duplicate-compute race: 100 goroutines posting the identical request
+// against a cold cache must trigger exactly one execution, with every
+// client receiving byte-identical bytes and the disposition counters
+// reconciling to hits + misses + coalesced == 100, misses == 1.
+func TestCoalescingSingleExecution(t *testing.T) {
+	const clients = 100
+	s, ts := newTestServer(t, Config{Workers: 2, QueueSize: clients})
+
+	// Pin both workers so the whole fleet arrives while the first
+	// request's flight is still pending — the race window the leak fix
+	// closes. Without the pins, fast runs would serve stragglers from
+	// the cache and never exercise coalescing.
+	release := make(chan struct{})
+	for pinned := 0; pinned < 2; {
+		if s.pool.TrySubmit(func() { <-release }) {
+			pinned++
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for s.pool.Depth() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	req := testRequest()
+	req.Trace = false
+	body := mustMarshal(t, req)
+	bodies := make([][]byte, clients)
+	statuses := make([]int, clients)
+	var wg sync.WaitGroup
+	for k := 0; k < clients; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/map", "application/json", bytes.NewReader(body))
+			if err != nil {
+				statuses[k] = -1
+				return
+			}
+			statuses[k] = resp.StatusCode
+			bodies[k] = readBody(t, resp)
+		}(k)
+	}
+	time.Sleep(50 * time.Millisecond) // let all 100 join the one flight
+	close(release)
+	wg.Wait()
+
+	for k, code := range statuses {
+		if code != http.StatusOK {
+			t.Fatalf("client %d got %d, want 200 for all (identical key, ample queue)", k, code)
+		}
+		if !bytes.Equal(bodies[0], bodies[k]) {
+			t.Fatalf("client %d saw different bytes than client 0", k)
+		}
+	}
+
+	var runs uint64
+	for _, c := range s.runsTotal {
+		runs += c.Value()
+	}
+	if runs != 1 {
+		t.Fatalf("runs_total = %d, want exactly 1 execution for 100 identical requests", runs)
+	}
+	hits, misses, coalesced := s.cacheHits.Value(), s.cacheMisses.Value(), s.coalesced.Value()
+	if misses != 1 {
+		t.Fatalf("cache misses = %d, want 1 (the leader)", misses)
+	}
+	if hits+misses+coalesced != clients {
+		t.Fatalf("hits %d + misses %d + coalesced %d != %d", hits, misses, coalesced, clients)
+	}
+	if coalesced == 0 {
+		t.Fatal("no request coalesced: the race window never opened")
+	}
+	if len(s.flights) != 0 {
+		t.Fatalf("%d flights leaked", len(s.flights))
 	}
 }

@@ -1,0 +1,152 @@
+package serve
+
+import "sync"
+
+// CostModel is the online per-heuristic latency model behind admission
+// control (DESIGN.md §15): for each heuristic it fits
+//
+//	cost(h, |T|) ≈ α_h + β_h·|T|
+//
+// from the wall-time observations the metrics registry already
+// collects. Observations land in logarithmic |T| bins updated with an
+// exponentially-weighted mean (recent traffic dominates, so the model
+// tracks hardware and load drift), and prediction fits a weighted
+// least-squares line through the populated bins. The model consumes
+// wall-clock readings only through the annotated report sites in
+// executeJob — it never reads the clock itself — and its output steers
+// only admit/queue/shed decisions and Retry-After headers, never
+// response bytes, so the determinism contract on /v1/map is untouched.
+type CostModel struct {
+	mu   sync.Mutex
+	heur [][]costBin // [heuristicIndex][bin]
+}
+
+// costBin is one |T| size bin: exponentially-weighted means of the
+// observed sizes and costs, plus a saturating observation weight.
+type costBin struct {
+	n      float64 // EW mean |T| of observations in this bin
+	cost   float64 // EW mean wall seconds
+	weight float64 // saturating count, caps the regression influence
+}
+
+const (
+	// modelBins spans |T| up to 2^modelBins-1 in log2 bins; sizes beyond
+	// that collapse into the last bin.
+	modelBins = 24
+	// modelLambda is the exponential-weighting factor: each new
+	// observation contributes 20% of the bin mean.
+	modelLambda = 0.2
+	// modelMaxWeight caps a bin's regression weight so long-populated
+	// bins cannot drown out fresh ones.
+	modelMaxWeight = 50
+)
+
+// NewCostModel returns an empty model covering the service's heuristic
+// set. Until a heuristic has observations its predictions are zero —
+// admission then admits freely (cold-start is open, matching the
+// pre-model behavior) and sheds only on queue overflow.
+func NewCostModel() *CostModel {
+	m := &CostModel{heur: make([][]costBin, len(heuristicNames))}
+	for i := range m.heur {
+		m.heur[i] = make([]costBin, modelBins)
+	}
+	return m
+}
+
+// binIndex maps a problem size to its log2 bin.
+func binIndex(n int) int {
+	b := 0
+	for v := n; v > 1; v >>= 1 {
+		b++
+	}
+	if b >= modelBins {
+		b = modelBins - 1
+	}
+	return b
+}
+
+// Observe feeds one completed run's wall time into the model. Unknown
+// heuristic names fold into the last series, mirroring heuristicIndex
+// (unreachable for validated requests).
+func (m *CostModel) Observe(heuristic string, n int, seconds float64) {
+	if n < 1 || seconds < 0 {
+		return
+	}
+	h := heuristicIndex(heuristic)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bin := &m.heur[h][binIndex(n)]
+	if bin.weight == 0 {
+		bin.n, bin.cost = float64(n), seconds
+	} else {
+		bin.n += modelLambda * (float64(n) - bin.n)
+		bin.cost += modelLambda * (seconds - bin.cost)
+	}
+	if bin.weight < modelMaxWeight {
+		bin.weight++
+	}
+}
+
+// Coefficients returns the fitted (α, β) for a heuristic plus the total
+// observation weight backing the fit. With a single populated bin the
+// line is pinned through the origin (α=0, β=cost/n): extrapolation by
+// pure proportionality is the only defensible one-point model. Negative
+// fitted coefficients are clamped to zero — a downward-sloping cost
+// model would price huge requests as free.
+func (m *CostModel) Coefficients(heuristic string) (alpha, beta, weight float64) {
+	h := heuristicIndex(heuristic)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return fit(m.heur[h])
+}
+
+// fit runs the weighted least squares over populated bins.
+func fit(bins []costBin) (alpha, beta, weight float64) {
+	var sw, sx, sy, sxx, sxy float64
+	populated := 0
+	for i := range bins {
+		b := bins[i]
+		if b.weight == 0 {
+			continue
+		}
+		populated++
+		sw += b.weight
+		sx += b.weight * b.n
+		sy += b.weight * b.cost
+		sxx += b.weight * b.n * b.n
+		sxy += b.weight * b.n * b.cost
+	}
+	if sw == 0 {
+		return 0, 0, 0
+	}
+	if populated == 1 {
+		if sx > 0 {
+			return 0, sy / sx, sw
+		}
+		return sy / sw, 0, sw
+	}
+	det := sw*sxx - sx*sx
+	if det <= 0 {
+		return 0, 0, sw
+	}
+	alpha = (sy*sxx - sx*sxy) / det
+	beta = (sw*sxy - sx*sy) / det
+	if beta < 0 {
+		// Cost cannot shrink with size; fall back to the flat weighted mean.
+		alpha, beta = sy/sw, 0
+	}
+	if alpha < 0 {
+		alpha = 0
+	}
+	return alpha, beta, sw
+}
+
+// Predict estimates the wall seconds one run of the heuristic at
+// problem size n will take. Zero until the heuristic has observations.
+func (m *CostModel) Predict(heuristic string, n int) float64 {
+	alpha, beta, w := m.Coefficients(heuristic)
+	if w == 0 {
+		return 0
+	}
+	return alpha + beta*float64(n)
+}

@@ -69,6 +69,12 @@ type Request struct {
 	// Trace captures a per-timestep trace document, retrievable via
 	// GET /v1/runs/{id}/trace using the response's X-Run-Id header.
 	Trace bool `json:"trace,omitempty"`
+	// Class names the service class steering admission ("interactive",
+	// "batch" or "best-effort" by default; empty selects batch). It is
+	// admission metadata only — it decides whether and when the run is
+	// scheduled, never what it computes — so Canonical erases it: all
+	// classes share one cache entry and byte-identical responses.
+	Class string `json:"class,omitempty"`
 }
 
 // DefaultN is the subtask count used when a request leaves N zero,
@@ -105,6 +111,11 @@ func (r Request) Canonical() Request {
 	if len(r.Lose) == 0 {
 		r.Lose = nil
 	}
+	// The service class is admission metadata, resolved (and validated)
+	// by the server before canonicalization; erasing it here keeps the
+	// cache key and the echoed request — and therefore the response
+	// bytes — identical across classes.
+	r.Class = ""
 	// Fold the Lose sugar and the Faults DSL into one canonically-spelled
 	// plan, so every spelling of the same fault sequence shares a cache
 	// key. A spec that does not parse is left verbatim for Validate to
