@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix-hints test race check bench bench-json bench-compare fuzz serve-smoke fault-smoke admission-smoke
+.PHONY: all build vet lint lint-fix-hints lint-json lint-vet test race check bench bench-json bench-compare fuzz serve-smoke fault-smoke admission-smoke
 
 all: check
 
@@ -15,14 +15,30 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static invariant suite (internal/lint via cmd/adhoclint): detrange,
-# floateq, wallclock, errdrop. Exits non-zero on any finding.
+# Static invariant suite (internal/lint via cmd/adhoclint): the nine
+# analyzers of DESIGN.md §11/§16 — determinism (detrange, wallclock,
+# floateq), error hygiene (errdrop), concurrency (lockbalance, pairwise,
+# atomicmix, ctxflow) and byte purity (bytepurity) — plus the bare-
+# directive check. Exits non-zero on any finding.
 lint:
 	$(GO) run ./cmd/adhoclint ./...
 
 # Same gate, but each finding is followed by a one-line remediation hint.
 lint-fix-hints:
 	$(GO) run ./cmd/adhoclint -hints ./...
+
+# Same gate emitting machine-readable findings (file/line/col/analyzer/
+# message/hint), for editor integrations and CI annotation tooling.
+lint-json:
+	$(GO) run ./cmd/adhoclint -json ./...
+
+# The same suite through `go vet -vettool`: proves the unified driver
+# speaks cmd/vet's unitchecker protocol, and gives vet's per-package
+# caching for incremental runs.
+lint-vet:
+	@mkdir -p bin
+	$(GO) build -o bin/adhoclint ./cmd/adhoclint
+	$(GO) vet -vettool=$(CURDIR)/bin/adhoclint ./...
 
 test:
 	$(GO) test ./...

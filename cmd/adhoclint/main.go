@@ -5,7 +5,7 @@
 //
 // Standalone (the `make lint` gate):
 //
-//	adhoclint [-hints] [packages...]     # default ./...
+//	adhoclint [-hints] [-json] [packages...]     # default ./...
 //	adhoclint -list
 //
 // As a vet tool, speaking the unitchecker .cfg protocol:
@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -38,8 +39,9 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("adhoclint", flag.ExitOnError)
 	version := fs.String("V", "", "print version and exit (go vet protocol)")
 	printFlags := fs.Bool("flags", false, "print analyzer flags as JSON (go vet protocol)")
-	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	list := fs.Bool("list", false, "list the registered analyzers (name, scope, doc) and exit")
 	hints := fs.Bool("hints", false, "print a fix hint under each finding")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (machine-readable, for CI annotations)")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -54,8 +56,10 @@ func run(args []string) int {
 		fmt.Println("[]")
 		return 0
 	case *list:
+		// One analyzer per line: name, scope, doc. The README table
+		// mirrors this output, so it cannot drift silently.
 		for _, a := range lint.Suite() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %-42s %s\n", a.Name, a.Scope, a.Doc)
 		}
 		return 0
 	}
@@ -68,7 +72,7 @@ func run(args []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	return runStandalone(patterns, *hints)
+	return runStandalone(patterns, *hints, *jsonOut)
 }
 
 // suiteFingerprint folds the analyzer names into the version string so
@@ -84,7 +88,7 @@ func suiteFingerprint() string {
 // runStandalone loads the named patterns (plus dependencies' export
 // data), type-checks each target package from source, and applies every
 // in-scope analyzer.
-func runStandalone(patterns []string, hints bool) int {
+func runStandalone(patterns []string, hints, jsonOut bool) int {
 	pkgs, err := load.List("", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -110,6 +114,9 @@ func runStandalone(patterns []string, hints bool) int {
 			return 1
 		}
 		diags = append(diags, ds...)
+	}
+	if jsonOut {
+		return reportJSON(diags)
 	}
 	return report(diags, hints)
 }
@@ -149,6 +156,13 @@ func analyzePackage(fset *token.FileSet, importPath, dir string, goFiles []strin
 			}
 		}
 	}
+	// Framework-level directive hygiene: a bare or unknown //lint:
+	// directive is an error everywhere, regardless of analyzer scope.
+	for _, d := range lint.BareDirectives(fset, files, lint.KnownDirectives(lint.Suite())) {
+		if !strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			diags = append(diags, d)
+		}
+	}
 	return diags, nil
 }
 
@@ -163,6 +177,42 @@ func report(diags []lint.Diagnostic, hints bool) int {
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "adhoclint: %d finding(s)\n", len(diags))
+		return 2
+	}
+	return 0
+}
+
+// reportJSON prints findings as a JSON array (the `make lint-json`
+// target; CI turns these into inline annotations). The schema is
+// stable: file, line, col, analyzer, message, hint.
+func reportJSON(diags []lint.Diagnostic) int {
+	lint.SortDiagnostics(diags)
+	type jsonDiag struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+		Hint     string `json:"hint,omitempty"`
+	}
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer.Name,
+			Message:  d.Message,
+			Hint:     d.Analyzer.Hint,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(diags) > 0 {
 		return 2
 	}
 	return 0

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"go/token"
+	"os"
 	"testing"
 
 	"adhocgrid/internal/lint"
@@ -10,7 +13,10 @@ import (
 // adding or removing an analyzer must be a deliberate, test-visible
 // change.
 func TestRegisteredAnalyzers(t *testing.T) {
-	want := []string{"detrange", "errdrop", "floateq", "wallclock"}
+	want := []string{
+		"atomicmix", "bytepurity", "ctxflow", "detrange", "errdrop",
+		"floateq", "lockbalance", "pairwise", "wallclock",
+	}
 	suite := lint.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
@@ -25,11 +31,73 @@ func TestRegisteredAnalyzers(t *testing.T) {
 		if a.AppliesTo == nil {
 			t.Errorf("%s: missing scope policy", a.Name)
 		}
+		if a.Scope == "" {
+			t.Errorf("%s: missing human-readable scope (adhoclint -list prints it)", a.Name)
+		}
 	}
 }
 
 func TestSuiteFingerprint(t *testing.T) {
-	if got := suiteFingerprint(); got != "detrange+errdrop+floateq+wallclock" {
-		t.Errorf("suiteFingerprint() = %q", got)
+	const want = "atomicmix+bytepurity+ctxflow+detrange+errdrop+floateq+lockbalance+pairwise+wallclock"
+	if got := suiteFingerprint(); got != want {
+		t.Errorf("suiteFingerprint() = %q, want %q", got, want)
+	}
+}
+
+// TestReportJSON checks the machine-readable output schema the CI lint
+// job consumes: stable field names, sorted findings, exit code 2.
+func TestReportJSON(t *testing.T) {
+	diags := []lint.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "b.go", Line: 4, Column: 2},
+			Message:  "second",
+			Analyzer: lint.Wallclock,
+		},
+		{
+			Pos:      token.Position{Filename: "a.go", Line: 9, Column: 1},
+			Message:  "first",
+			Analyzer: lint.Detrange,
+		},
+	}
+
+	// Capture stdout.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := reportJSON(diags)
+	w.Close()
+	os.Stdout = old
+	var buf []byte
+	chunk := make([]byte, 4096)
+	for {
+		n, err := r.Read(chunk)
+		buf = append(buf, chunk[:n]...)
+		if err != nil {
+			break
+		}
+	}
+
+	if code != 2 {
+		t.Errorf("reportJSON exit = %d, want 2", code)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d findings, want 2", len(out))
+	}
+	if out[0]["file"] != "a.go" || out[1]["file"] != "b.go" {
+		t.Errorf("findings not sorted by file: %v", out)
+	}
+	for _, f := range out {
+		for _, field := range []string{"file", "line", "col", "analyzer", "message"} {
+			if _, ok := f[field]; !ok {
+				t.Errorf("finding missing %q field: %v", field, f)
+			}
+		}
 	}
 }

@@ -23,3 +23,23 @@ func TestWallclock(t *testing.T) {
 func TestErrdrop(t *testing.T) {
 	linttest.Run(t, filepath.Join("testdata", "errdrop"), lint.Errdrop)
 }
+
+func TestLockbalance(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "lockbalance"), lint.Lockbalance)
+}
+
+func TestAtomicmix(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "atomicmix"), lint.Atomicmix)
+}
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "ctxflow"), lint.Ctxflow)
+}
+
+func TestPairwise(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "pairwise"), lint.Pairwise)
+}
+
+func TestBytepurity(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "bytepurity"), lint.Bytepurity)
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Atomicmix flags mixed atomic/plain access: once a variable or struct
+// field is touched through a sync/atomic function anywhere in the
+// package, every other access must also be atomic. A plain read of an
+// atomically written counter is a data race the race detector only
+// catches when the interleaving happens to occur; statically the mix
+// is always wrong (the typed atomic.IntN/Uint64 wrappers make it
+// unrepresentable, which is the preferred fix).
+//
+// The analysis is package-local: it keys accesses by the resolved
+// field/variable object, collects every `&x` passed to a sync/atomic
+// Add/Load/Store/Swap/CompareAndSwap, then reports every remaining
+// plain use of the same object. Cross-package mixing of an exported
+// field would escape it — another reason to use the typed wrappers.
+// Exempt a provably pre-publication access (e.g. a constructor that
+// runs before any goroutine can see the value) with
+// `//lint:atomicmix <reason>`.
+var Atomicmix = &Analyzer{
+	Name:      "atomicmix",
+	Directive: "atomicmix",
+	Doc: "a field accessed via sync/atomic may never be read or written plainly elsewhere " +
+		"in the package; exempt pre-publication sites with //lint:atomicmix <reason>",
+	Hint: "use the typed atomic.Int64/Uint64/Bool wrappers so mixed access cannot compile; " +
+		"for provably single-threaded sites add //lint:atomicmix <reason>",
+	Run: runAtomicmix,
+}
+
+func runAtomicmix(pass *Pass) error {
+	// Pass 1: every &x handed to a sync/atomic function marks x as an
+	// atomic object; remember the arg nodes so pass 2 skips them.
+	atomicObjs := make(map[types.Object]token.Pos)
+	atomicArgs := make(map[ast.Expr]bool)
+	Inspect(pass.Files, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicOpName(fn.Name()) {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || ue.Op != token.AND {
+			return true
+		}
+		obj := addressedObject(pass, ue.X)
+		if obj == nil {
+			return true
+		}
+		if _, seen := atomicObjs[obj]; !seen {
+			atomicObjs[obj] = call.Pos()
+		}
+		atomicArgs[call.Args[0]] = true
+		return true
+	})
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other use of those objects is a mixed access.
+	type finding struct {
+		pos token.Pos
+		obj types.Object
+	}
+	var findings []finding
+	for _, file := range pass.Files {
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// Skip the &x argument of the atomic call itself, but
+				// still visit the rest of the call.
+				if len(n.Args) > 0 && atomicArgs[n.Args[0]] {
+					ast.Inspect(n.Fun, walk)
+					for _, a := range n.Args[1:] {
+						ast.Inspect(a, walk)
+					}
+					return false
+				}
+			case *ast.SelectorExpr:
+				if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					if obj := sel.Obj(); obj != nil {
+						if _, isAtomic := atomicObjs[obj]; isAtomic {
+							findings = append(findings, finding{n.Sel.Pos(), obj})
+							return false
+						}
+					}
+				}
+			case *ast.Ident:
+				if obj := pass.TypesInfo.Uses[n]; obj != nil {
+					if _, isAtomic := atomicObjs[obj]; isAtomic {
+						findings = append(findings, finding{n.Pos(), obj})
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		pass.Reportf(f.pos, "%s is accessed atomically (first at %s) but read/written plainly here: "+
+			"mixed access races; use a typed atomic wrapper",
+			f.obj.Name(), pass.Fset.Position(atomicObjs[f.obj]))
+	}
+	return nil
+}
+
+// atomicOpName reports whether a sync/atomic function name is a memory
+// operation on a caller-owned word (as opposed to e.g. the typed
+// wrappers' methods, which never take a raw pointer from user code).
+func atomicOpName(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// addressedObject resolves &x's operand to the variable or struct
+// field object being addressed.
+func addressedObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	}
+	return nil
+}

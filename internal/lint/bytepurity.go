@@ -1,0 +1,377 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Bytepurity is the static twin of the byte-parity tests: response
+// bytes and cache keys must be a pure function of the canonical
+// request, so nothing derived from the wall clock, the global rand
+// source, or map iteration order may flow into them. Per function it
+// runs a small intra-procedural taint analysis:
+//
+//   - seeds: values returned by time.Now/Since/Until (and the timer
+//     constructors), package-level math/rand draws, and the key/value
+//     variables of a range over a map (data arriving in
+//     nondeterministic order);
+//   - propagation: assignment and declaration chains to a fixpoint,
+//     plus method calls on local accumulators (a bytes.Buffer a
+//     tainted string is written into becomes tainted);
+//   - sinks: arguments of EncodeResult calls, arguments of
+//     (*Cache).Put, and — because those functions must themselves be
+//     pure — any seed appearing inside the body of a function named
+//     EncodeResult, Key, or Canonical.
+//
+// Timing telemetry is legitimate taint that flows to histograms and
+// the latency model, never into bytes; such sites need no exemption
+// because the analysis follows flow, not mere presence. A justified
+// exception at a sink uses `//lint:bytepurity <reason>`.
+var Bytepurity = &Analyzer{
+	Name:      "bytepurity",
+	Directive: "bytepurity",
+	Doc: "taint analysis from time.Now/math-rand/map-order seeds to response-byte sinks " +
+		"(EncodeResult, cache Put, Key/Canonical); exempt with //lint:bytepurity <reason>",
+	Hint: "derive response bytes and cache keys only from the canonical request; keep " +
+		"timing telemetry in metrics, never in encoded output",
+	Run: runBytepurity,
+}
+
+// bytepurityPureFuncs are function names whose bodies must be free of
+// nondeterministic seeds altogether: they produce the bytes.
+var bytepurityPureFuncs = map[string]bool{
+	"EncodeResult": true, "Key": true, "Canonical": true,
+}
+
+func runBytepurity(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPurity(pass, fd)
+			var lits []*ast.FuncLit
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					lits = append(lits, fl)
+				}
+				return true
+			})
+			taintFunc(pass, fd.Body)
+			for _, fl := range lits {
+				taintFunc(pass, fl.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkPurity enforces the stronger rule on byte-producing functions:
+// no seed may even appear in their bodies.
+func checkPurity(pass *Pass, fd *ast.FuncDecl) {
+	if !bytepurityPureFuncs[fd.Name.Name] {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if desc := seedCall(pass, n); desc != "" {
+				pass.Reportf(n.Pos(), "%s inside %s, which produces response bytes and must be pure",
+					desc, fd.Name.Name)
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map iteration inside %s, which produces response bytes and must be pure",
+						fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// taintSource records why a variable is tainted.
+type taintSource struct {
+	desc string
+	pos  token.Pos
+}
+
+// taintFunc runs seed collection, propagation to fixpoint, and the
+// sink scan over one function body. Closures are analyzed separately;
+// taint does not cross function boundaries (documented limitation —
+// the dynamic byte-parity suite covers inter-procedural flow).
+func taintFunc(pass *Pass, body *ast.BlockStmt) {
+	tainted := make(map[types.Object]taintSource)
+
+	mark := func(id *ast.Ident, src taintSource) bool {
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return false
+		}
+		if _, ok := tainted[obj]; ok {
+			return false
+		}
+		tainted[obj] = src
+		return true
+	}
+
+	// exprTaint reports whether e mentions a seed call or a tainted
+	// variable, returning the provenance. FuncLit bodies are skipped.
+	exprTaint := func(e ast.Expr) (taintSource, bool) {
+		var src taintSource
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if desc := seedCall(pass, n); desc != "" {
+					src = taintSource{desc, n.Pos()}
+					found = true
+					return false
+				}
+			case *ast.Ident:
+				if obj := pass.TypesInfo.Uses[n]; obj != nil {
+					if s, ok := tainted[obj]; ok {
+						src = s
+						found = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return src, found
+	}
+
+	// Propagate to a fixpoint (bounded; each pass can only add vars).
+	for iter := 0; iter < 12; iter++ {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						src := taintSource{"map iteration order", n.Pos()}
+						for _, e := range []ast.Expr{n.Key, n.Value} {
+							if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+								if mark(id, src) {
+									changed = true
+								}
+							}
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					src, ok := exprTaint(rhs)
+					if !ok {
+						continue
+					}
+					// x, y = a, b assigns positionally; x, ok = f()
+					// and other fan-outs taint every LHS.
+					targets := n.Lhs
+					if len(n.Lhs) == len(n.Rhs) {
+						targets = n.Lhs[i : i+1]
+					}
+					for _, lhs := range targets {
+						if id, ok := rootIdent(lhs); ok {
+							if mark(id, src) {
+								changed = true
+							}
+						}
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, v := range vs.Values {
+						if src, ok := exprTaint(v); ok {
+							targets := vs.Names
+							if len(vs.Names) == len(vs.Values) {
+								targets = vs.Names[i : i+1]
+							}
+							for _, id := range targets {
+								if mark(id, src) {
+									changed = true
+								}
+							}
+						}
+					}
+				}
+			case *ast.CallExpr:
+				// A method call with a tainted argument taints a local
+				// accumulator receiver (buf.WriteString(tainted)).
+				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+				if !ok || !isBodyLocal(pass, recv, body) {
+					return true
+				}
+				for _, arg := range n.Args {
+					if src, ok := exprTaint(arg); ok {
+						if mark(recv, src) {
+							changed = true
+						}
+						break
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	// Sanitizer: sorting removes order-dependence, so a sort call over
+	// a map-order-tainted collection clears that taint — it is the
+	// canonical remediation the Hint suggests.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sort" {
+			return true
+		}
+		for _, arg := range call.Args {
+			id, ok := rootIdent(arg)
+			if !ok {
+				continue
+			}
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				if src, tainted0 := tainted[obj]; tainted0 && src.desc == "map iteration order" {
+					delete(tainted, obj)
+				}
+			}
+		}
+		return true
+	})
+
+	// Sink scan.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sinkName := byteSink(pass, call)
+		if sinkName == "" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if src, ok := exprTaint(arg); ok {
+				pass.Reportf(call.Pos(), "value tainted by %s (at %s) flows into %s; "+
+					"response bytes must be a pure function of the canonical request",
+					src.desc, pass.Fset.Position(src.pos), sinkName)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// seedCall classifies a call as a nondeterminism seed, returning a
+// printable description or "".
+func seedCall(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallclockTimeFuncs[fn.Name()] {
+			return "time." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		if !wallclockRandAllowed[fn.Name()] {
+			return fn.Pkg().Path() + "." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// byteSink classifies a call as a response-byte sink, returning its
+// printable name or "".
+func byteSink(pass *Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "EncodeResult" {
+			return "EncodeResult"
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "EncodeResult" {
+			return "EncodeResult"
+		}
+		if fun.Sel.Name == "Put" {
+			if tv, ok := pass.TypesInfo.Types[fun.X]; ok && namedRecvName(tv.Type) == "Cache" {
+				return "Cache.Put"
+			}
+		}
+	}
+	return ""
+}
+
+// rootIdent unwraps an assignment target to its base identifier:
+// x, x.f, x[i] all root at x.
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v.Name == "_" {
+				return nil, false
+			}
+			return v, true
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// isBodyLocal reports whether id resolves to a variable declared
+// inside body (not a parameter, receiver, field, or package-level
+// var) — the only receivers the accumulator-taint rule applies to.
+func isBodyLocal(pass *Pass, id *ast.Ident, body *ast.BlockStmt) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return v.Pos() > body.Pos() && v.Pos() < body.End()
+}

@@ -168,3 +168,61 @@ func Inspect(files []*ast.File, f func(ast.Node) bool) {
 		ast.Inspect(file, f)
 	}
 }
+
+// BareDirective owns the framework-level directive hygiene check. It
+// is not part of Suite() — it has no Run and needs no type info — but
+// the drivers run BareDirectives on every package so a malformed
+// exemption is an error instead of a silent no-op.
+var BareDirective = &Analyzer{
+	Name: "baredirective",
+	Doc: "a //lint: directive must name a known analyzer directive and carry a one-line " +
+		"justification; a bare or unknown directive is an error, not a silent no-op",
+	Hint: "write //lint:<directive> <one-line justification>, using a directive an " +
+		"analyzer in the suite owns",
+}
+
+// BareDirectives scans files for //lint: directives that are bare (no
+// justification — they exempt nothing, so they are dead weight that
+// looks like a suppression) or unknown (no analyzer owns the name).
+// known is the owned-directive set, normally KnownDirectives(Suite()).
+func BareDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				dir, just, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				switch {
+				case !known[dir]:
+					diags = append(diags, Diagnostic{
+						Pos:      fset.Position(c.Pos()),
+						Message:  fmt.Sprintf("unknown //lint:%s directive: no analyzer owns it", dir),
+						Analyzer: BareDirective,
+					})
+				case just == "":
+					diags = append(diags, Diagnostic{
+						Pos:      fset.Position(c.Pos()),
+						Message:  fmt.Sprintf("bare //lint:%s directive exempts nothing; add a one-line justification", dir),
+						Analyzer: BareDirective,
+					})
+				}
+			}
+		}
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// KnownDirectives collects the directive names the suite's analyzers
+// own.
+func KnownDirectives(suite []ScopedAnalyzer) map[string]bool {
+	known := make(map[string]bool, len(suite))
+	for _, sa := range suite {
+		if sa.Directive != "" {
+			known[sa.Directive] = true
+		}
+	}
+	return known
+}

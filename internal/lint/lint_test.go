@@ -1,6 +1,12 @@
 package lint
 
-import "testing"
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
 
 func TestParseDirective(t *testing.T) {
 	cases := []struct {
@@ -43,6 +49,18 @@ func TestSuiteScopes(t *testing.T) {
 		{"errdrop", "adhocgrid/internal/exp", true},
 		{"errdrop", "adhocgrid/internal/sched", false},
 		{"wallclock", "adhocgrid/internal/anything", true},
+		{"lockbalance", "adhocgrid/internal/serve", true},
+		{"lockbalance", "adhocgrid/internal/exp", true},
+		{"lockbalance", "adhocgrid/internal/par", true},
+		{"lockbalance", "adhocgrid/internal/sched", false},
+		{"pairwise", "adhocgrid/internal/serve", true},
+		{"pairwise", "adhocgrid/internal/opt", false},
+		{"ctxflow", "adhocgrid/internal/serve", true},
+		{"ctxflow", "adhocgrid/internal/exp", false},
+		{"bytepurity", "adhocgrid/internal/serve", true},
+		{"bytepurity", "adhocgrid/cmd/slrhsim", true},
+		{"bytepurity", "adhocgrid/internal/sim", false},
+		{"atomicmix", "adhocgrid/internal/whatever", true},
 	}
 	for _, c := range cases {
 		a, ok := byName[c.analyzer]
@@ -51,6 +69,72 @@ func TestSuiteScopes(t *testing.T) {
 		}
 		if got := a.AppliesTo(c.pkg); got != c.want {
 			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}
+
+func TestBareDirectives(t *testing.T) {
+	const src = `package p
+
+func f() {
+	//lint:wallclock elapsed-time telemetry only
+	_ = 1
+	//lint:wallclock
+	_ = 2
+	_ = 3 //lint:nosuchthing because reasons
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := BareDirectives(fset, []*ast.File{file}, KnownDirectives(Suite()))
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "bare //lint:wallclock") {
+		t.Errorf("diag 0 = %q, want bare-directive report", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "unknown //lint:nosuchthing") {
+		t.Errorf("diag 1 = %q, want unknown-directive report", diags[1].Message)
+	}
+	if diags[0].Pos.Line >= diags[1].Pos.Line {
+		t.Errorf("diagnostics not sorted by line: %d then %d", diags[0].Pos.Line, diags[1].Pos.Line)
+	}
+}
+
+func TestKnownDirectivesCoverSuite(t *testing.T) {
+	known := KnownDirectives(Suite())
+	for _, a := range Suite() {
+		if a.Directive != "" && !known[a.Directive] {
+			t.Errorf("directive %q of analyzer %s missing from KnownDirectives", a.Directive, a.Name)
+		}
+	}
+	if known[""] {
+		t.Error("empty directive must not be known")
+	}
+}
+
+func TestSortDiagnosticsAcrossFiles(t *testing.T) {
+	mk := func(file string, line int, a *Analyzer, msg string) Diagnostic {
+		return Diagnostic{Pos: token.Position{Filename: file, Line: line}, Analyzer: a, Message: msg}
+	}
+	diags := []Diagnostic{
+		mk("b.go", 3, Wallclock, "later file"),
+		mk("a.go", 9, Wallclock, "first file, later line"),
+		mk("a.go", 2, Wallclock, "same position, later analyzer"),
+		mk("a.go", 2, Detrange, "same position, earlier analyzer"),
+	}
+	SortDiagnostics(diags)
+	got := make([]string, len(diags))
+	for i, d := range diags {
+		got[i] = d.Message
+	}
+	want := []string{"same position, earlier analyzer", "same position, later analyzer", "first file, later line", "later file"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted order = %v, want %v", got, want)
 		}
 	}
 }

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Pairwise is a configurable paired-call analyzer: an "acquire" call on
+// a path must reach its matching "release" before the function exits,
+// or carry an annotated handoff. The pairs it audits are the resource
+// protocols the service's accounting depends on:
+//
+//   - admission.Decide / admission.Complete — every decision joins the
+//     predicted-cost backlog and must leave it exactly once;
+//   - flight waiter ref (waiters.Add(1) / waiters.Store(1)) and release
+//     (waiters.Add(-1)) — the coalescing refcount behind singleflight;
+//   - inflight gauge inc (Gauge.Add(1)) / dec (Gauge.Add(-1)).
+//
+// Pairs are matched structurally (method name, receiver type or field
+// name, literal argument), so fixtures and future protocols configure
+// new pairs by adding a PairSpec. A release with no acquire on the
+// path is fine — that is the receiving side of a handoff. An acquire
+// that a later function releases is annotated at the acquire site with
+// `//lint:pairwise <who releases it>`.
+var Pairwise = &Analyzer{
+	Name:      "pairwise",
+	Directive: "pairwise",
+	Doc: "paired-call discipline: admission Decide/Complete, flight waiter ref/release, " +
+		"inflight gauge inc/dec must balance on every path; annotate handoffs with //lint:pairwise <reason>",
+	Hint: "pair the acquire with its release on every path (defer works), or document the " +
+		"handoff with //lint:pairwise <who releases it>",
+	Run: runPairwise,
+}
+
+// A CallPat matches one call shape. Empty fields match anything; the
+// zero pattern matches nothing (Method is required).
+type CallPat struct {
+	// Method is the called method's name (required).
+	Method string
+	// Recv, when set, requires the receiver's named type (pointers
+	// unwrapped) to have this name, e.g. "Admission" or "Gauge".
+	Recv string
+	// Field, when set, requires the receiver to be a selector whose
+	// field name matches, e.g. "waiters" in f.waiters.Add(1).
+	Field string
+	// Arg, when set, requires the first argument's source text to
+	// match exactly, e.g. "1" or "-1".
+	Arg string
+}
+
+// A PairSpec names one acquire/release protocol. Any pattern in
+// Acquire acquires the pair; any in Release releases it.
+type PairSpec struct {
+	Name             string
+	Acquire, Release []CallPat
+}
+
+// PairSpecs is the audited protocol set. The analyzer is data-driven:
+// new paired protocols are added here (or swapped out by tests).
+var PairSpecs = []PairSpec{
+	{
+		Name:    "admission Decide/Complete",
+		Acquire: []CallPat{{Method: "Decide", Recv: "Admission"}},
+		Release: []CallPat{{Method: "Complete", Recv: "Admission"}},
+	},
+	{
+		Name: "flight waiter ref/release",
+		Acquire: []CallPat{
+			{Method: "Add", Field: "waiters", Arg: "1"},
+			{Method: "Store", Field: "waiters", Arg: "1"},
+		},
+		Release: []CallPat{{Method: "Add", Field: "waiters", Arg: "-1"}},
+	},
+	{
+		Name:    "inflight gauge inc/dec",
+		Acquire: []CallPat{{Method: "Add", Recv: "Gauge", Arg: "1"}},
+		Release: []CallPat{{Method: "Add", Recv: "Gauge", Arg: "-1"}},
+	},
+}
+
+func runPairwise(pass *Pass) error {
+	classify := pairClassify(pass, PairSpecs)
+	// The same acquire site can pend at several exit paths; one
+	// diagnostic per site is enough.
+	seen := make(map[token.Pos]bool)
+	hooks := &flowHooks{
+		classify: classify,
+		// Releases without acquires are handoff receivers: silent.
+		// Reports anchor at the acquire site (h.pos), so the handoff
+		// annotation lives where the obligation is created.
+		exit: func(_ token.Pos, key string, h held) {
+			if seen[h.pos] {
+				return
+			}
+			seen[h.pos] = true
+			pass.Reportf(h.pos, "%s: acquire does not reach its release on every path; "+
+				"pair it or annotate the handoff with //lint:pairwise <reason>", key)
+		},
+	}
+	analyzeFlow(pass, hooks)
+	return nil
+}
+
+// pairClassify builds the flow-engine classifier from the spec table.
+func pairClassify(pass *Pass, specs []PairSpec) func(*ast.CallExpr) (string, int) {
+	return func(call *ast.CallExpr) (string, int) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return "", 0
+		}
+		for _, spec := range specs {
+			for _, p := range spec.Acquire {
+				if matchCallPat(pass, call, sel, p) {
+					return spec.Name, +1
+				}
+			}
+			for _, p := range spec.Release {
+				if matchCallPat(pass, call, sel, p) {
+					return spec.Name, -1
+				}
+			}
+		}
+		return "", 0
+	}
+}
+
+func matchCallPat(pass *Pass, call *ast.CallExpr, sel *ast.SelectorExpr, p CallPat) bool {
+	if p.Method == "" || sel.Sel.Name != p.Method {
+		return false
+	}
+	if p.Recv != "" {
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok || namedRecvName(tv.Type) != p.Recv {
+			return false
+		}
+	}
+	if p.Field != "" {
+		fs, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || fs.Sel.Name != p.Field {
+			return false
+		}
+	}
+	if p.Arg != "" {
+		if len(call.Args) == 0 || types.ExprString(call.Args[0]) != p.Arg {
+			return false
+		}
+	}
+	return true
+}

@@ -37,12 +37,33 @@ var ErrorHygienePackages = []string{
 	"adhocgrid/cmd/",
 }
 
+// ConcurrencyPackages carry the module's lock-based concurrency: the
+// service's flight coalescing and admission accounting, the priority
+// worker pool, and the parallel scorer. lockbalance and pairwise prove
+// their invariants path-by-path.
+var ConcurrencyPackages = []string{
+	"adhocgrid/internal/serve",
+	"adhocgrid/internal/exp",
+	"adhocgrid/internal/par",
+}
+
+// BytePurityPackages produce or store response bytes whose contract is
+// byte-identity with recomputation: the service (EncodeResult, the
+// result cache) and the CLI that must match it byte-for-byte.
+var BytePurityPackages = []string{
+	"adhocgrid/internal/serve",
+	"adhocgrid/cmd/slrhsim",
+}
+
 // A ScopedAnalyzer pairs an analyzer (mechanism) with the package-path
 // policy deciding where it runs. Scope policy lives here, not in the
 // analyzers, so fixtures and other modules can run the analyzers
 // unscoped.
 type ScopedAnalyzer struct {
 	*Analyzer
+	// Scope is the human-readable policy summary printed by
+	// `adhoclint -list` (the README table mirrors it).
+	Scope string
 	// AppliesTo reports whether the analyzer audits the package. Paths
 	// are canonical import paths; go vet test variants such as
 	// "p [p.test]" must be normalized by the caller (see PackagePath).
@@ -53,11 +74,17 @@ type ScopedAnalyzer struct {
 // stable name order. This is the single registration point: the driver,
 // the vettool mode, and the registration test all consume it.
 func Suite() []ScopedAnalyzer {
+	all := func(string) bool { return true }
 	return []ScopedAnalyzer{
-		{Detrange, inAny(DeterminismCritical)},
-		{Errdrop, inAny(ErrorHygienePackages)},
-		{Floateq, inAny(ScoringPackages)},
-		{Wallclock, func(string) bool { return true }},
+		{Atomicmix, "all packages", all},
+		{Bytepurity, "internal/serve, cmd/slrhsim", inAny(BytePurityPackages)},
+		{Ctxflow, "internal/serve", inAny([]string{"adhocgrid/internal/serve"})},
+		{Detrange, "determinism-critical packages", inAny(DeterminismCritical)},
+		{Errdrop, "experiment drivers and commands", inAny(ErrorHygienePackages)},
+		{Floateq, "scoring packages", inAny(ScoringPackages)},
+		{Lockbalance, "internal/serve, internal/exp, internal/par", inAny(ConcurrencyPackages)},
+		{Pairwise, "internal/serve, internal/exp, internal/par", inAny(ConcurrencyPackages)},
+		{Wallclock, "all packages", all},
 	}
 }
 

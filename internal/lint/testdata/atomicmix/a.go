@@ -1,0 +1,37 @@
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits uint64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) racyRead() int64 {
+	return c.n // want `n is accessed atomically`
+}
+
+func (c *counter) racyWrite() {
+	c.n = 0 // want `n is accessed atomically`
+}
+
+// plainOnly touches a different field of the same struct: access is
+// keyed per field, so this is fine.
+func (c *counter) plainOnly() uint64 {
+	c.hits++
+	return c.hits
+}
+
+var inflight int64
+
+func enter() {
+	atomic.AddInt64(&inflight, 1)
+}
+
+func racyGlobal() int64 {
+	return inflight // want `inflight is accessed atomically`
+}

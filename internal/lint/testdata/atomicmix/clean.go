@@ -1,0 +1,25 @@
+package fixture
+
+import "sync/atomic"
+
+// typed uses the typed wrappers, which make mixed access a compile
+// error instead of a lint finding.
+type typed struct {
+	n atomic.Int64
+}
+
+func (t *typed) inc() {
+	t.n.Add(1)
+}
+
+func (t *typed) read() int64 {
+	return t.n.Load()
+}
+
+// allAtomic accesses a raw word, but every access is atomic.
+var allAtomic uint64
+
+func bump() uint64 {
+	atomic.AddUint64(&allAtomic, 1)
+	return atomic.LoadUint64(&allAtomic)
+}

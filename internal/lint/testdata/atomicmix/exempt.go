@@ -1,0 +1,18 @@
+package fixture
+
+import "sync/atomic"
+
+type gauge struct {
+	v int64
+}
+
+func newGauge(seed int64) *gauge {
+	g := &gauge{}
+	//lint:atomicmix constructor runs before the gauge is shared with any goroutine
+	g.v = seed
+	return g
+}
+
+func (g *gauge) bump() {
+	atomic.AddInt64(&g.v, 1)
+}

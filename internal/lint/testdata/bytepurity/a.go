@@ -1,0 +1,45 @@
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+type Result struct {
+	Makespan int64
+	Stamp    int64
+}
+
+// EncodeResult is the byte-producing sink. The injected wall-clock
+// read is the canonical violation the analyzer must re-detect.
+func EncodeResult(w io.Writer, res *Result) {
+	fmt.Fprintf(w, "makespan=%d\n", res.Makespan)
+	fmt.Fprintf(w, "at=%d\n", time.Now().UnixNano()) // want `time.Now inside EncodeResult`
+}
+
+// renderTainted lets a timestamp flow through a variable and a struct
+// field into the sink.
+func renderTainted(w io.Writer, res *Result) {
+	stamp := time.Now().UnixNano()
+	res.Stamp = stamp
+	EncodeResult(w, res) // want `value tainted by time.Now`
+}
+
+type Cache struct {
+	m map[string][]byte
+}
+
+func (c *Cache) Put(key string, body []byte) {
+	c.m[key] = body
+}
+
+// storeMapOrder builds a cache key in map iteration order: the key
+// varies run to run, silently splitting the cache.
+func storeMapOrder(c *Cache, parts map[string]string) {
+	joined := ""
+	for k := range parts {
+		joined += k
+	}
+	c.Put(joined, nil) // want `value tainted by map iteration order`
+}

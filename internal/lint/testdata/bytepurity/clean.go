@@ -1,0 +1,34 @@
+package fixture
+
+import (
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// timedRun measures elapsed time for telemetry: the taint flows to the
+// observer, never into the encoded bytes, so nothing is reported. The
+// analysis follows flow, not presence.
+func timedRun(w io.Writer, res *Result, observe func(float64)) {
+	start := time.Now()
+	EncodeResult(w, res)
+	observe(time.Since(start).Seconds())
+}
+
+// canonicalOrder sorts before keying: sorting is the sanctioned
+// sanitizer for map-iteration taint.
+func canonicalOrder(c *Cache, parts map[string]string) {
+	var keys []string
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	c.Put(strings.Join(keys, ","), nil)
+}
+
+// pureEncode derives every byte from its inputs.
+func pureEncode(w io.Writer, res *Result, c *Cache) {
+	EncodeResult(w, res)
+	c.Put("fixed-key", []byte("fixed-body"))
+}

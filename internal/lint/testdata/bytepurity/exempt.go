@@ -1,0 +1,14 @@
+package fixture
+
+import (
+	"io"
+	"time"
+)
+
+// debugStamp intentionally embeds a timestamp; the endpoint is
+// explicitly out of the byte-parity contract.
+func debugStamp(w io.Writer, res *Result) {
+	res.Stamp = time.Now().UnixNano()
+	//lint:bytepurity debug-only endpoint: its output is never cached or diffed
+	EncodeResult(w, res)
+}

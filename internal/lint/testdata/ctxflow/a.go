@@ -1,0 +1,34 @@
+package fixture
+
+import "net/http"
+
+type srv struct {
+	ch chan int
+}
+
+func (s *srv) handleBad(w http.ResponseWriter, r *http.Request) {
+	<-s.ch // want `blocking receive reachable from handleBad`
+}
+
+func (s *srv) handleSpawn(w http.ResponseWriter, r *http.Request) {
+	go func() { // want `goroutine spawned on the request path \(reachable from handleSpawn\)`
+		s.ch <- 1
+	}()
+}
+
+// handleIndirect leaks through a call: the receive sits one hop away.
+func (s *srv) handleIndirect(w http.ResponseWriter, r *http.Request) {
+	s.waitForResult()
+}
+
+func (s *srv) waitForResult() {
+	<-s.ch // want `blocking receive reachable from handleIndirect`
+}
+
+func (s *srv) handleSelect(w http.ResponseWriter, r *http.Request) {
+	select { // want `select reachable from handleSelect has no context Done`
+	case v := <-s.ch:
+		_ = v
+	case s.ch <- 0:
+	}
+}

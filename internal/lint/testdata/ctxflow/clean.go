@@ -1,0 +1,44 @@
+package fixture
+
+import "net/http"
+
+type okSrv struct {
+	ch chan int
+}
+
+// handleGood parks on the channel but a vanished client always
+// unblocks it via ctx.Done().
+func (s *okSrv) handleGood(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	select {
+	case v := <-s.ch:
+		_ = v
+	case <-ctx.Done():
+	}
+}
+
+// handleNonBlocking cannot block: the select has a default.
+func (s *okSrv) handleNonBlocking(w http.ResponseWriter, r *http.Request) {
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+// handleSpawnGuarded spawns a goroutine that selects on Done, so a
+// disconnect reaps it.
+func (s *okSrv) handleSpawnGuarded(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	go func() {
+		select {
+		case s.ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// notReachable blocks, but no handler can reach it.
+func (s *okSrv) notReachable() {
+	<-s.ch
+}

@@ -1,0 +1,12 @@
+package fixture
+
+import "net/http"
+
+type exSrv struct {
+	ready chan struct{}
+}
+
+func (s *exSrv) handleStartup(w http.ResponseWriter, r *http.Request) {
+	//lint:ctxflow startup gate: closed once at boot, so the receive returns immediately afterwards
+	<-s.ready
+}

@@ -1,0 +1,78 @@
+package fixture
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func missingUnlockOnError(b *box, fail bool) error {
+	b.mu.Lock()
+	if fail {
+		return errFail // want `path exits with b.mu still locked`
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+func unlockWithoutLock(b *box) {
+	b.mu.Unlock() // want `unlock of b.mu without a matching lock`
+}
+
+func doubleLock(b *box) {
+	b.mu.Lock()
+	b.mu.Lock() // want `lock of b.mu while already held`
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func receiveUnderLock(b *box, ch chan int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-ch // want `channel receive while holding b.mu`
+}
+
+func sendUnderLock(b *box, ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch <- b.n // want `channel send while holding b.mu`
+}
+
+func callbackUnderLock(b *box, job func()) {
+	b.mu.Lock()
+	job() // want `call through function value job while holding b.mu`
+	b.mu.Unlock()
+}
+
+func selectUnderLock(b *box, ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `select without default while holding b.mu`
+	case v := <-ch:
+		b.n = v
+	}
+}
+
+func waitOutsideLoop(b *box, c *sync.Cond) {
+	b.mu.Lock()
+	c.Wait() // want `sync.Cond.Wait outside a for condition loop`
+	b.mu.Unlock()
+}
+
+func waitWithoutLock(c *sync.Cond, done *bool) {
+	for !*done {
+		c.Wait() // want `sync.Cond.Wait without its lock held`
+	}
+}
+
+func leakInLoop(b *box, xs []int) { // no unlock anywhere: holds accumulate
+	for range xs { // want `loop body changes the hold state of b.mu`
+		b.mu.Lock()
+	}
+}

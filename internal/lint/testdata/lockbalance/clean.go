@@ -1,0 +1,100 @@
+package fixture
+
+import "sync"
+
+type pool struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	cond   *sync.Cond
+	closed bool
+	jobs   []func()
+}
+
+// deferred is the defer-guarded discipline.
+func (p *pool) deferred() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.jobs)
+}
+
+// everyReturn is the explicit discipline: unlocked on each path.
+func (p *pool) everyReturn(flag bool) int {
+	p.mu.Lock()
+	if flag {
+		n := len(p.jobs)
+		p.mu.Unlock()
+		return n
+	}
+	p.mu.Unlock()
+	return 0
+}
+
+// worker is the canonical condition-wait loop: the job runs with the
+// lock released, Wait sits inside the for loop with the lock held, and
+// every iteration restores the entry hold state.
+func (p *pool) worker() {
+	p.mu.Lock()
+	for {
+		if len(p.jobs) > 0 {
+			job := p.jobs[0]
+			p.jobs = p.jobs[1:]
+			p.mu.Unlock()
+			job()
+			p.mu.Lock()
+			continue
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		p.cond.Wait()
+	}
+}
+
+// unlockAroundReceive releases before blocking and re-acquires after,
+// the Optima in-flight dedup shape.
+func (p *pool) unlockAroundReceive(ch chan struct{}) {
+	p.mu.Lock()
+	for {
+		if p.closed {
+			break
+		}
+		p.mu.Unlock()
+		<-ch
+		p.mu.Lock()
+	}
+	p.mu.Unlock()
+}
+
+// readers exercises the independent RLock/RUnlock balance.
+func (p *pool) readers() int {
+	p.rw.RLock()
+	defer p.rw.RUnlock()
+	return len(p.jobs)
+}
+
+// tryNotify may hold the lock across a select with default: it cannot
+// block.
+func (p *pool) tryNotify(ch chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// deferredClosure balances inside a deferred closure, the
+// delete-then-close publication shape.
+func (p *pool) deferredClosure(done chan struct{}) {
+	p.mu.Lock()
+	p.jobs = nil
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.closed = true
+		p.mu.Unlock()
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,21 @@
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (g *guarded) annotatedReceive() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//lint:lockbalance the channel is buffered and always primed before this runs
+	return <-g.ch
+}
+
+func (g *guarded) annotatedCallback(job func()) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	job() //lint:lockbalance job is a pure accessor supplied by this package; it never blocks
+}

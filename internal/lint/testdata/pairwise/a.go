@@ -1,0 +1,67 @@
+package fixture
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+var errBoom = errors.New("boom")
+
+type Decision struct {
+	Admit     bool
+	Predicted float64
+}
+
+type Admission struct {
+	backlog float64
+}
+
+func (a *Admission) Decide(n int) Decision {
+	a.backlog++
+	return Decision{Admit: true, Predicted: float64(n)}
+}
+
+func (a *Admission) Complete(cost float64) {
+	a.backlog -= cost
+}
+
+type Gauge struct {
+	v atomic.Int64
+}
+
+func (g *Gauge) Add(d int64) {
+	g.v.Add(d)
+}
+
+type flight struct {
+	waiters atomic.Int64
+}
+
+func leakDecision(a *Admission, fail bool) error {
+	d := a.Decide(4) // want `admission Decide/Complete: acquire does not reach its release`
+	if fail {
+		return errBoom
+	}
+	a.Complete(d.Predicted)
+	return nil
+}
+
+func leakGauge(g *Gauge, skip bool) {
+	g.Add(1) // want `inflight gauge inc/dec: acquire does not reach its release`
+	if skip {
+		return
+	}
+	g.Add(-1)
+}
+
+func leakWaiterRef(f *flight, cancel bool) {
+	f.waiters.Add(1) // want `flight waiter ref/release: acquire does not reach its release`
+	if cancel {
+		return
+	}
+	f.waiters.Add(-1)
+}
+
+func leakLeaderRef(f *flight) {
+	f.waiters.Store(1) // want `flight waiter ref/release: acquire does not reach its release`
+}

@@ -1,0 +1,38 @@
+package fixture
+
+import "sync/atomic"
+
+func balancedDefer(a *Admission) error {
+	d := a.Decide(2)
+	defer a.Complete(d.Predicted)
+	if d.Predicted > 100 {
+		return errBoom
+	}
+	return nil
+}
+
+func balancedEveryPath(g *Gauge, fail bool) error {
+	g.Add(1)
+	if fail {
+		g.Add(-1)
+		return errBoom
+	}
+	g.Add(-1)
+	return nil
+}
+
+// consumeHandoff is the receiving side of a handoff: a release with no
+// acquire on the path is always fine.
+func consumeHandoff(f *flight) {
+	f.waiters.Add(-1)
+}
+
+// otherAtomics shows the waiter patterns key on the field name and the
+// literal argument, not on every atomic counter.
+type stats struct {
+	requests atomic.Int64
+}
+
+func countRequest(s *stats) {
+	s.requests.Add(1)
+}

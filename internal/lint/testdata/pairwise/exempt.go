@@ -1,0 +1,12 @@
+package fixture
+
+func handoffToRunner(a *Admission, run func(Decision)) {
+	//lint:pairwise handoff: the queued job calls Complete when the pool runs it
+	d := a.Decide(8)
+	run(d)
+}
+
+func handoffWaiter(f *flight, park func()) {
+	f.waiters.Add(1) //lint:pairwise handoff: released by the awaiter's cancel path or consumed at flight completion
+	park()
+}

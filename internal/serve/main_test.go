@@ -1,0 +1,16 @@
+package serve
+
+import (
+	"os"
+	"testing"
+
+	"adhocgrid/internal/leakcheck"
+)
+
+// TestMain gates the suite on goroutine hygiene: every worker a test
+// spawns — flight leaders, admission reapers, httptest handlers —
+// must have exited by the time the suite finishes. This is the
+// dynamic counterpart of the ctxflow analyzer's static check.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}
