@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix-hints lint-json lint-vet test race check bench bench-json bench-compare fuzz serve-smoke fault-smoke admission-smoke
+.PHONY: all build vet lint lint-fix-hints lint-json lint-vet test race check bench bench-json bench-compare fuzz serve-smoke fault-smoke admission-smoke fabric-smoke
 
 all: check
 
@@ -63,6 +63,15 @@ serve-smoke:
 # metrics. See README.md "Service classes".
 admission-smoke:
 	$(GO) run ./cmd/slrhd -admission-smoke
+
+# End-to-end smoke of the fabric tier: a slrhrouter over two in-process
+# slrhd backends. Asserts byte-identical routed vs direct responses
+# (the cross-fleet affinity contract), byte-identical failover after a
+# backend dies, deterministic batch scatter/gather order, fleet
+# capacity aggregation and the router metrics. See README.md
+# "Running a fleet".
+fabric-smoke:
+	$(GO) run ./cmd/slrhrouter -smoke
 
 # Full testing.B benchmark sweep. -short skips the table/figure benches
 # that regenerate whole experiments per iteration; drop it (BENCH_SHORT=)

@@ -71,11 +71,20 @@ func run(args []string, out *os.File) error {
 			len(report.Benchmarks), *outPath, report.GoMaxProcs)
 	}
 	if *check {
-		if err := perf.Check(report); err != nil {
+		verdict, err := perf.CheckVerdict(report)
+		if err != nil {
 			return err
 		}
-		//lint:errdrop best-effort status line to stdout; exit code carries the verdict
-		fmt.Fprintln(out, "benchrunner: expectations met")
+		if verdict.Vacuous {
+			// A gate that could not run is not evidence; say so instead
+			// of printing the same line as a measured pass.
+			//lint:errdrop best-effort status line to stdout; exit code carries the verdict
+			fmt.Fprintf(out, "benchrunner: check SKIP (vacuous: %s) — speedup gate needs %d+ cores and the |T|=1024 pair\n",
+				verdict.Reason, perf.MinSpeedupCores)
+		} else {
+			//lint:errdrop best-effort status line to stdout; exit code carries the verdict
+			fmt.Fprintln(out, "benchrunner: expectations met")
+		}
 	}
 	return nil
 }

@@ -69,6 +69,8 @@ func run(args []string) error {
 		return runAdmissionSmoke(cfg)
 	case *opts.capacity:
 		return runCapacity(cfg)
+	case *opts.parity != "":
+		return runParity(*opts.parity)
 	}
 	return runDaemon(*opts.addr, *opts.drainTimeout, cfg)
 }
@@ -86,6 +88,7 @@ type options struct {
 	smoke          *bool
 	admissionSmoke *bool
 	capacity       *bool
+	parity         *string
 }
 
 // newFlags declares the flag set (shared by the daemon and smoke paths).
@@ -105,7 +108,45 @@ func newFlags() (*flag.FlagSet, options) {
 			"start on a loopback port, self-test the cost-predictive admission path (model warm-up, capacity answer, cost shed with model-derived Retry-After), drain and exit"),
 		capacity: fs.Bool("capacity", false,
 			"calibrate the cost model with probe runs, print this instance's capacity report as JSON and exit"),
+		parity: fs.String("parity", "",
+			"comma-separated base URLs of running slrhd instances; POST a probe request to each and assert the responses are byte-identical, then exit (fleet self-test)"),
 	}
+}
+
+// runParity is `slrhd -parity addr1,addr2,...`: the fleet byte-parity
+// self-test. Every listed instance is asked to map the same probe
+// scenario; the determinism contract (DESIGN.md §12) says the bodies
+// must be byte-identical no matter which instance — or whose cache —
+// answers, which is exactly what makes consistent-hash routing and
+// failover in the fabric tier (DESIGN.md §17) transparent to clients.
+func runParity(addrs string) error {
+	var urls []string
+	for _, a := range strings.Split(addrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			urls = append(urls, strings.TrimRight(a, "/"))
+		}
+	}
+	if len(urls) < 2 {
+		return fmt.Errorf("-parity needs at least two addresses, got %d", len(urls))
+	}
+	client := &http.Client{Timeout: 120 * time.Second}
+	var first []byte
+	for i, u := range urls {
+		body, _, err := post(client, u+"/v1/map", smokeRequest)
+		if err != nil {
+			return fmt.Errorf("parity probe to %s: %w", u, err)
+		}
+		if i == 0 {
+			first = body
+			continue
+		}
+		if !bytes.Equal(body, first) {
+			return fmt.Errorf("parity violated: %s answered %d bytes differing from %s's %d bytes",
+				u, len(body), urls[0], len(first))
+		}
+	}
+	fmt.Printf("parity: %d instances answered byte-identically (%d bytes)\n", len(urls), len(first))
+	return nil
 }
 
 // runDaemon serves until SIGINT/SIGTERM, then drains.

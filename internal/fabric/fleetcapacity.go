@@ -1,0 +1,211 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"adhocgrid/internal/serve"
+)
+
+// BackendCapacity is one backend's contribution to the fleet report:
+// its own /v1/capacity answer, or the error that kept it out of the
+// aggregate.
+type BackendCapacity struct {
+	Backend string                `json:"backend"`
+	Up      bool                  `json:"up"`
+	Error   string                `json:"error,omitempty"`
+	Report  *serve.CapacityReport `json:"report,omitempty"`
+}
+
+// FleetSustainRate is the fleet's sustainable throughput at one
+// problem size: per-backend rates sum (requests are independent, the
+// ring spreads keys), while the per-request cost quoted is the worst
+// across backends — the honest bound for "any request, any backend".
+type FleetSustainRate struct {
+	N                int     `json:"n"`
+	ReqPerSec        float64 `json:"req_per_sec"`
+	WorstCostSeconds float64 `json:"worst_cost_seconds"`
+}
+
+// FleetModel aggregates one heuristic's cost models across the fleet.
+type FleetModel struct {
+	Heuristic    string             `json:"heuristic"`
+	Observations float64            `json:"observations"`
+	Sustainable  []FleetSustainRate `json:"sustainable,omitempty"`
+}
+
+// FleetAnswer is the merged reply to a focused ?heuristic=&n=&class=
+// query: the fleet-wide rate and how many backends can individually
+// meet the class target (the router steers interactive traffic, so one
+// meeting backend makes the shape servable).
+type FleetAnswer struct {
+	Heuristic       string  `json:"heuristic"`
+	N               int     `json:"n"`
+	Class           string  `json:"class"`
+	ReqPerSec       float64 `json:"req_per_sec"`
+	MeetingBackends int     `json:"meeting_backends"`
+	MeetsTarget     bool    `json:"meets_target"`
+}
+
+// FleetCapacityReport is the body of the router's GET /v1/capacity:
+// every reachable backend's PR 6 planner report merged into one fleet
+// answer — the autoscaling signal ("this fleet sustains X req/s of
+// |T|=n heuristic h"). Like the per-instance report it is
+// observational: it changes as backend models learn.
+type FleetCapacityReport struct {
+	Backends       int               `json:"backends"`
+	Healthy        int               `json:"healthy"`
+	Workers        int               `json:"workers"`
+	QueueSlots     int               `json:"queue_slots"`
+	BacklogSeconds float64           `json:"backlog_seconds"`
+	Models         []FleetModel      `json:"models"`
+	Answer         *FleetAnswer      `json:"answer,omitempty"`
+	PerBackend     []BackendCapacity `json:"per_backend"`
+}
+
+// FleetCapacity fans the capacity query out to every backend and
+// merges the answers. rawQuery is forwarded verbatim so the focused
+// ?heuristic=&n=&class= form works fleet-wide. Per-backend entries
+// keep ring-member order, so the report layout is deterministic.
+func (rt *Router) FleetCapacity(r *http.Request, rawQuery string) (*FleetCapacityReport, error) {
+	members := rt.ring.Members()
+	per := make([]BackendCapacity, len(members))
+	var wg sync.WaitGroup
+	for i, backend := range members {
+		wg.Add(1)
+		//lint:ctxflow fetchCapacity issues one HTTP request bound to r.Context(), so a vanished client cancels it; the goroutine never blocks on anything else
+		go func(i int, backend string) {
+			defer wg.Done()
+			per[i] = rt.fetchCapacity(r, backend, rawQuery)
+		}(i, backend)
+	}
+	wg.Wait()
+
+	rep := &FleetCapacityReport{Backends: len(members), PerBackend: per}
+	for i := range per {
+		bc := &per[i]
+		if bc.Report == nil {
+			continue
+		}
+		rep.Healthy++
+		rep.Workers += bc.Report.Workers
+		rep.QueueSlots += bc.Report.QueueSlots
+		rep.BacklogSeconds += bc.Report.BacklogSeconds
+		for _, m := range bc.Report.Models {
+			rep.mergeModel(m)
+		}
+		if bc.Report.Answer != nil {
+			rep.mergeAnswer(bc.Report.Answer)
+		}
+	}
+	if rep.Healthy == 0 {
+		return nil, fmt.Errorf("no backend answered the capacity query")
+	}
+	return rep, nil
+}
+
+// fetchCapacity retrieves one backend's report. A 400 from a backend
+// (bad heuristic/class/n in the focused query) is surfaced as that
+// backend's error — the aggregate stays useful even when the query is
+// only partially answerable.
+func (rt *Router) fetchCapacity(r *http.Request, backend, rawQuery string) BackendCapacity {
+	bc := BackendCapacity{Backend: backend}
+	url := backend + "/v1/capacity"
+	if rawQuery != "" {
+		url += "?" + rawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		bc.Error = err.Error()
+		return bc
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		bc.Error = err.Error()
+		return bc
+	}
+	body, err := readBody(resp)
+	if err != nil {
+		bc.Error = err.Error()
+		return bc
+	}
+	if resp.StatusCode != http.StatusOK {
+		bc.Error = fmt.Sprintf("status %d: %s", resp.StatusCode, string(body))
+		return bc
+	}
+	var rep serve.CapacityReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		bc.Error = "bad capacity report: " + err.Error()
+		return bc
+	}
+	bc.Up = true
+	bc.Report = &rep
+	return bc
+}
+
+// mergeModel folds one backend's per-heuristic model into the fleet
+// aggregate, keyed by heuristic name in first-seen order (stable
+// because backends are visited in ring-member order).
+func (rep *FleetCapacityReport) mergeModel(m serve.ModelReport) {
+	var fm *FleetModel
+	for i := range rep.Models {
+		if rep.Models[i].Heuristic == m.Heuristic {
+			fm = &rep.Models[i]
+			break
+		}
+	}
+	if fm == nil {
+		rep.Models = append(rep.Models, FleetModel{Heuristic: m.Heuristic})
+		fm = &rep.Models[len(rep.Models)-1]
+	}
+	fm.Observations += m.Observations
+	for _, sr := range m.Sustainable {
+		var fr *FleetSustainRate
+		for i := range fm.Sustainable {
+			if fm.Sustainable[i].N == sr.N {
+				fr = &fm.Sustainable[i]
+				break
+			}
+		}
+		if fr == nil {
+			fm.Sustainable = append(fm.Sustainable, FleetSustainRate{N: sr.N})
+			fr = &fm.Sustainable[len(fm.Sustainable)-1]
+		}
+		fr.ReqPerSec += sr.ReqPerSec
+		if sr.CostSeconds > fr.WorstCostSeconds {
+			fr.WorstCostSeconds = sr.CostSeconds
+		}
+	}
+}
+
+// mergeAnswer folds one backend's focused answer into the fleet's.
+func (rep *FleetCapacityReport) mergeAnswer(a *serve.CapacityAnswer) {
+	if rep.Answer == nil {
+		rep.Answer = &FleetAnswer{Heuristic: a.Heuristic, N: a.N, Class: a.Class}
+	}
+	rep.Answer.ReqPerSec += a.ReqPerSec
+	if a.MeetsTarget {
+		rep.Answer.MeetingBackends++
+	}
+	rep.Answer.MeetsTarget = rep.Answer.MeetingBackends > 0
+}
+
+// handleCapacity serves the router's GET /v1/capacity.
+func (rt *Router) handleCapacity(w http.ResponseWriter, r *http.Request) {
+	rep, err := rt.FleetCapacity(r, r.URL.RawQuery)
+	if err != nil {
+		rt.jsonError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	rt.capRequests.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		rt.writeErrors.Inc()
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	rt.write(w, append(b, '\n'))
+}

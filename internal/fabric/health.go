@@ -1,0 +1,191 @@
+package fabric
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health tracks per-backend readiness for the router: a background
+// prober polls every backend's /readyz on a fixed cadence, retrying
+// with jittered exponential backoff before declaring a backend down,
+// and the request path can mark a backend down immediately on a
+// transport failure (the next probe cycle re-admits it once /readyz
+// answers again). Backends start optimistically up so a router booted
+// before its fleet still routes first requests through the failover
+// path instead of refusing them.
+type Health struct {
+	backends []string // sorted, parallel to up
+	client   *http.Client
+	interval time.Duration
+	retries  int
+	backoff  time.Duration
+
+	mu sync.Mutex
+	up []bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewHealth builds the tracker for a fixed backend set (sorted order
+// expected, as produced by Ring.Members). Call Start to begin probing
+// and Stop to retire the prober goroutine.
+func NewHealth(backends []string, client *http.Client, interval time.Duration, retries int, backoff time.Duration) *Health {
+	up := make([]bool, len(backends))
+	for i := range up {
+		up[i] = true
+	}
+	return &Health{
+		backends: backends,
+		client:   client,
+		interval: interval,
+		retries:  retries,
+		backoff:  backoff,
+		up:       up,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// index resolves a backend to its slot, or -1.
+func (h *Health) index(backend string) int {
+	for i, b := range h.backends {
+		if b == backend {
+			return i
+		}
+	}
+	return -1
+}
+
+// Up reports the last known readiness of a backend. Unknown backends
+// are down.
+func (h *Health) Up(backend string) bool {
+	i := h.index(backend)
+	if i < 0 {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.up[i]
+}
+
+// UpCount returns how many backends are currently considered ready.
+func (h *Health) UpCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, u := range h.up {
+		if u {
+			n++
+		}
+	}
+	return n
+}
+
+// MarkDown records a request-path transport failure: the backend is
+// treated as down until a probe sees /readyz answer 200 again.
+func (h *Health) MarkDown(backend string) {
+	i := h.index(backend)
+	if i < 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.up[i] = false
+}
+
+// set records a probe verdict. Out-of-range slots are ignored.
+func (h *Health) set(i int, up bool) {
+	if i < 0 || i >= len(h.backends) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.up[i] = up
+}
+
+// Start launches the probe loop. Probing is inherently wall-clock
+// work (it watches live processes, not the simulated grid), so its
+// timer sites carry wallclock annotations; nothing it learns ever
+// feeds a scheduling decision — only which backend answers a request.
+func (h *Health) Start() {
+	go h.loop()
+}
+
+// Stop retires the prober and waits for it to exit (leakcheck-clean).
+func (h *Health) Stop() {
+	select {
+	case <-h.stop:
+		return // already stopped
+	default:
+	}
+	close(h.stop)
+	<-h.done
+}
+
+// loop probes every backend each interval until stopped.
+func (h *Health) loop() {
+	defer close(h.done)
+	for {
+		for i := range h.backends {
+			h.set(i, h.probe(h.backends[i]))
+		}
+		t := time.NewTimer(h.interval) //lint:wallclock liveness-probe cadence for live backends; never a scheduling input
+		select {
+		case <-h.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probe checks one backend's /readyz, retrying with jittered
+// exponential backoff before giving up: h.retries+1 attempts total,
+// attempt k delayed by backoff<<k plus a deterministic jitter derived
+// from (backend, attempt) — decorrelated across backends without
+// ambient randomness.
+func (h *Health) probe(backend string) bool {
+	for attempt := 0; ; attempt++ {
+		if h.probeOnce(backend) {
+			return true
+		}
+		if attempt >= h.retries {
+			return false
+		}
+		d := jitteredBackoff(h.backoff, backend, attempt)
+		t := time.NewTimer(d) //lint:wallclock probe-retry backoff pacing; never a scheduling input
+		select {
+		case <-h.stop:
+			t.Stop()
+			return false
+		case <-t.C:
+		}
+	}
+}
+
+// probeOnce issues one /readyz request.
+func (h *Health) probeOnce(backend string) bool {
+	resp, err := h.client.Get(backend + "/readyz")
+	if err != nil {
+		return false
+	}
+	//lint:errdrop probe body is discarded; only the status matters
+	_ = resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// jitteredBackoff is the attempt'th retry delay: exponential in the
+// attempt with a deterministic jitter in [0, base) hashed from the
+// label — spread like random jitter, reproducible like everything
+// else in this module.
+func jitteredBackoff(base time.Duration, label string, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base << uint(attempt)
+	j := ringHash(fmt.Sprintf("%s|%d", label, attempt)) % uint64(base)
+	return d + time.Duration(j)
+}

@@ -1,0 +1,17 @@
+package fabric
+
+import (
+	"os"
+	"testing"
+
+	"adhocgrid/internal/leakcheck"
+)
+
+// TestMain gates the fabric suite on goroutine hygiene: health
+// probers, batch scatter goroutines, capacity fan-outs and the
+// in-process backends behind them must all have exited by the time
+// the suite finishes — the dynamic counterpart of the ctxflow
+// analyzer, exactly as for internal/serve and internal/exp.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -1,0 +1,463 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"adhocgrid/internal/serve"
+)
+
+// Config sizes the router. Zero values select the defaults noted per
+// field.
+type Config struct {
+	// Backends is the slrhd fleet, as base URLs ("http://host:port").
+	// At least one is required.
+	Backends []string
+	// Replicas is the virtual-node count per backend on the hash ring
+	// (non-positive selects DefaultReplicas).
+	Replicas int
+	// Window caps in-flight batch items per home backend (non-positive
+	// selects 4). Single /v1/map requests are not windowed — the
+	// backend's own admission control is the authority there.
+	Window int
+	// Retries is how many extra attempts each candidate backend gets
+	// before the router fails over to its ring successor (negative
+	// selects 0; zero selects the default of 1).
+	Retries int
+	// BackoffBase is the first retry delay; subsequent attempts double
+	// it and add deterministic jitter (non-positive selects 25ms).
+	BackoffBase time.Duration
+	// ProbeInterval is the health-probe cadence (non-positive selects 2s).
+	ProbeInterval time.Duration
+	// MaxBatchItems bounds one batch request after sweep expansion
+	// (non-positive selects 1024).
+	MaxBatchItems int
+	// Client issues backend requests (nil selects a client with no
+	// overall timeout — per-request contexts bound the wait).
+	Client *http.Client
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	if c.Retries == 0 {
+		c.Retries = 1
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 1024
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// routerStatusCodes is the fixed label set of slrhrouter_map_requests_total:
+// the backend's own map statuses plus the router's 502 (no backend
+// reachable) and 400 (undecodable body).
+var routerStatusCodes = []int{
+	http.StatusOK, http.StatusBadRequest, http.StatusTooManyRequests,
+	http.StatusInternalServerError, http.StatusBadGateway,
+}
+
+// Router is the stateless fabric tier: it owns no schedule state, only
+// the ring, the health view, and counters — everything it serves comes
+// from the slrhd backends, whose responses are byte-identical for the
+// same canonical request no matter which instance answers (DESIGN.md
+// §12). Routing by canonical key is therefore purely a cache-affinity
+// optimization, and failover to a ring successor is invisible in the
+// response bytes (asserted by tests and `make fabric-smoke`).
+type Router struct {
+	cfg      Config
+	ring     *Ring
+	health   *Health
+	reg      *serve.Registry
+	sems     []chan struct{} // per-backend batch windows, parallel to ring.Members()
+	draining atomic.Bool
+
+	mapRequests   []*serve.Counter // parallel to routerStatusCodes
+	batchRequests []*serve.Counter // parallel to routerStatusCodes
+	routedTotal   []*serve.Counter // parallel to ring.Members()
+	failovers     *serve.Counter
+	retriesTotal  *serve.Counter
+	batchItemsOK  *serve.Counter
+	batchItemsErr *serve.Counter
+	capRequests   *serve.Counter
+	writeErrors   *serve.Counter
+	batchInflight *serve.Gauge
+}
+
+// New builds a router over a fixed backend fleet and starts its health
+// prober. Call Close to retire it.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("fabric: at least one backend is required")
+	}
+	backends := append([]string(nil), cfg.Backends...)
+	sort.Strings(backends)
+	for i := 1; i < len(backends); i++ {
+		if backends[i] == backends[i-1] {
+			return nil, fmt.Errorf("fabric: duplicate backend %q", backends[i])
+		}
+	}
+	ring := NewRing(cfg.Replicas)
+	for _, b := range backends {
+		ring.Add(b)
+	}
+	rt := &Router{
+		cfg:    cfg,
+		ring:   ring,
+		health: NewHealth(ring.Members(), cfg.Client, cfg.ProbeInterval, cfg.Retries, cfg.BackoffBase),
+		reg:    serve.NewRegistry(),
+	}
+	// Batch windows are token channels pre-filled to Window: acquiring
+	// is a receive (cancellable via select on the request context),
+	// releasing is a send that can never block because the sender holds
+	// a token.
+	for range ring.Members() {
+		sem := make(chan struct{}, cfg.Window)
+		for i := 0; i < cfg.Window; i++ {
+			sem <- struct{}{}
+		}
+		rt.sems = append(rt.sems, sem)
+	}
+	for _, code := range routerStatusCodes {
+		rt.mapRequests = append(rt.mapRequests,
+			rt.reg.Counter("slrhrouter_map_requests_total", fmt.Sprintf(`code="%d"`, code),
+				"routed POST /v1/map requests answered, by status code"))
+		rt.batchRequests = append(rt.batchRequests,
+			rt.reg.Counter("slrhrouter_batch_requests_total", fmt.Sprintf(`code="%d"`, code),
+				"POST /v1/map/batch requests answered, by status code"))
+	}
+	for i, b := range ring.Members() {
+		labels := fmt.Sprintf(`backend=%q`, b)
+		rt.routedTotal = append(rt.routedTotal,
+			rt.reg.Counter("slrhrouter_routed_total", labels, "requests answered, by backend"))
+		idx := i
+		rt.reg.GaugeFunc("slrhrouter_backend_up", labels, "last probed readiness of the backend (1 = ready)",
+			func() float64 {
+				if rt.health.Up(rt.ring.Members()[idx]) {
+					return 1
+				}
+				return 0
+			})
+	}
+	rt.failovers = rt.reg.Counter("slrhrouter_failovers_total", "",
+		"requests answered by a ring successor after their home backend failed")
+	rt.retriesTotal = rt.reg.Counter("slrhrouter_retries_total", "",
+		"same-backend retry attempts after a transport failure")
+	rt.batchItemsOK = rt.reg.Counter("slrhrouter_batch_items_total", `status="ok"`,
+		"batch items answered 200")
+	rt.batchItemsErr = rt.reg.Counter("slrhrouter_batch_items_total", `status="error"`,
+		"batch items answered with any non-200 status")
+	rt.capRequests = rt.reg.Counter("slrhrouter_capacity_requests_total", "",
+		"fleet capacity aggregations served")
+	rt.writeErrors = rt.reg.Counter("slrhrouter_response_write_errors_total", "",
+		"response bodies that failed mid-write")
+	rt.batchInflight = rt.reg.Gauge("slrhrouter_batch_inflight_items", "",
+		"batch items currently in flight against backends")
+	rt.reg.GaugeFunc("slrhrouter_backends", "", "configured fleet size",
+		func() float64 { return float64(rt.ring.Len()) })
+	rt.reg.GaugeFunc("slrhrouter_backends_up", "", "backends currently probed ready",
+		func() float64 { return float64(rt.health.UpCount()) })
+	rt.health.Start()
+	return rt, nil
+}
+
+// Registry exposes the metrics registry (for tests and extensions).
+func (rt *Router) Registry() *serve.Registry { return rt.reg }
+
+// Ring exposes the hash ring (read-only; for tests and the smoke).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Health exposes the health view (for tests and the smoke).
+func (rt *Router) Health() *Health { return rt.health }
+
+// BeginDrain flips readiness off so load balancers stop routing here;
+// in-flight proxying continues.
+func (rt *Router) BeginDrain() { rt.draining.Store(true) }
+
+// Close retires the health prober. Safe to call repeatedly.
+func (rt *Router) Close() { rt.health.Stop() }
+
+// Handler returns the router's HTTP routes: the slrhd surface it
+// proxies plus the fabric-only batch and fleet-capacity endpoints.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/map", rt.handleMap)
+	mux.HandleFunc("POST /v1/map/batch", rt.handleBatch)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", rt.handleTrace)
+	mux.HandleFunc("GET /v1/capacity", rt.handleCapacity)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	return mux
+}
+
+// count records one response in a per-code counter family.
+func count(counters []*serve.Counter, code int) {
+	for i, c := range routerStatusCodes {
+		if c == code {
+			counters[i].Inc()
+			return
+		}
+	}
+}
+
+// write sends b, absorbing client-side write failures into a counter.
+func (rt *Router) write(w http.ResponseWriter, b []byte) {
+	if _, err := w.Write(b); err != nil {
+		rt.writeErrors.Inc()
+	}
+}
+
+// jsonError answers with a JSON error body.
+func (rt *Router) jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	b, err := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	if err != nil {
+		rt.writeErrors.Inc()
+		return
+	}
+	rt.write(w, append(b, '\n'))
+}
+
+// proxied is one backend answer: the verbatim response bytes plus the
+// headers the fabric forwards and the backend that produced them.
+type proxied struct {
+	Status  int
+	Body    []byte
+	Backend string
+	Header  http.Header
+}
+
+// forwardedHeaders are the backend response headers the router passes
+// through to the client.
+var forwardedHeaders = []string{"Content-Type", "X-Cache", "X-Run-Id", "Retry-After"}
+
+// forward POSTs body to the canonical key's home backend and, on
+// transport failure, walks the ring successors: each candidate gets
+// 1+Retries attempts separated by jittered exponential backoff, known-
+// down candidates are skipped on the first pass and reconsidered on a
+// second (health data may be stale), and any valid HTTP response — 200
+// or not — is authoritative and ends the walk. Byte-parity makes this
+// safe: a re-routed request returns exactly the bytes the home backend
+// would have produced.
+func (rt *Router) forward(ctx context.Context, path string, body []byte, key string) (*proxied, error) {
+	cands := rt.ring.Successors(key, rt.ring.Len())
+	var lastErr error
+	for pass := 0; pass < 2; pass++ {
+		for ci, backend := range cands {
+			if pass == 0 && !rt.health.Up(backend) {
+				continue
+			}
+			for attempt := 0; attempt <= rt.cfg.Retries; attempt++ {
+				if attempt > 0 {
+					rt.retriesTotal.Inc()
+					if err := rt.sleep(ctx, jitteredBackoff(rt.cfg.BackoffBase, key+"|"+backend, attempt-1)); err != nil {
+						return nil, err
+					}
+				}
+				res, err := rt.post(ctx, backend, path, body)
+				if err != nil {
+					lastErr = err
+					if ctx.Err() != nil {
+						return nil, ctx.Err()
+					}
+					continue
+				}
+				rt.health.set(rt.health.index(backend), true)
+				if ci > 0 || pass > 0 {
+					rt.failovers.Inc()
+				}
+				if i := rt.backendIndex(backend); i >= 0 {
+					rt.routedTotal[i].Inc()
+				}
+				return res, nil
+			}
+			rt.health.MarkDown(backend)
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no backend reachable")
+	}
+	return nil, fmt.Errorf("all %d backends failed: %w", len(cands), lastErr)
+}
+
+// post issues one backend POST and captures the full response.
+func (rt *Router) post(ctx context.Context, backend, path string, body []byte) (*proxied, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, backend+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	b, err := readBody(resp)
+	if err != nil {
+		return nil, err
+	}
+	return &proxied{Status: resp.StatusCode, Body: b, Backend: backend, Header: resp.Header}, nil
+}
+
+// sleep pauses for the backoff delay, cancellable by the request
+// context.
+func (rt *Router) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d) //lint:wallclock retry-backoff pacing against live backends; never a scheduling input
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// backendIndex resolves a backend URL to its slot in ring.Members().
+func (rt *Router) backendIndex(backend string) int {
+	members := rt.ring.Members()
+	i := sort.SearchStrings(members, backend)
+	if i < len(members) && members[i] == backend {
+		return i
+	}
+	return -1
+}
+
+// handleMap routes one map request: decode just enough to compute the
+// canonical key (the same SHA-256 slrhd uses for its cache, exported
+// as serve.CanonicalKey), then proxy the raw body to the key's home
+// backend with failover. The body is forwarded verbatim — the backend
+// is the single authority on validation and admission — so the
+// response is byte-identical to asking that backend directly.
+func (rt *Router) handleMap(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		count(rt.mapRequests, http.StatusBadRequest)
+		rt.jsonError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req serve.Request
+	if err := dec.Decode(&req); err != nil {
+		count(rt.mapRequests, http.StatusBadRequest)
+		rt.jsonError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	res, err := rt.forward(r.Context(), "/v1/map", body, serve.CanonicalKey(req))
+	if err != nil {
+		count(rt.mapRequests, http.StatusBadGateway)
+		rt.jsonError(w, http.StatusBadGateway, "fleet unavailable: "+err.Error())
+		return
+	}
+	count(rt.mapRequests, res.Status)
+	for _, h := range forwardedHeaders {
+		if v := res.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Backend", res.Backend)
+	w.WriteHeader(res.Status)
+	rt.write(w, res.Body)
+}
+
+// handleTrace looks a run id up across the fleet: run ids are
+// per-backend, so the router asks each member in order and forwards
+// the first hit.
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	for _, backend := range rt.ring.Members() {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, backend+"/v1/runs/"+id+"/trace", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.cfg.Client.Do(req)
+		if err != nil {
+			continue
+		}
+		b, err := readBody(resp)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Backend", backend)
+			rt.write(w, b)
+			return
+		}
+	}
+	rt.jsonError(w, http.StatusNotFound, "unknown run id on every backend")
+}
+
+// handleMetrics scrapes the router's own registry (backend metrics
+// stay on the backends; scrape each instance directly).
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var buf bytes.Buffer
+	if err := rt.reg.WriteText(&buf); err != nil {
+		// bytes.Buffer writes cannot fail; guard kept for errdrop honesty.
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	rt.write(w, buf.Bytes())
+}
+
+// handleHealthz reports liveness: the router process is up.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.write(w, []byte("ok\n"))
+}
+
+// handleReadyz reports readiness: draining flips it off, and a router
+// with zero ready backends cannot serve either.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		rt.write(w, []byte("draining\n"))
+		return
+	}
+	up := rt.health.UpCount()
+	if up == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		rt.write(w, []byte("no backends ready\n"))
+		return
+	}
+	rt.write(w, []byte(fmt.Sprintf("ready (%d/%d backends)\n", up, rt.ring.Len())))
+}
+
+// readBody drains and closes a backend response body.
+func readBody(resp *http.Response) ([]byte, error) {
+	b, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	return b, err
+}

@@ -61,6 +61,21 @@ func TestSuiteScopes(t *testing.T) {
 		{"bytepurity", "adhocgrid/cmd/slrhsim", true},
 		{"bytepurity", "adhocgrid/internal/sim", false},
 		{"atomicmix", "adhocgrid/internal/whatever", true},
+		// The fabric tier and its daemon joined every scoped family in
+		// PR 8: routing must be deterministic (detrange), response bytes
+		// pure (bytepurity), the scatter/health concurrency proven
+		// (lockbalance, pairwise, ctxflow), and errors never dropped.
+		{"detrange", "adhocgrid/internal/fabric", true},
+		{"detrange", "adhocgrid/cmd/slrhrouter", true},
+		{"errdrop", "adhocgrid/internal/fabric", true},
+		{"errdrop", "adhocgrid/cmd/slrhrouter", true},
+		{"ctxflow", "adhocgrid/internal/fabric", true},
+		{"ctxflow", "adhocgrid/cmd/slrhrouter", true},
+		{"bytepurity", "adhocgrid/internal/fabric", true},
+		{"bytepurity", "adhocgrid/cmd/slrhrouter", true},
+		{"lockbalance", "adhocgrid/internal/fabric", true},
+		{"pairwise", "adhocgrid/internal/fabric", true},
+		{"pairwise", "adhocgrid/cmd/slrhrouter", true},
 	}
 	for _, c := range cases {
 		a, ok := byName[c.analyzer]

@@ -17,6 +17,8 @@ var DeterminismCritical = []string{
 	"adhocgrid/internal/serve",
 	"adhocgrid/internal/par",
 	"adhocgrid/internal/perf",
+	"adhocgrid/internal/fabric",
+	"adhocgrid/cmd/slrhrouter",
 }
 
 // ScoringPackages hold objective evaluation and tie-breaking, where
@@ -34,17 +36,21 @@ var ErrorHygienePackages = []string{
 	"adhocgrid/internal/fault",
 	"adhocgrid/internal/serve",
 	"adhocgrid/internal/perf",
+	"adhocgrid/internal/fabric",
 	"adhocgrid/cmd/",
 }
 
 // ConcurrencyPackages carry the module's lock-based concurrency: the
 // service's flight coalescing and admission accounting, the priority
-// worker pool, and the parallel scorer. lockbalance and pairwise prove
-// their invariants path-by-path.
+// worker pool, the parallel scorer, and the fabric tier's health view
+// and batch windows. lockbalance and pairwise prove their invariants
+// path-by-path.
 var ConcurrencyPackages = []string{
 	"adhocgrid/internal/serve",
 	"adhocgrid/internal/exp",
 	"adhocgrid/internal/par",
+	"adhocgrid/internal/fabric",
+	"adhocgrid/cmd/slrhrouter",
 }
 
 // BytePurityPackages produce or store response bytes whose contract is
@@ -53,6 +59,8 @@ var ConcurrencyPackages = []string{
 var BytePurityPackages = []string{
 	"adhocgrid/internal/serve",
 	"adhocgrid/cmd/slrhsim",
+	"adhocgrid/internal/fabric",
+	"adhocgrid/cmd/slrhrouter",
 }
 
 // A ScopedAnalyzer pairs an analyzer (mechanism) with the package-path
@@ -77,13 +85,17 @@ func Suite() []ScopedAnalyzer {
 	all := func(string) bool { return true }
 	return []ScopedAnalyzer{
 		{Atomicmix, "all packages", all},
-		{Bytepurity, "internal/serve, cmd/slrhsim", inAny(BytePurityPackages)},
-		{Ctxflow, "internal/serve", inAny([]string{"adhocgrid/internal/serve"})},
-		{Detrange, "determinism-critical packages", inAny(DeterminismCritical)},
-		{Errdrop, "experiment drivers and commands", inAny(ErrorHygienePackages)},
+		{Bytepurity, "internal/serve, internal/fabric, cmd/slrhsim, cmd/slrhrouter", inAny(BytePurityPackages)},
+		{Ctxflow, "internal/serve, internal/fabric, cmd/slrhrouter", inAny([]string{
+			"adhocgrid/internal/serve",
+			"adhocgrid/internal/fabric",
+			"adhocgrid/cmd/slrhrouter",
+		})},
+		{Detrange, "determinism-critical packages (incl. internal/fabric, cmd/slrhrouter)", inAny(DeterminismCritical)},
+		{Errdrop, "experiment drivers, the fabric tier and commands", inAny(ErrorHygienePackages)},
 		{Floateq, "scoring packages", inAny(ScoringPackages)},
-		{Lockbalance, "internal/serve, internal/exp, internal/par", inAny(ConcurrencyPackages)},
-		{Pairwise, "internal/serve, internal/exp, internal/par", inAny(ConcurrencyPackages)},
+		{Lockbalance, "internal/serve, internal/exp, internal/par, internal/fabric, cmd/slrhrouter", inAny(ConcurrencyPackages)},
+		{Pairwise, "internal/serve, internal/exp, internal/par, internal/fabric, cmd/slrhrouter", inAny(ConcurrencyPackages)},
 		{Wallclock, "all packages", all},
 	}
 }

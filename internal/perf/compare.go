@@ -71,22 +71,41 @@ const (
 	MinSpeedupCores    = 4
 )
 
+// Verdict is the outcome of checking a report's expectations. A
+// vacuous pass is distinct from a real one so callers can say so out
+// loud: a gate that "passes" because it could not run is not evidence.
+type Verdict struct {
+	// Vacuous is true when the check had nothing to measure; Reason
+	// says why ("gomaxprocs=1", "no |T|=1024 speedup in a filtered run").
+	Vacuous bool
+	Reason  string
+}
+
 // Check validates a fresh report's expectations: on a ≥4-core machine
 // the |T|=1024 parallel scorer must be at least 1.5x the serial path.
 // On smaller machines there is no parallelism to measure, so the check
 // passes vacuously (the report still records GOMAXPROCS, so a baseline
-// produced on a small machine is recognizable as such).
+// produced on a small machine is recognizable as such). Use
+// CheckVerdict to distinguish a vacuous pass from a measured one.
 func Check(r *Report) error {
+	_, err := CheckVerdict(r)
+	return err
+}
+
+// CheckVerdict is Check with the vacuity made explicit.
+func CheckVerdict(r *Report) (Verdict, error) {
 	if r.GoMaxProcs < MinSpeedupCores {
-		return nil
+		return Verdict{Vacuous: true,
+			Reason: fmt.Sprintf("gomaxprocs=%d", r.GoMaxProcs)}, nil
 	}
 	speedup, ok := r.Derive("speedup_parallel_n1024")
 	if !ok {
-		return nil // filtered run without both |T|=1024 benches
+		// Filtered run without both |T|=1024 benches.
+		return Verdict{Vacuous: true, Reason: "no |T|=1024 serial/parallel pair in this run"}, nil
 	}
 	if speedup < MinParallelSpeedup {
-		return fmt.Errorf("parallel speedup at |T|=1024 is %.2fx on %d cores, expected ≥ %.1fx",
+		return Verdict{}, fmt.Errorf("parallel speedup at |T|=1024 is %.2fx on %d cores, expected ≥ %.1fx",
 			speedup, r.GoMaxProcs, MinParallelSpeedup)
 	}
-	return nil
+	return Verdict{}, nil
 }

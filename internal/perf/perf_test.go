@@ -82,6 +82,37 @@ func TestCheckSpeedupExpectation(t *testing.T) {
 	}
 }
 
+// TestCheckVerdictVacuity pins the verdict seam: a measured pass is
+// not vacuous, a single-core pass is vacuous naming gomaxprocs, and a
+// filtered run without the |T|=1024 pair is vacuous with its own
+// reason — so callers can print SKIP instead of a false "met".
+func TestCheckVerdictVacuity(t *testing.T) {
+	r := &Report{SchemaVersion: SchemaVersion, GoMaxProcs: 8,
+		Derived: []Metric{{Name: "speedup_parallel_n1024", Value: 1.7}}}
+	v, err := CheckVerdict(r)
+	if err != nil || v.Vacuous {
+		t.Fatalf("measured pass: verdict %+v err %v, want a non-vacuous pass", v, err)
+	}
+
+	r.GoMaxProcs = 1
+	v, err = CheckVerdict(r)
+	if err != nil || !v.Vacuous || v.Reason != "gomaxprocs=1" {
+		t.Fatalf("single-core: verdict %+v err %v, want vacuous with reason gomaxprocs=1", v, err)
+	}
+
+	r.GoMaxProcs = 8
+	r.Derived = nil
+	v, err = CheckVerdict(r)
+	if err != nil || !v.Vacuous || v.Reason == "" {
+		t.Fatalf("filtered run: verdict %+v err %v, want vacuous with a reason", v, err)
+	}
+
+	r.Derived = []Metric{{Name: "speedup_parallel_n1024", Value: 1.1}}
+	if v, err = CheckVerdict(r); err == nil || v.Vacuous {
+		t.Fatalf("1.1x on 8 cores: verdict %+v err %v, want a real failure", v, err)
+	}
+}
+
 func TestReportFileRoundTrip(t *testing.T) {
 	r := report("a", 123.0)
 	r.Seed = 7

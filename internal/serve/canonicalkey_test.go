@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestCanonicalKeyMatchesCachePath is the regression test the
+// CanonicalKey doc comment pins: the exported key is the exact key
+// slrhd's map handler stores results under. A router that hashes
+// CanonicalKey(req) therefore routes every spelling of a scenario to
+// the backend that holds (or will hold) its cache entry.
+func TestCanonicalKeyMatchesCachePath(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	// Sloppy spelling: defaulted fields omitted where possible, enum
+	// case off, admission class set — everything Canonical erases or
+	// normalizes.
+	sloppy := Request{N: 48, Case: "a", Heuristic: "SLRH1", Seed: 7, Alpha: 0.5, Beta: 0.3, Class: "interactive"}
+	resp := postMap(t, ts, mustMarshal(t, sloppy))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("map status = %d, body %s", resp.StatusCode, readBody(t, resp))
+	}
+	readBody(t, resp)
+
+	// The exported key must find the entry the handler just stored.
+	key := CanonicalKey(sloppy)
+	if _, ok := s.cache.Get(key); !ok {
+		t.Fatalf("CanonicalKey(%+v) = %s does not locate the cache entry the map handler stored", sloppy, key)
+	}
+
+	// And it must be the same function of the canonical form the
+	// handler applies (Canonical then Key), for every spelling.
+	variants := []Request{
+		sloppy,
+		{N: 48, Case: "A", Heuristic: "slrh1", Seed: 7, Alpha: 0.5, Beta: 0.3},
+		{N: 48, Case: "A", Heuristic: "slrh1", Seed: 7, Alpha: 0.5, Beta: 0.3, Class: "batch"},
+	}
+	for i, v := range variants {
+		if got := CanonicalKey(v); got != v.Canonical().Key() {
+			t.Fatalf("variant %d: CanonicalKey = %s, handler path Canonical().Key() = %s", i, got, v.Canonical().Key())
+		}
+		if got := CanonicalKey(v); got != key {
+			t.Fatalf("variant %d: key %s splits from %s; equivalent spellings must share one ring slot", i, got, key)
+		}
+		// The shared key means the cache answers all of them: observable
+		// as X-Cache hit through the HTTP surface.
+		r := postMap(t, ts, mustMarshal(t, v))
+		if got := r.Header.Get("X-Cache"); got != "hit" {
+			t.Fatalf("variant %d: X-Cache = %q, want hit of the shared entry", i, got)
+		}
+		readBody(t, r)
+	}
+
+	// A scenario change must change the key, or the fabric would serve
+	// wrong answers from the wrong entry.
+	other := sloppy
+	other.Seed = 8
+	if CanonicalKey(other) == key {
+		t.Fatalf("distinct scenarios share a canonical key")
+	}
+}

@@ -219,6 +219,18 @@ func (r Request) Validate(maxN int) error {
 	return nil
 }
 
+// CanonicalKey returns the canonical request key of r — the exact key
+// slrhd uses for its result cache and singleflight table, exported as
+// the seam the fabric tier routes on. The contract, pinned by
+// TestCanonicalKeyMatchesCachePath: same canonical form ⇒ same key ⇒
+// same ring slot. Requests differing only in admission metadata (the
+// "class" field) or in equivalent spellings of the same scenario
+// (defaulted fields, case of enums, Lose sugar vs the Faults DSL)
+// canonicalize identically and therefore share a key, a cache entry,
+// and a home backend; requests differing in anything that changes the
+// computed bytes never collide (SHA-256 of the canonical JSON form).
+func CanonicalKey(r Request) string { return r.Key() }
+
 // Key returns the canonical cache key: a hex SHA-256 of the canonical
 // request's JSON encoding. encoding/json serializes a struct in field
 // order with deterministic float formatting, so equal canonical
