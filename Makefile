@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix-hints lint-json lint-vet test race check bench bench-json bench-compare fuzz serve-smoke fault-smoke admission-smoke fabric-smoke
+.PHONY: all build vet lint lint-fix-hints lint-json lint-vet test race check bench bench-json bench-compare fuzz serve-smoke fault-smoke admission-smoke fabric-smoke chaos-smoke
 
 all: check
 
@@ -72,6 +72,17 @@ admission-smoke:
 # "Running a fleet".
 fabric-smoke:
 	$(GO) run ./cmd/slrhrouter -smoke
+
+# Chaos smoke of the hardened fabric, under the race detector: three
+# in-process slrhd backends behind a deterministic fault-injecting
+# transport (internal/chaos). Every fault class — drop, delay,
+# blackhole, 5xx burst, slow body, connection reset — must yield either
+# the byte-identical correct answer or a well-formed 503/429 with
+# Retry-After; batch items degrade per-item; membership churn under
+# live traffic stays invisible; zero goroutines leak. See README.md
+# "Surviving failures".
+chaos-smoke:
+	$(GO) run -race ./cmd/slrhrouter -chaos-smoke
 
 # Full testing.B benchmark sweep. -short skips the table/figure benches
 # that regenerate whole experiments per iteration; drop it (BENCH_SHORT=)

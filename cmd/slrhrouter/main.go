@@ -36,9 +36,11 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"adhocgrid/internal/chaos"
 	"adhocgrid/internal/fabric"
 	"adhocgrid/internal/serve"
 )
@@ -62,18 +64,32 @@ func run(args []string) error {
 		probeInterval = fs.Duration("probe-interval", 2*time.Second, "backend /readyz probe cadence")
 		maxBatch      = fs.Int("maxbatch", 1024, "largest batch after sweep expansion")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound")
+		attemptTO     = fs.Duration("attempt-timeout", 10*time.Second, "per-attempt backend timeout, distinct from the client deadline")
+		breakerThresh = fs.Int("breaker-threshold", 1, "exhausted candidate walks that trip a backend's circuit breaker open")
+		budgetRatio   = fs.Float64("retry-budget-ratio", 0.2, "retry tokens each request deposits into the fleet-wide budget (-1 = none)")
+		budgetBurst   = fs.Int("retry-budget-burst", 10, "retry tokens the fleet-wide budget can bank (-1 = refuse all retries)")
+		chaosPlan     = fs.String("chaos", "", "fault plan injected between router and backends, e.g. drop:b0@[0,9] (backends named b0.. in -backends order)")
+		chaosSeed     = fs.Uint64("chaos-seed", 1, "seed for the chaos plan's deterministic fault schedule")
 		smoke         = fs.Bool("smoke", false, "boot two in-process slrhd backends, self-test the fabric, exit")
+		chaosSmoke    = fs.Bool("chaos-smoke", false, "boot three in-process slrhd backends behind a fault-injecting transport, assert the hardening contract, exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := fabric.Config{
-		Replicas:      *replicas,
-		Window:        *window,
-		Retries:       *retries,
-		BackoffBase:   *backoff,
-		ProbeInterval: *probeInterval,
-		MaxBatchItems: *maxBatch,
+		Replicas:         *replicas,
+		Window:           *window,
+		Retries:          *retries,
+		BackoffBase:      *backoff,
+		ProbeInterval:    *probeInterval,
+		MaxBatchItems:    *maxBatch,
+		AttemptTimeout:   *attemptTO,
+		BreakerThreshold: *breakerThresh,
+		RetryBudgetRatio: *budgetRatio,
+		RetryBudgetBurst: *budgetBurst,
+	}
+	if *chaosSmoke {
+		return runChaosSmoke(cfg)
 	}
 	if *smoke {
 		return runSmoke(cfg)
@@ -85,6 +101,18 @@ func run(args []string) error {
 		if b = strings.TrimSpace(b); b != "" {
 			cfg.Backends = append(cfg.Backends, strings.TrimRight(b, "/"))
 		}
+	}
+	if *chaosPlan != "" {
+		plan, err := chaos.ParsePlan(*chaosPlan)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		tr := chaos.NewTransport(nil, plan, *chaosSeed)
+		for i, b := range cfg.Backends {
+			tr.Register(fmt.Sprintf("b%d", i), b)
+		}
+		cfg.Client = &http.Client{Transport: tr}
+		fmt.Printf("slrhrouter: chaos plan %q active (seed %d)\n", plan.String(), *chaosSeed)
 	}
 	return runDaemon(*addr, *drainTimeout, cfg)
 }
@@ -131,6 +159,7 @@ type backend struct {
 	http *http.Server
 	ln   net.Listener
 	url  string
+	once sync.Once
 }
 
 // startBackend boots one in-process slrhd on a loopback port.
@@ -149,13 +178,17 @@ func startBackend() (*backend, error) {
 	return b, nil
 }
 
-// stop shuts the backend's listener and service down.
+// stop shuts the backend's listener and service down (idempotent, so
+// the chaos smoke can stop early for its leak check with the deferred
+// stop still armed for error paths).
 func (b *backend) stop() {
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	//lint:errdrop best-effort teardown at smoke exit
-	_ = b.http.Shutdown(ctx)
-	b.srv.Close()
+	b.once.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		//lint:errdrop best-effort teardown at smoke exit
+		_ = b.http.Shutdown(ctx)
+		b.srv.Close()
+	})
 }
 
 // smokeScenario is the request the routing and failover checks map.

@@ -1,0 +1,300 @@
+// Package chaos extends the internal/fault DSL philosophy to the
+// network layer: where fault.Plan schedules grid disturbances against
+// the SLRH clock, chaos.Plan schedules *transport* disturbances against
+// per-backend request counters. A Plan is a static list of fault rules
+// — dropped connections, added latency, blackholes, 5xx bursts, slow
+// response bodies, mid-body connection resets — each scoped to one
+// logical backend and a half-open window of that backend's request
+// indices, so the Nth request a client sends a backend always meets the
+// same fate no matter how wall-clock time interleaves. The byte-level
+// choices a fault makes (where a reset cuts, how a slow body chunks)
+// derive from internal/rng seeded by (plan seed, backend, request
+// index), so runs replay exactly.
+//
+// Plans have two interchangeable encodings: a compact text DSL
+//
+//	drop:b0@[0,2],delay:b1*50ms@[2,5],reset:b0@[4,6]
+//
+// and the JSON form produced by encoding/json on the Plan struct. The
+// DSL requires rules in canonical (backend, from, to, kind) order;
+// String emits the canonical spelling, so any two equivalent plans
+// serialize identically. The package depends only on the standard
+// library and internal/rng.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind discriminates the fault classes of a plan.
+type Kind int
+
+const (
+	// Drop refuses the connection: the attempt fails instantly with a
+	// transport error, like a closed port.
+	Drop Kind = iota
+	// Delay holds the request for the rule's Amount before forwarding
+	// it untouched — added latency, not failure.
+	Delay
+	// Blackhole accepts the request and never answers: the attempt
+	// blocks until its context (per-attempt timeout or client
+	// disconnect) cancels it.
+	Blackhole
+	// Burst5xx answers 503 from the transport without reaching the
+	// backend — a server brown-out.
+	Burst5xx
+	// SlowBody forwards the request but dribbles the response body in
+	// small chunks with the rule's Amount between them.
+	SlowBody
+	// Reset forwards the request but severs the response body partway
+	// through — a connection reset mid-transfer.
+	Reset
+)
+
+// kindNames maps each kind to its DSL keyword, in Kind order.
+var kindNames = []string{"drop", "delay", "blackhole", "5xx", "slowbody", "reset"}
+
+// String returns the DSL keyword of the kind.
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// takesAmount reports whether the kind carries a duration knob.
+func (k Kind) takesAmount() bool { return k == Delay || k == SlowBody }
+
+// MarshalJSON encodes the kind as its DSL keyword.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	if k < 0 || int(k) >= len(kindNames) {
+		return nil, fmt.Errorf("chaos: unknown fault kind %d", int(k))
+	}
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes a DSL keyword into the kind.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i, name := range kindNames {
+		if s == name {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("chaos: unknown fault kind %q", s)
+}
+
+// Rule is one fault window: requests number From..To-1 (per-backend
+// counter, zero-based) to the named backend suffer the fault.
+type Rule struct {
+	Kind    Kind   `json:"kind"`
+	Backend string `json:"backend"`
+	From    int    `json:"from"`
+	To      int    `json:"to"`
+	// Amount is the delay per request (Delay) or per body chunk
+	// (SlowBody); zero for the other kinds.
+	Amount time.Duration `json:"amount,omitempty"`
+}
+
+// String renders the rule in DSL form.
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Kind.String())
+	b.WriteByte(':')
+	b.WriteString(r.Backend)
+	if r.Kind.takesAmount() {
+		b.WriteByte('*')
+		b.WriteString(r.Amount.String())
+	}
+	fmt.Fprintf(&b, "@[%d,%d]", r.From, r.To)
+	return b.String()
+}
+
+// Plan is a full network-fault schedule. The zero value is the empty
+// plan (no faults).
+type Plan struct {
+	Rules []Rule `json:"rules,omitempty"`
+}
+
+// Empty reports whether the plan contains no rules.
+func (p *Plan) Empty() bool { return p == nil || len(p.Rules) == 0 }
+
+// Normalize sorts the rules into canonical (backend, from, to, kind,
+// amount) order. Validate and String require a normalized plan to
+// behave canonically; ParsePlan output is normalized by construction.
+func (p *Plan) Normalize() {
+	sort.Slice(p.Rules, func(a, b int) bool {
+		ra, rb := p.Rules[a], p.Rules[b]
+		if ra.Backend != rb.Backend {
+			return ra.Backend < rb.Backend
+		}
+		if ra.From != rb.From {
+			return ra.From < rb.From
+		}
+		if ra.To != rb.To {
+			return ra.To < rb.To
+		}
+		if ra.Kind != rb.Kind {
+			return ra.Kind < rb.Kind
+		}
+		return ra.Amount < rb.Amount
+	})
+}
+
+// Validate checks every rule: a known kind, a non-empty backend name
+// without DSL metacharacters, a non-empty window with From >= 0, and an
+// Amount that is positive exactly when the kind takes one.
+func (p *Plan) Validate() error {
+	for i, r := range p.Rules {
+		if r.Kind < 0 || int(r.Kind) >= len(kindNames) {
+			return fmt.Errorf("chaos: rule %d: unknown kind %d", i, int(r.Kind))
+		}
+		if r.Backend == "" {
+			return fmt.Errorf("chaos: rule %d: empty backend name", i)
+		}
+		if strings.ContainsAny(r.Backend, ",:@*[]") {
+			return fmt.Errorf("chaos: rule %d: backend name %q contains DSL metacharacters", i, r.Backend)
+		}
+		if r.From < 0 || r.To <= r.From {
+			return fmt.Errorf("chaos: rule %d: window [%d,%d) is empty or negative", i, r.From, r.To)
+		}
+		if r.Kind.takesAmount() && r.Amount <= 0 {
+			return fmt.Errorf("chaos: rule %d: %s requires a positive duration", i, r.Kind)
+		}
+		if !r.Kind.takesAmount() && r.Amount != 0 {
+			return fmt.Errorf("chaos: rule %d: %s takes no duration", i, r.Kind)
+		}
+	}
+	return nil
+}
+
+// String emits the canonical DSL spelling: rules in normalized order,
+// comma-joined. ParsePlan(p.String()) reproduces p exactly.
+func (p *Plan) String() string {
+	parts := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Match returns the first rule (in canonical order) covering request
+// index n to the named backend, or nil.
+func (p *Plan) Match(backend string, n int) *Rule {
+	if p == nil {
+		return nil
+	}
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if r.Backend == backend && n >= r.From && n < r.To {
+			return r
+		}
+	}
+	return nil
+}
+
+// ParsePlan parses the DSL form. The empty string is the empty plan.
+func ParsePlan(s string) (*Plan, error) {
+	p := &Plan{}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, tok := range splitRules(s) {
+		r, err := parseRule(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, err
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	p.Normalize()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// splitRules splits the plan on top-level commas, leaving the comma
+// inside each [from,to] window alone (same tokenizer shape as the
+// fault DSL's splitItems).
+func splitRules(s string) []string {
+	var items []string
+	depth, last := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				items = append(items, s[last:i])
+				last = i + 1
+			}
+		}
+	}
+	return append(items, s[last:])
+}
+
+// parseRule decodes one "kind:backend[*amount]@[from,to]" token.
+func parseRule(tok string) (Rule, error) {
+	var r Rule
+	kindStr, rest, ok := strings.Cut(tok, ":")
+	if !ok {
+		return r, fmt.Errorf("chaos: rule %q: want kind:backend@[from,to]", tok)
+	}
+	kind := -1
+	for i, name := range kindNames {
+		if kindStr == name {
+			kind = i
+			break
+		}
+	}
+	if kind < 0 {
+		return r, fmt.Errorf("chaos: rule %q: unknown kind %q", tok, kindStr)
+	}
+	r.Kind = Kind(kind)
+	body, window, ok := strings.Cut(rest, "@")
+	if !ok {
+		return r, fmt.Errorf("chaos: rule %q: missing @[from,to] window", tok)
+	}
+	if r.Kind.takesAmount() {
+		name, amount, ok := strings.Cut(body, "*")
+		if !ok {
+			return r, fmt.Errorf("chaos: rule %q: %s wants backend*duration", tok, r.Kind)
+		}
+		d, err := time.ParseDuration(amount)
+		if err != nil {
+			return r, fmt.Errorf("chaos: rule %q: bad duration: %v", tok, err)
+		}
+		r.Backend, r.Amount = name, d
+	} else {
+		r.Backend = body
+	}
+	if !strings.HasPrefix(window, "[") || !strings.HasSuffix(window, "]") {
+		return r, fmt.Errorf("chaos: rule %q: window must be [from,to]", tok)
+	}
+	fromStr, toStr, ok := strings.Cut(window[1:len(window)-1], ",")
+	if !ok {
+		return r, fmt.Errorf("chaos: rule %q: window wants two bounds", tok)
+	}
+	from, err := strconv.Atoi(strings.TrimSpace(fromStr))
+	if err != nil {
+		return r, fmt.Errorf("chaos: rule %q: bad window start: %v", tok, err)
+	}
+	to, err := strconv.Atoi(strings.TrimSpace(toStr))
+	if err != nil {
+		return r, fmt.Errorf("chaos: rule %q: bad window end: %v", tok, err)
+	}
+	r.From, r.To = from, to
+	return r, nil
+}

@@ -1,0 +1,119 @@
+package chaos
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParsePlanRoundTrip pins the canonical-spelling contract:
+// ParsePlan(p.String()) == p, and equivalent out-of-order spellings
+// canonicalize identically.
+func TestParsePlanRoundTrip(t *testing.T) {
+	const dsl = `reset:b0@[4,6],drop:b0@[0,2],delay:b1*50ms@[2,5],slowbody:b1*2ms@[0,1],blackhole:b2@[0,3],5xx:b2@[3,4]`
+	p, err := ParsePlan(dsl)
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if len(p.Rules) != 6 {
+		t.Fatalf("parsed %d rules, want 6", len(p.Rules))
+	}
+	canon := p.String()
+	p2, err := ParsePlan(canon)
+	if err != nil {
+		t.Fatalf("ParsePlan(canonical %q): %v", canon, err)
+	}
+	if got := p2.String(); got != canon {
+		t.Fatalf("canonical spelling not a fixpoint: %q then %q", canon, got)
+	}
+	// Canonical order is (backend, from, to, kind): b0's windows first.
+	if p.Rules[0].Kind != Drop || p.Rules[0].Backend != "b0" || p.Rules[1].Kind != Reset {
+		t.Fatalf("rules not in canonical order: %v", p.Rules)
+	}
+	if p.Rules[2].Backend != "b1" || p.Rules[2].Kind != SlowBody || p.Rules[2].Amount != 2*time.Millisecond {
+		t.Fatalf("slowbody rule mangled: %+v", p.Rules[2])
+	}
+}
+
+// TestParsePlanEmptyAndJSON: the empty string is the empty plan, and
+// the JSON encoding round-trips through the same struct.
+func TestParsePlanEmptyAndJSON(t *testing.T) {
+	p, err := ParsePlan("   ")
+	if err != nil || !p.Empty() {
+		t.Fatalf("blank plan: %v, empty=%v", err, p.Empty())
+	}
+	src, err := ParsePlan("delay:b0*25ms@[1,3],drop:b1@[0,2]")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	b, err := json.Marshal(src)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Plan
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal %s: %v", b, err)
+	}
+	if back.String() != src.String() {
+		t.Fatalf("JSON round trip drifted: %q vs %q", back.String(), src.String())
+	}
+}
+
+// TestParsePlanRejects pins the validation errors.
+func TestParsePlanRejects(t *testing.T) {
+	cases := []struct{ dsl, wantFrag string }{
+		{"nuke:b0@[0,1]", "unknown kind"},
+		{"drop:b0", "missing @"},
+		{"drop:b0@[2,2]", "empty or negative"},
+		{"drop:b0@[3,1]", "empty or negative"},
+		{"drop:b0@[-1,1]", "empty or negative"},
+		{"delay:b0@[0,1]", "wants backend*duration"},
+		{"delay:b0*oops@[0,1]", "bad duration"},
+		{"delay:b0*-5ms@[0,1]", "positive duration"},
+		{"drop:@[0,1]", "empty backend"},
+		{"drop:b0@[0]", "two bounds"},
+		{"drop", "want kind:backend"},
+	}
+	for _, c := range cases {
+		if _, err := ParsePlan(c.dsl); err == nil || !strings.Contains(err.Error(), c.wantFrag) {
+			t.Errorf("ParsePlan(%q) err = %v, want %q", c.dsl, err, c.wantFrag)
+		}
+	}
+}
+
+// TestMatchWindows: Match honours per-backend windows and ignores other
+// backends and out-of-window indices.
+func TestMatchWindows(t *testing.T) {
+	p, err := ParsePlan("drop:b0@[1,3],5xx:b0@[3,4],delay:b1*1ms@[0,2]")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	for _, c := range []struct {
+		backend string
+		n       int
+		want    Kind
+		hit     bool
+	}{
+		{"b0", 0, 0, false},
+		{"b0", 1, Drop, true},
+		{"b0", 2, Drop, true},
+		{"b0", 3, Burst5xx, true},
+		{"b0", 4, 0, false},
+		{"b1", 0, Delay, true},
+		{"b1", 2, 0, false},
+		{"b2", 0, 0, false},
+	} {
+		r := p.Match(c.backend, c.n)
+		if (r != nil) != c.hit {
+			t.Fatalf("Match(%s, %d) hit = %v, want %v", c.backend, c.n, r != nil, c.hit)
+		}
+		if r != nil && r.Kind != c.want {
+			t.Fatalf("Match(%s, %d) kind = %v, want %v", c.backend, c.n, r.Kind, c.want)
+		}
+	}
+	var nilPlan *Plan
+	if nilPlan.Match("b0", 0) != nil {
+		t.Fatalf("nil plan must match nothing")
+	}
+}

@@ -1,0 +1,16 @@
+package chaos
+
+import (
+	"os"
+	"testing"
+
+	"adhocgrid/internal/leakcheck"
+)
+
+// TestMain gates the chaos suite on goroutine hygiene: the transport
+// spawns nothing itself, but its delay/blackhole/slow-body paths block
+// inside client requests, and every one of those must unwind when its
+// context dies — the same leakcheck gate as serve, exp and fabric.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

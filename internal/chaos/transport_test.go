@@ -1,0 +1,201 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testBackend serves a fixed JSON body on /v1/map and a /readyz, like a
+// miniature slrhd.
+func testBackend(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/map", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := io.WriteString(w, body); err != nil {
+			t.Errorf("backend write: %v", err)
+		}
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if _, err := io.WriteString(w, "ok\n"); err != nil {
+			t.Errorf("backend write: %v", err)
+		}
+	})
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// chaosClient wires a transport over one backend under the name "b0".
+func chaosClient(t *testing.T, hs *httptest.Server, dsl string) (*http.Client, *Transport) {
+	t.Helper()
+	plan, err := ParsePlan(dsl)
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", dsl, err)
+	}
+	tr := NewTransport(nil, plan, 42)
+	tr.Register("b0", hs.URL)
+	return &http.Client{Transport: tr}, tr
+}
+
+const wantBody = `{"answer":"bytes that must survive the chaos intact"}` + "\n"
+
+// post issues one map request and returns status, body and error.
+func post(client *http.Client, url string) (int, []byte, error) {
+	resp, err := client.Post(url+"/v1/map", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		return 0, nil, err
+	}
+	b, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	return resp.StatusCode, b, err
+}
+
+// TestTransportDropWindowAndRecovery: requests inside the window fail
+// with a transport error, requests after it pass untouched.
+func TestTransportDropWindowAndRecovery(t *testing.T) {
+	hs := testBackend(t, wantBody)
+	client, tr := chaosClient(t, hs, "drop:b0@[0,2]")
+	for i := 0; i < 2; i++ {
+		if _, _, err := post(client, hs.URL); err == nil || !strings.Contains(err.Error(), "chaos: dropped") {
+			t.Fatalf("request %d: err = %v, want a chaos drop", i, err)
+		}
+	}
+	code, body, err := post(client, hs.URL)
+	if err != nil || code != http.StatusOK || string(body) != wantBody {
+		t.Fatalf("post-window request: code %d err %v body %q", code, err, body)
+	}
+	if tr.Count("b0") != 3 {
+		t.Fatalf("counter = %d, want 3", tr.Count("b0"))
+	}
+}
+
+// TestTransportPassthrough: unregistered hosts and non-map paths are
+// neither faulted nor counted.
+func TestTransportPassthrough(t *testing.T) {
+	hs := testBackend(t, wantBody)
+	client, tr := chaosClient(t, hs, "drop:b0@[0,100]")
+	resp, err := client.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("readyz through chaos: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz status %d", resp.StatusCode)
+	}
+	if tr.Count("b0") != 0 {
+		t.Fatalf("non-map path was counted: %d", tr.Count("b0"))
+	}
+
+	other := testBackend(t, wantBody)
+	code, body, err := post(client, other.URL)
+	if err != nil || code != http.StatusOK || string(body) != wantBody {
+		t.Fatalf("unregistered host: code %d err %v body %q", code, err, body)
+	}
+}
+
+// TestTransport5xxBurst: the injected 503 is well-formed JSON and never
+// reaches the backend.
+func TestTransport5xxBurst(t *testing.T) {
+	var served int
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/map", func(w http.ResponseWriter, r *http.Request) {
+		served++
+		if _, err := io.WriteString(w, wantBody); err != nil {
+			t.Errorf("backend write: %v", err)
+		}
+	})
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	client, _ := chaosClient(t, hs, "5xx:b0@[0,1]")
+	code, body, err := post(client, hs.URL)
+	if err != nil || code != http.StatusServiceUnavailable {
+		t.Fatalf("injected 503: code %d err %v", code, err)
+	}
+	if !strings.Contains(string(body), "injected 503") || served != 0 {
+		t.Fatalf("503 body %q (backend served %d requests, want 0)", body, served)
+	}
+}
+
+// TestTransportDelayAndSlowBodyDeliverIntactBytes: both latency faults
+// still deliver byte-identical bodies when nothing cancels them.
+func TestTransportDelayAndSlowBodyDeliverIntactBytes(t *testing.T) {
+	hs := testBackend(t, wantBody)
+	for _, dsl := range []string{"delay:b0*10ms@[0,1]", "slowbody:b0*1ms@[0,1]"} {
+		client, _ := chaosClient(t, hs, dsl)
+		code, body, err := post(client, hs.URL)
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("%s: code %d err %v", dsl, code, err)
+		}
+		if string(body) != wantBody {
+			t.Fatalf("%s: body %q, want the untouched bytes", dsl, body)
+		}
+	}
+}
+
+// TestTransportResetSeversMidBody: the client sees a prefix then an
+// error — never a clean, complete read. The cut point replays exactly
+// under the same seed.
+func TestTransportResetSeversMidBody(t *testing.T) {
+	long := strings.Repeat("0123456789abcdef", 64) // 1 KiB, length known
+	hs := testBackend(t, long)
+	readPrefix := func() ([]byte, error) {
+		client, _ := chaosClient(t, hs, "reset:b0@[0,1]")
+		resp, err := client.Post(hs.URL+"/v1/map", "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return b, err
+	}
+	got, err := readPrefix()
+	if err == nil || !strings.Contains(err.Error(), "reset mid-body") {
+		t.Fatalf("reset read err = %v, want a mid-body reset", err)
+	}
+	if len(got) == 0 || len(got) >= len(long) {
+		t.Fatalf("reset delivered %d of %d bytes; want a strict prefix", len(got), len(long))
+	}
+	if !strings.HasPrefix(long, string(got)) {
+		t.Fatalf("delivered bytes are not a prefix of the body")
+	}
+	again, err2 := readPrefix()
+	if err2 == nil || !bytes.Equal(got, again) {
+		t.Fatalf("reset not deterministic: %d then %d bytes (err %v)", len(got), len(again), err2)
+	}
+}
+
+// TestTransportBlackholeHonoursContext: the attempt blocks exactly
+// until its context dies, then unwinds — no goroutine is left behind
+// (the package TestMain asserts that).
+func TestTransportBlackholeHonoursContext(t *testing.T) {
+	hs := testBackend(t, wantBody)
+	client, _ := chaosClient(t, hs, "blackhole:b0@[0,1]")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, hs.URL+"/v1/map", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatalf("build request: %v", err)
+	}
+	_, err = client.Do(req)
+	if err == nil {
+		t.Fatalf("blackholed request returned")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) && !strings.Contains(err.Error(), "blackholed") {
+		t.Fatalf("blackhole err = %v, want a context-deadline unwind", err)
+	}
+	// The window has passed its one request; the next one flows.
+	code, body, err := post(client, hs.URL)
+	if err != nil || code != http.StatusOK || string(body) != wantBody {
+		t.Fatalf("post-blackhole request: code %d err %v body %q", code, err, body)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -90,11 +91,14 @@ type batchItem struct {
 	index int
 	key   string
 	home  string
-	body  []byte // forwarded request bytes
+	sem   chan struct{} // home member's batch window
+	body  []byte        // forwarded request bytes
 
-	res    *proxied // backend answer (any status), nil on router-side error
-	status int      // line status when res is nil
-	errMsg string   // line error when res is nil
+	res        *proxied // backend answer (any status), nil on router-side error
+	status     int      // line status when res is nil
+	errMsg     string   // line error when res is nil
+	retryAfter string   // Retry-After for router-local 429/503 lines
+	canceled   bool     // abandoned because the client disconnected
 
 	done chan struct{}
 }
@@ -140,10 +144,14 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := r.Context()
+	view := rt.currentView()
 	items := make([]*batchItem, len(reqs))
 	for i, req := range reqs {
 		it := &batchItem{index: i, key: serve.CanonicalKey(req), done: make(chan struct{})}
-		it.home = rt.ring.Home(it.key)
+		it.home = view.ring.Home(it.key)
+		if m := view.byURL[it.home]; m != nil {
+			it.sem = m.sem
+		}
 		items[i] = it
 		// Router-side screening: an item that cannot even canonicalize
 		// and validate is answered 400 locally without burning a backend
@@ -170,47 +178,75 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	count(rt.batchRequests, http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	ok, failed := 0, 0
+	clientGone := false
 	for _, it := range items {
-		select {
-		case <-it.done:
-		case <-ctx.Done():
-			return // client gone; scatter goroutines unwind on the same ctx
+		if !clientGone {
+			select {
+			case <-it.done:
+			case <-ctx.Done():
+				// Client gone: stop writing, but keep reaping. The scatter
+				// goroutines unwind on the same dead ctx, and draining them
+				// here means the handler returns with zero orphaned work
+				// and every item booked in exactly one counter.
+				clientGone = true
+			}
 		}
-		if it.res != nil && it.res.Status == http.StatusOK {
+		if clientGone {
+			//lint:ctxflow ctx is already dead here; every scatter goroutine unwinds on that same dead ctx (window select + forward's attempt timeouts), so this reap receive is bounded
+			<-it.done
+		}
+		switch {
+		case it.res != nil && it.res.Status == http.StatusOK:
 			ok++
 			rt.batchItemsOK.Inc()
-		} else {
+		case it.canceled:
+			rt.batchItemsCanc.Inc()
+		default:
 			failed++
 			rt.batchItemsErr.Inc()
+		}
+		if clientGone {
+			continue
 		}
 		rt.write(w, renderItemLine(it))
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
+	if clientGone {
+		return
+	}
 	rt.write(w, []byte(fmt.Sprintf(`{"done":true,"items":%d,"ok":%d,"failed":%d}`+"\n", len(items), ok, failed)))
 }
 
 // scatterItem runs one item: acquire the home backend's window token,
-// forward with the ordinary failover path, publish the outcome.
+// forward with the ordinary failover path, publish the outcome. A
+// failed item degrades to its own well-formed NDJSON line — a budget
+// refusal becomes a 429, an exhausted walk a 503 with the attempt
+// detail, and a client disconnect a canceled marker the gather loop
+// books — the batch as a whole never fails because some items did.
 func (rt *Router) scatterItem(ctx context.Context, it *batchItem) {
 	defer close(it.done)
-	sem := rt.sems[0]
-	if i := rt.backendIndex(it.home); i >= 0 {
-		sem = rt.sems[i]
-	}
 	select {
-	case <-sem:
+	case <-it.sem:
 	case <-ctx.Done():
-		it.status, it.errMsg = http.StatusBadGateway, ctx.Err().Error()
+		it.status, it.errMsg, it.canceled = http.StatusServiceUnavailable, ctx.Err().Error(), true
 		return
 	}
-	defer func() { sem <- struct{}{} }()
+	defer func() { it.sem <- struct{}{} }()
 	rt.batchInflight.Add(1)
 	defer rt.batchInflight.Add(-1)
 	res, err := rt.forward(ctx, "/v1/map", it.body, it.key)
 	if err != nil {
-		it.status, it.errMsg = http.StatusBadGateway, err.Error()
+		var be *BudgetError
+		switch {
+		case ctx.Err() != nil:
+			it.status, it.errMsg, it.canceled = http.StatusServiceUnavailable, err.Error(), true
+		case errors.As(err, &be):
+			it.status, it.errMsg, it.retryAfter = http.StatusTooManyRequests, err.Error(), rt.synthRetryAfter()
+		default:
+			it.status, it.errMsg, it.retryAfter = http.StatusServiceUnavailable, err.Error(), rt.synthRetryAfter()
+		}
 		return
 	}
 	it.res = res
@@ -231,8 +267,16 @@ func renderItemLine(it *batchItem) []byte {
 		} else {
 			b.Write(compact.Bytes())
 		}
+		// A backend Retry-After (e.g. on a 429) survives into the line
+		// verbatim, exactly as the single-request path forwards it.
+		if ra := it.res.Header.Get("Retry-After"); ra != "" {
+			fmt.Fprintf(&b, `,"retry_after":%s`, jsonString(ra))
+		}
 	} else {
 		fmt.Fprintf(&b, `,"status":%d,"error":%s`, it.status, jsonString(it.errMsg))
+		if it.retryAfter != "" {
+			fmt.Fprintf(&b, `,"retry_after":%s`, jsonString(it.retryAfter))
+		}
 	}
 	b.WriteString("}\n")
 	return b.Bytes()

@@ -67,16 +67,17 @@ func TestSweepExpandCarriesSharedKnobs(t *testing.T) {
 
 // batchLine is the decoded shape of one NDJSON result line.
 type batchLine struct {
-	Index   int             `json:"index"`
-	Key     string          `json:"key"`
-	Backend string          `json:"backend"`
-	Status  int             `json:"status"`
-	Body    json.RawMessage `json:"body"`
-	Error   string          `json:"error"`
-	Done    bool            `json:"done"`
-	Items   int             `json:"items"`
-	OK      int             `json:"ok"`
-	Failed  int             `json:"failed"`
+	Index      int             `json:"index"`
+	Key        string          `json:"key"`
+	Backend    string          `json:"backend"`
+	Status     int             `json:"status"`
+	Body       json.RawMessage `json:"body"`
+	Error      string          `json:"error"`
+	RetryAfter string          `json:"retry_after"`
+	Done       bool            `json:"done"`
+	Items      int             `json:"items"`
+	OK         int             `json:"ok"`
+	Failed     int             `json:"failed"`
 }
 
 // parseBatch splits an NDJSON batch response into item lines and the

@@ -1,0 +1,77 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BudgetError is forward's fail-fast verdict when the fleet-wide retry
+// budget is exhausted: the request got its free first attempt (and
+// whatever retries the bucket could still fund) and the router refuses
+// to amplify load further. Handlers answer it with 429 and a
+// Retry-After synthesized from the fleet capacity model.
+type BudgetError struct {
+	// Attempts is how many backend attempts the request was granted
+	// before the budget refused the next one.
+	Attempts int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("retry budget exhausted after %d attempts", e.Attempts)
+}
+
+// Budget is the fleet-wide retry token bucket: every incoming request
+// deposits a fraction of a token (the ratio), and every attempt beyond
+// a request's free first one spends a whole token. Under a healthy
+// fleet the bucket stays full; under a broad outage retries are capped
+// at ratio × request rate, so the router degrades to fast 429s instead
+// of multiplying a failing fleet's load by its retry depth.
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+}
+
+// NewBudget builds a bucket holding at most burst tokens (it starts
+// full) refilled by ratio per request.
+func NewBudget(ratio float64, burst int) *Budget {
+	b := &Budget{ratio: ratio, max: float64(burst)}
+	if b.max < 0 {
+		b.max = 0
+	}
+	if b.ratio < 0 {
+		b.ratio = 0
+	}
+	b.tokens = b.max
+	return b
+}
+
+// Deposit credits one incoming request's contribution.
+func (b *Budget) Deposit() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.ratio
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+}
+
+// TrySpend withdraws one retry token, reporting false (spending
+// nothing) when less than a whole token is banked.
+func (b *Budget) TrySpend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens returns the current balance (for metrics and tests).
+func (b *Budget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

@@ -70,7 +70,7 @@ type FleetCapacityReport struct {
 // ?heuristic=&n=&class= form works fleet-wide. Per-backend entries
 // keep ring-member order, so the report layout is deterministic.
 func (rt *Router) FleetCapacity(r *http.Request, rawQuery string) (*FleetCapacityReport, error) {
-	members := rt.ring.Members()
+	members := rt.currentView().members
 	per := make([]BackendCapacity, len(members))
 	var wg sync.WaitGroup
 	for i, backend := range members {
@@ -103,6 +103,9 @@ func (rt *Router) FleetCapacity(r *http.Request, rawQuery string) (*FleetCapacit
 	if rep.Healthy == 0 {
 		return nil, fmt.Errorf("no backend answered the capacity query")
 	}
+	// Cache the aggregate: it is the model behind the Retry-After the
+	// router synthesizes when it refuses work locally (429/503).
+	rt.lastCapacity.Store(rep)
 	return rep, nil
 }
 

@@ -3,107 +3,274 @@ package fabric
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 )
 
-// Health tracks per-backend readiness for the router: a background
-// prober polls every backend's /readyz on a fixed cadence, retrying
-// with jittered exponential backoff before declaring a backend down,
-// and the request path can mark a backend down immediately on a
-// transport failure (the next probe cycle re-admits it once /readyz
-// answers again). Backends start optimistically up so a router booted
+// BreakerState is a backend circuit breaker's position. The router and
+// the background prober share one state machine per backend — there is
+// exactly one source of down-ness in the fabric:
+//
+//	Closed    --(threshold candidate failures / failed probe)-->  Open
+//	Open      --(successful probe)-->                             HalfOpen
+//	HalfOpen  --(trial request or probe succeeds)-->              Closed
+//	HalfOpen  --(trial request or probe fails)-->                 Open
+//
+// Probes run on the configured cadence, so re-admission after an
+// outage follows a deterministic schedule rather than request luck: at
+// most one probe interval to half-open, then a single trial request
+// (or the next probe) to close.
+type BreakerState int
+
+const (
+	// BreakerClosed admits requests normally.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen admits one trial request at a time; its outcome
+	// closes or re-opens the breaker.
+	BreakerHalfOpen
+	// BreakerOpen refuses requests until a probe succeeds.
+	BreakerOpen
+)
+
+// String renders the state for the members API and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// backendState is one backend's breaker position plus its request-path
+// failure streak and half-open trial claim.
+type backendState struct {
+	state    BreakerState
+	failures int  // consecutive failed candidate walks while closed
+	trialing bool // a half-open trial request is in flight
+}
+
+// Health tracks per-backend availability for the router as one circuit
+// breaker per backend: request-path failures trip a breaker open, the
+// background /readyz prober (retrying with jittered exponential backoff
+// each cycle) is the only way back — a successful probe half-opens the
+// breaker, and a trial request or a second good probe closes it.
+// Membership is dynamic: Add and Remove track the live ring, and a
+// departed backend's breaker position is retained so readmission
+// restores it instead of optimistically resetting a known-bad backend.
+// Fresh backends start closed (optimistically up) so a router booted
 // before its fleet still routes first requests through the failover
 // path instead of refusing them.
 type Health struct {
-	backends []string // sorted, parallel to up
-	client   *http.Client
-	interval time.Duration
-	retries  int
-	backoff  time.Duration
+	client    *http.Client
+	interval  time.Duration
+	retries   int
+	backoff   time.Duration
+	threshold int
 
-	mu sync.Mutex
-	up []bool
+	mu       sync.Mutex
+	backends map[string]*backendState
+	retained map[string]BreakerState // departed members' last breaker position
 
 	stop chan struct{}
 	done chan struct{}
 }
 
-// NewHealth builds the tracker for a fixed backend set (sorted order
-// expected, as produced by Ring.Members). Call Start to begin probing
-// and Stop to retire the prober goroutine.
-func NewHealth(backends []string, client *http.Client, interval time.Duration, retries int, backoff time.Duration) *Health {
-	up := make([]bool, len(backends))
-	for i := range up {
-		up[i] = true
+// NewHealth builds the tracker. threshold is how many consecutive
+// failed candidate walks trip a closed breaker (minimum 1). Call Start
+// to begin probing and Stop to retire the prober goroutine.
+func NewHealth(backends []string, client *http.Client, interval time.Duration, retries int, backoff time.Duration, threshold int) *Health {
+	if threshold < 1 {
+		threshold = 1
 	}
-	return &Health{
-		backends: backends,
-		client:   client,
-		interval: interval,
-		retries:  retries,
-		backoff:  backoff,
-		up:       up,
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+	h := &Health{
+		client:    client,
+		interval:  interval,
+		retries:   retries,
+		backoff:   backoff,
+		threshold: threshold,
+		backends:  make(map[string]*backendState, len(backends)),
+		retained:  make(map[string]BreakerState),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
+	for _, b := range backends {
+		h.backends[b] = &backendState{state: BreakerClosed}
+	}
+	return h
 }
 
-// index resolves a backend to its slot, or -1.
-func (h *Health) index(backend string) int {
-	for i, b := range h.backends {
-		if b == backend {
-			return i
-		}
-	}
-	return -1
-}
-
-// Up reports the last known readiness of a backend. Unknown backends
-// are down.
-func (h *Health) Up(backend string) bool {
-	i := h.index(backend)
-	if i < 0 {
-		return false
-	}
+// Add admits a backend to tracking. A backend seen before resumes from
+// its retained breaker position (an operator re-joining a known-bad
+// backend does not get an optimistic free pass); a new one starts
+// closed.
+func (h *Health) Add(backend string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.up[i]
+	if _, ok := h.backends[backend]; ok {
+		return
+	}
+	st := BreakerClosed
+	if prev, ok := h.retained[backend]; ok {
+		st = prev
+		delete(h.retained, backend)
+	}
+	h.backends[backend] = &backendState{state: st}
 }
 
-// UpCount returns how many backends are currently considered ready.
+// Remove retires a backend from live tracking, retaining only its
+// breaker position for a future readmission — failure streaks and
+// trial claims do not outlive membership.
+func (h *Health) Remove(backend string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.backends[backend]
+	if !ok {
+		return
+	}
+	h.retained[backend] = st.state
+	delete(h.backends, backend)
+}
+
+// State reports a backend's breaker position; ok is false for
+// untracked (departed or never-joined) backends.
+func (h *Health) State(backend string) (BreakerState, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.backends[backend]
+	if !ok {
+		return BreakerOpen, false
+	}
+	return st.state, true
+}
+
+// Up reports whether a backend's breaker admits traffic (closed or
+// half-open). Untracked backends are down.
+func (h *Health) Up(backend string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.backends[backend]
+	return ok && st.state != BreakerOpen
+}
+
+// UpCount returns how many tracked backends currently admit traffic.
 func (h *Health) UpCount() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	n := 0
-	for _, u := range h.up {
-		if u {
+	//lint:sorted order-insensitive count accumulation; no iteration order escapes
+	for _, st := range h.backends {
+		if st.state != BreakerOpen {
 			n++
 		}
 	}
 	return n
 }
 
-// MarkDown records a request-path transport failure: the backend is
-// treated as down until a probe sees /readyz answer 200 again.
-func (h *Health) MarkDown(backend string) {
-	i := h.index(backend)
-	if i < 0 {
-		return
-	}
+// Allow asks whether the router's first pass should try a backend: a
+// closed breaker admits freely, an open one refuses, and a half-open
+// one admits exactly one trial request at a time (the claim is
+// released by OnSuccess or OnFailure). The router's second pass
+// ignores Allow — last-resort availability beats breaker discipline
+// when every candidate looks down.
+func (h *Health) Allow(backend string) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.up[i] = false
+	st, ok := h.backends[backend]
+	if !ok {
+		return false
+	}
+	switch st.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if st.trialing {
+			return false
+		}
+		st.trialing = true
+		return true
+	}
+	return false
 }
 
-// set records a probe verdict. Out-of-range slots are ignored.
-func (h *Health) set(i int, up bool) {
-	if i < 0 || i >= len(h.backends) {
-		return
-	}
+// OnSuccess records a backend answering a request: the strongest
+// up-signal there is, closing the breaker from any state.
+func (h *Health) OnSuccess(backend string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.up[i] = up
+	if st, ok := h.backends[backend]; ok {
+		st.state = BreakerClosed
+		st.failures = 0
+		st.trialing = false
+	}
+}
+
+// OnFailure records one exhausted candidate walk (every attempt to the
+// backend failed): a half-open trial re-opens immediately, a closed
+// breaker trips once its failure streak reaches the threshold.
+func (h *Health) OnFailure(backend string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.backends[backend]
+	if !ok {
+		return
+	}
+	st.trialing = false
+	switch st.state {
+	case BreakerHalfOpen:
+		st.state = BreakerOpen
+	case BreakerClosed:
+		st.failures++
+		if st.failures >= h.threshold {
+			st.state = BreakerOpen
+			st.failures = 0
+		}
+	}
+}
+
+// noteProbe applies one probe verdict to the breaker: failure opens
+// from any state; success walks open breakers back through half-open
+// to closed, one probe cycle per step.
+func (h *Health) noteProbe(backend string, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, tracked := h.backends[backend]
+	if !tracked {
+		return
+	}
+	if !ok {
+		st.state = BreakerOpen
+		st.failures = 0
+		st.trialing = false
+		return
+	}
+	switch st.state {
+	case BreakerOpen:
+		st.state = BreakerHalfOpen
+		st.trialing = false
+	case BreakerHalfOpen:
+		st.state = BreakerClosed
+		st.trialing = false
+		st.failures = 0
+	}
+}
+
+// snapshot returns the tracked backends in sorted order, so each probe
+// cycle visits the fleet deterministically.
+func (h *Health) snapshot() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	names := make([]string, 0, len(h.backends))
+	//lint:sorted keys are sorted below before anything reads them; collection order cannot escape
+	for b := range h.backends {
+		names = append(names, b)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Start launches the probe loop. Probing is inherently wall-clock
@@ -125,12 +292,12 @@ func (h *Health) Stop() {
 	<-h.done
 }
 
-// loop probes every backend each interval until stopped.
+// loop probes every tracked backend each interval until stopped.
 func (h *Health) loop() {
 	defer close(h.done)
 	for {
-		for i := range h.backends {
-			h.set(i, h.probe(h.backends[i]))
+		for _, b := range h.snapshot() {
+			h.noteProbe(b, h.probe(b))
 		}
 		t := time.NewTimer(h.interval) //lint:wallclock liveness-probe cadence for live backends; never a scheduling input
 		select {

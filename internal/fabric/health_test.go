@@ -1,0 +1,171 @@
+package fabric
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newIdleHealth builds a tracker whose prober never runs (no Start),
+// so tests drive the state machine by hand.
+func newIdleHealth(threshold int, backends ...string) *Health {
+	return NewHealth(backends, &http.Client{}, time.Hour, 0, time.Millisecond, threshold)
+}
+
+// TestBreakerTransitions walks the whole state machine: closed trips
+// open after threshold candidate failures, a good probe half-opens, a
+// half-open breaker admits exactly one trial whose outcome closes or
+// re-opens it, and probes alone can walk open→half-open→closed.
+func TestBreakerTransitions(t *testing.T) {
+	h := newIdleHealth(2, "b")
+	if st, ok := h.State("b"); !ok || st != BreakerClosed || !h.Up("b") || !h.Allow("b") {
+		t.Fatalf("fresh backend not closed/up/allowed: state %v tracked %v", st, ok)
+	}
+
+	h.OnFailure("b")
+	if st, _ := h.State("b"); st != BreakerClosed {
+		t.Fatalf("one failure below threshold tripped the breaker: %v", st)
+	}
+	h.OnFailure("b")
+	if st, _ := h.State("b"); st != BreakerOpen || h.Up("b") || h.Allow("b") {
+		t.Fatalf("threshold failures did not open the breaker: %v", st)
+	}
+
+	// A good probe half-opens; half-open admits one trial at a time.
+	h.noteProbe("b", true)
+	if st, _ := h.State("b"); st != BreakerHalfOpen || !h.Up("b") {
+		t.Fatalf("probe success did not half-open: %v", st)
+	}
+	if !h.Allow("b") {
+		t.Fatalf("half-open refused its first trial")
+	}
+	if h.Allow("b") {
+		t.Fatalf("half-open admitted a second concurrent trial")
+	}
+	h.OnSuccess("b")
+	if st, _ := h.State("b"); st != BreakerClosed || !h.Allow("b") || !h.Allow("b") {
+		t.Fatalf("trial success did not close the breaker: %v", st)
+	}
+
+	// A failed half-open trial re-opens immediately.
+	h.OnFailure("b")
+	h.OnFailure("b")
+	h.noteProbe("b", true)
+	if !h.Allow("b") {
+		t.Fatalf("half-open refused its trial after re-trip")
+	}
+	h.OnFailure("b")
+	if st, _ := h.State("b"); st != BreakerOpen {
+		t.Fatalf("failed trial did not re-open: %v", st)
+	}
+
+	// Two consecutive good probes re-admit without any traffic.
+	h.noteProbe("b", true)
+	h.noteProbe("b", true)
+	if st, _ := h.State("b"); st != BreakerClosed {
+		t.Fatalf("two good probes did not close: %v", st)
+	}
+
+	// A failed probe opens from closed — the prober is the same source
+	// of down-ness as the request path.
+	h.noteProbe("b", false)
+	if st, _ := h.State("b"); st != BreakerOpen {
+		t.Fatalf("failed probe did not open a closed breaker: %v", st)
+	}
+}
+
+// TestHealthSuccessResetsStreak: interleaved successes keep a healthy
+// backend's breaker closed no matter how many sporadic failures occur.
+func TestHealthSuccessResetsStreak(t *testing.T) {
+	h := newIdleHealth(2, "b")
+	for i := 0; i < 10; i++ {
+		h.OnFailure("b")
+		h.OnSuccess("b")
+	}
+	if st, _ := h.State("b"); st != BreakerClosed {
+		t.Fatalf("sporadic failures with recoveries tripped the breaker: %v", st)
+	}
+}
+
+// TestHealthMembershipRetention pins the dynamic-membership contract:
+// a departed backend's live state is dropped (no leak), only its
+// breaker position survives, and readmission restores it instead of
+// granting a known-bad backend an optimistic reset.
+func TestHealthMembershipRetention(t *testing.T) {
+	h := newIdleHealth(1, "a")
+	h.OnFailure("a")
+	if st, _ := h.State("a"); st != BreakerOpen {
+		t.Fatalf("setup: breaker not open: %v", st)
+	}
+
+	h.Remove("a")
+	if _, tracked := h.State("a"); tracked {
+		t.Fatalf("departed backend still tracked")
+	}
+	if h.Up("a") || h.Allow("a") || h.UpCount() != 0 {
+		t.Fatalf("departed backend still admits traffic")
+	}
+	h.OnFailure("a") // must be a no-op, not a resurrection
+	if _, tracked := h.State("a"); tracked {
+		t.Fatalf("OnFailure resurrected a departed backend")
+	}
+
+	h.Add("a")
+	if st, tracked := h.State("a"); !tracked || st != BreakerOpen {
+		t.Fatalf("readmission lost the retained breaker state: %v (tracked %v)", st, tracked)
+	}
+
+	// A never-seen backend starts closed; removing while closed retains
+	// closed.
+	h.Add("b")
+	if st, _ := h.State("b"); st != BreakerClosed {
+		t.Fatalf("fresh backend not closed: %v", st)
+	}
+	h.Remove("b")
+	h.Add("b")
+	if st, _ := h.State("b"); st != BreakerClosed {
+		t.Fatalf("re-added healthy backend not closed: %v", st)
+	}
+}
+
+// TestHealthProberLifecycle runs the real prober against a backend
+// whose readiness flips, asserting the deterministic re-admission
+// schedule: down opens, recovery walks back through half-open to
+// closed within a few probe cycles.
+func TestHealthProberLifecycle(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" && ready.Load() {
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer hs.Close()
+
+	h := NewHealth([]string{hs.URL}, &http.Client{}, 10*time.Millisecond, 0, time.Millisecond, 1)
+	h.Start()
+	defer h.Stop()
+
+	waitState := func(want BreakerState) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if st, _ := h.State(hs.URL); st == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				st, _ := h.State(hs.URL)
+				t.Fatalf("breaker stuck at %v, want %v", st, want)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	ready.Store(false)
+	waitState(BreakerOpen)
+	ready.Store(true)
+	waitState(BreakerClosed) // open → half-open → closed over two probe cycles
+}

@@ -1,0 +1,190 @@
+package fabric
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Membership errors the HTTP layer maps onto status codes.
+var (
+	errUnknownMember = errors.New("fabric: backend is not a fleet member")
+	errLastMember    = errors.New("fabric: refusing to remove the last fleet member")
+)
+
+// normalizeMemberURL validates and canonicalizes a member base URL.
+func normalizeMemberURL(raw string) (string, error) {
+	u := strings.TrimRight(strings.TrimSpace(raw), "/")
+	if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+		return "", fmt.Errorf("fabric: member URL %q must be http(s)://host[:port]", raw)
+	}
+	if strings.TrimPrefix(strings.TrimPrefix(u, "http://"), "https://") == "" {
+		return "", fmt.Errorf("fabric: member URL %q has no host", raw)
+	}
+	return u, nil
+}
+
+// Join admits a backend to the live ring. Joining an existing member
+// is a no-op (added reports whether the fleet changed). A backend that
+// left earlier rejoins with its retained breaker state and its
+// original metric series — readmission is not an amnesty.
+func (rt *Router) Join(rawURL string) (added bool, err error) {
+	url, err := normalizeMemberURL(rawURL)
+	if err != nil {
+		return false, err
+	}
+	rt.memberMu.Lock()
+	defer rt.memberMu.Unlock()
+	cur := rt.currentView()
+	if _, ok := cur.byURL[url]; ok {
+		return false, nil
+	}
+	next := &fleetView{ring: NewRing(rt.cfg.Replicas), byURL: make(map[string]*member, len(cur.members)+1)}
+	for _, u := range cur.members {
+		next.ring.Add(u)
+		next.byURL[u] = cur.byURL[u]
+	}
+	next.ring.Add(url)
+	next.byURL[url] = rt.newMember(url)
+	next.members = next.ring.Members()
+	rt.health.Add(url)
+	rt.view.Store(next)
+	rt.memberChanges.Inc()
+	return true, nil
+}
+
+// Leave retires a backend from the live ring. The last member cannot
+// leave (a router with an empty ring can serve nothing), and the
+// departed backend's live breaker state is dropped — only its breaker
+// position is retained for a future readmission.
+func (rt *Router) Leave(rawURL string) error {
+	url, err := normalizeMemberURL(rawURL)
+	if err != nil {
+		return err
+	}
+	rt.memberMu.Lock()
+	defer rt.memberMu.Unlock()
+	cur := rt.currentView()
+	if _, ok := cur.byURL[url]; !ok {
+		return errUnknownMember
+	}
+	if len(cur.members) == 1 {
+		return errLastMember
+	}
+	next := &fleetView{ring: NewRing(rt.cfg.Replicas), byURL: make(map[string]*member, len(cur.members)-1)}
+	for _, u := range cur.members {
+		if u == url {
+			continue
+		}
+		next.ring.Add(u)
+		next.byURL[u] = cur.byURL[u]
+	}
+	next.members = next.ring.Members()
+	rt.health.Remove(url)
+	rt.view.Store(next)
+	rt.memberChanges.Inc()
+	return nil
+}
+
+// MemberStatus is one fleet member in the members API reply.
+type MemberStatus struct {
+	URL     string `json:"url"`
+	Breaker string `json:"breaker"`
+	Up      bool   `json:"up"`
+}
+
+// membersReply is the body of every members-API response: the full
+// post-change fleet, sorted by URL.
+type membersReply struct {
+	Members []MemberStatus `json:"members"`
+}
+
+// memberBody is the JSON request body of POST/DELETE /v1/members.
+type memberBody struct {
+	URL string `json:"url"`
+}
+
+// writeMembers answers with the current fleet listing.
+func (rt *Router) writeMembers(w http.ResponseWriter, code int) {
+	view := rt.currentView()
+	reply := membersReply{Members: make([]MemberStatus, 0, len(view.members))}
+	for _, u := range view.members {
+		st, _ := rt.health.State(u)
+		reply.Members = append(reply.Members, MemberStatus{URL: u, Breaker: st.String(), Up: st != BreakerOpen})
+	}
+	b, err := json.MarshalIndent(reply, "", "  ")
+	if err != nil {
+		rt.writeErrors.Inc()
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	rt.write(w, append(b, '\n'))
+}
+
+// handleMembersList serves GET /v1/members: the fleet with each
+// member's breaker position.
+func (rt *Router) handleMembersList(w http.ResponseWriter, r *http.Request) {
+	rt.writeMembers(w, http.StatusOK)
+}
+
+// memberURLFrom extracts the target URL from a members request: the
+// JSON body's "url" field, or the ?url= query parameter.
+func memberURLFrom(r *http.Request) (string, error) {
+	if u := r.URL.Query().Get("url"); u != "" {
+		return u, nil
+	}
+	var body memberBody
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		return "", fmt.Errorf("bad member body (want {\"url\": \"http://host:port\"}): %w", err)
+	}
+	return body.URL, nil
+}
+
+// handleMemberJoin serves POST /v1/members: join a backend to the live
+// ring. Idempotent — joining a current member answers 200 with the
+// unchanged fleet.
+func (rt *Router) handleMemberJoin(w http.ResponseWriter, r *http.Request) {
+	url, err := memberURLFrom(r)
+	if err != nil {
+		rt.jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	added, err := rt.Join(url)
+	if err != nil {
+		rt.jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	code := http.StatusOK
+	if added {
+		code = http.StatusCreated
+	}
+	rt.writeMembers(w, code)
+}
+
+// handleMemberLeave serves DELETE /v1/members: retire a backend from
+// the live ring. Unknown members answer 404; the last member answers
+// 409 — an empty fleet is never a valid router state.
+func (rt *Router) handleMemberLeave(w http.ResponseWriter, r *http.Request) {
+	url, err := memberURLFrom(r)
+	if err != nil {
+		rt.jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	switch err := rt.Leave(url); {
+	case errors.Is(err, errUnknownMember):
+		rt.jsonError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, errLastMember):
+		rt.jsonError(w, http.StatusConflict, err.Error())
+	case err != nil:
+		rt.jsonError(w, http.StatusBadRequest, err.Error())
+	default:
+		rt.writeMembers(w, http.StatusOK)
+	}
+}

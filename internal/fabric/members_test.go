@@ -1,0 +1,218 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adhocgrid/internal/serve"
+)
+
+// doMembers issues one members-API request and decodes the reply.
+func doMembers(t *testing.T, client *http.Client, method, url, body string) (int, membersReply) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatalf("build %s %s: %v", method, url, err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s %s: %v", method, url, err)
+	}
+	var reply membersReply
+	if resp.StatusCode < 400 {
+		if err := json.Unmarshal(b, &reply); err != nil {
+			t.Fatalf("members reply not JSON: %v (%s)", err, b)
+		}
+	}
+	return resp.StatusCode, reply
+}
+
+// TestMembersAPI pins the membership endpoints: listing with breaker
+// state, idempotent join, 404/409 leave guards, and 400s for
+// malformed requests.
+func TestMembersAPI(t *testing.T) {
+	f := newTestFleet(t, 2, nil)
+	api := f.front.URL + "/v1/members"
+
+	code, reply := doMembers(t, f.client, http.MethodGet, api, "")
+	if code != http.StatusOK || len(reply.Members) != 2 {
+		t.Fatalf("list: code %d, %d members, want 200/2", code, len(reply.Members))
+	}
+	for _, m := range reply.Members {
+		if m.Breaker != "closed" || !m.Up {
+			t.Fatalf("fresh member %s reported %s/up=%v, want closed/up", m.URL, m.Breaker, m.Up)
+		}
+	}
+
+	// Join a third real backend.
+	s := serve.New(serve.Config{Workers: 2})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(s.Close)
+	t.Cleanup(hs.Close)
+	code, reply = doMembers(t, f.client, http.MethodPost, api, `{"url": "`+hs.URL+`"}`)
+	if code != http.StatusCreated || len(reply.Members) != 3 {
+		t.Fatalf("join: code %d, %d members, want 201/3", code, len(reply.Members))
+	}
+	code, reply = doMembers(t, f.client, http.MethodPost, api, `{"url": "`+hs.URL+`/"}`)
+	if code != http.StatusOK || len(reply.Members) != 3 {
+		t.Fatalf("repeat join not idempotent: code %d, %d members, want 200/3", code, len(reply.Members))
+	}
+
+	// The joined backend serves routed traffic: some scenario must land
+	// on it and answer byte-identically to the original members.
+	if got := len(f.router.Members()); got != 3 {
+		t.Fatalf("router reports %d members, want 3", got)
+	}
+	codeM, _, viaFleet := postJSON(t, f.client, f.front.URL+"/v1/map", testScenario)
+	_, _, direct := postJSON(t, f.client, hs.URL+"/v1/map", testScenario)
+	if codeM != http.StatusOK || !bytes.Equal(viaFleet, direct) {
+		t.Fatalf("post-join routing broke byte parity (status %d)", codeM)
+	}
+
+	// Malformed joins.
+	for _, body := range []string{`{"url": "ftp://nope"}`, `{"url": ""}`, `{not json`, `{"url": "http://x", "bogus": 1}`} {
+		if code, _ := doMembers(t, f.client, http.MethodPost, api, body); code != http.StatusBadRequest {
+			t.Fatalf("join %q: code %d, want 400", body, code)
+		}
+	}
+
+	// Leave guards: unknown 404, then drain to one and refuse the last.
+	if code, _ := doMembers(t, f.client, http.MethodDelete, api+"?url=http://unknown:1", ""); code != http.StatusNotFound {
+		t.Fatalf("unknown leave: code %d, want 404", code)
+	}
+	code, reply = doMembers(t, f.client, http.MethodDelete, api, `{"url": "`+hs.URL+`"}`)
+	if code != http.StatusOK || len(reply.Members) != 2 {
+		t.Fatalf("leave: code %d, %d members, want 200/2", code, len(reply.Members))
+	}
+	code, reply = doMembers(t, f.client, http.MethodDelete, api, `{"url": "`+f.urls[0]+`"}`)
+	if code != http.StatusOK || len(reply.Members) != 1 {
+		t.Fatalf("second leave: code %d, %d members, want 200/1", code, len(reply.Members))
+	}
+	if code, _ = doMembers(t, f.client, http.MethodDelete, api, `{"url": "`+f.urls[1]+`"}`); code != http.StatusConflict {
+		t.Fatalf("last-member leave: code %d, want 409", code)
+	}
+}
+
+// TestMembershipConcurrentChurn hammers the ring with join/leave while
+// routing live traffic (run under -race): every response must be a 200
+// with the fleet's canonical bytes — a membership change is invisible
+// to in-flight requests — and the departed member's breaker state must
+// not leak once it is gone.
+func TestMembershipConcurrentChurn(t *testing.T) {
+	f := newTestFleet(t, 3, nil)
+
+	s := serve.New(serve.Config{Workers: 2})
+	extra := httptest.NewServer(s.Handler())
+	t.Cleanup(s.Close)
+	t.Cleanup(extra.Close)
+
+	code, _, want := postJSON(t, f.client, f.backends[0].URL+"/v1/map", testScenario)
+	if code != http.StatusOK {
+		t.Fatalf("seed scenario: status %d", code)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			if _, err := f.router.Join(extra.URL); err != nil {
+				t.Errorf("join %d: %v", i, err)
+				return
+			}
+			if err := f.router.Leave(extra.URL); err != nil {
+				t.Errorf("leave %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 120 * time.Second}
+			for i := 0; i < 25; i++ {
+				code, _, got := postJSON(t, client, f.front.URL+"/v1/map", testScenario)
+				if code != http.StatusOK {
+					t.Errorf("worker %d request %d: status %d (%s)", g, i, code, got)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("worker %d request %d: bytes diverged under churn", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := len(f.router.Members()); got != 3 {
+		t.Fatalf("fleet ended with %d members, want the original 3", got)
+	}
+	if _, tracked := f.router.Health().State(extra.URL); tracked {
+		t.Fatalf("departed member's health state leaked")
+	}
+}
+
+// TestBreakerCarriedAcrossReadmission: a backend whose breaker tripped
+// open leaves the ring and rejoins — the breaker must come back open
+// (readmission is not an amnesty), while the departed interval tracks
+// no live state at all.
+func TestBreakerCarriedAcrossReadmission(t *testing.T) {
+	f := newTestFleet(t, 2, func(c *Config) {
+		c.ProbeInterval = time.Hour // one boot-time probe cycle, then hands off to the request path
+	})
+
+	code, hdr, _ := postJSON(t, f.client, f.front.URL+"/v1/map", testScenario)
+	if code != http.StatusOK {
+		t.Fatalf("map: status %d", code)
+	}
+	home := hdr.Get("X-Backend")
+	for i, u := range f.urls {
+		if u == home {
+			f.backends[i].Close()
+		}
+	}
+
+	if code, _, _ := postJSON(t, f.client, f.front.URL+"/v1/map", testScenario); code != http.StatusOK {
+		t.Fatalf("failover map: status %d", code)
+	}
+	if st, _ := f.router.Health().State(home); st != BreakerOpen {
+		t.Fatalf("dead home's breaker is %v, want open", st)
+	}
+
+	if err := f.router.Leave(home); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	if _, tracked := f.router.Health().State(home); tracked {
+		t.Fatalf("departed member still tracked")
+	}
+	if _, err := f.router.Join(home); err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	if st, tracked := f.router.Health().State(home); !tracked || st != BreakerOpen {
+		t.Fatalf("rejoined breaker is %v (tracked %v), want the retained open state", st, tracked)
+	}
+
+	// The open breaker steers traffic to the survivor without a retry
+	// storm against the dead rejoiner.
+	if code, _, _ := postJSON(t, f.client, f.front.URL+"/v1/map", testScenario); code != http.StatusOK {
+		t.Fatalf("post-rejoin map: status %d", code)
+	}
+}

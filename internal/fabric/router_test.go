@@ -151,18 +151,23 @@ func TestRouterFailoverByteParity(t *testing.T) {
 	}
 }
 
-// TestRouterAllBackendsDown pins the 502 path.
+// TestRouterAllBackendsDown pins the exhausted-walk path: a fleet with
+// no reachable backend answers a well-formed 503 carrying the attempt
+// detail and a Retry-After hint.
 func TestRouterAllBackendsDown(t *testing.T) {
 	f := newTestFleet(t, 2, nil)
 	for _, hs := range f.backends {
 		hs.Close()
 	}
-	code, _, body := postJSON(t, f.client, f.front.URL+"/v1/map", testScenario)
-	if code != http.StatusBadGateway {
-		t.Fatalf("status %d (%s), want 502", code, body)
+	code, hdr, body := postJSON(t, f.client, f.front.URL+"/v1/map", testScenario)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", code, body)
 	}
-	if !strings.Contains(string(body), "fleet unavailable") {
-		t.Fatalf("502 body %q lacks the fleet-unavailable error", body)
+	if !strings.Contains(string(body), "fleet unavailable after") {
+		t.Fatalf("503 body %q lacks the fleet-unavailable attempt detail", body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatalf("503 is missing its Retry-After hint")
 	}
 }
 

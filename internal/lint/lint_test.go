@@ -76,6 +76,16 @@ func TestSuiteScopes(t *testing.T) {
 		{"lockbalance", "adhocgrid/internal/fabric", true},
 		{"pairwise", "adhocgrid/internal/fabric", true},
 		{"pairwise", "adhocgrid/cmd/slrhrouter", true},
+		// The chaos transport joined the same families in PR 9: fault
+		// schedules must replay bit-for-bit (detrange), injected 503
+		// bodies are response bytes (bytepurity), and the per-backend
+		// request counters are lock-guarded (lockbalance, pairwise).
+		{"detrange", "adhocgrid/internal/chaos", true},
+		{"errdrop", "adhocgrid/internal/chaos", true},
+		{"ctxflow", "adhocgrid/internal/chaos", true},
+		{"bytepurity", "adhocgrid/internal/chaos", true},
+		{"lockbalance", "adhocgrid/internal/chaos", true},
+		{"pairwise", "adhocgrid/internal/chaos", true},
 	}
 	for _, c := range cases {
 		a, ok := byName[c.analyzer]

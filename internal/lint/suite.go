@@ -18,6 +18,7 @@ var DeterminismCritical = []string{
 	"adhocgrid/internal/par",
 	"adhocgrid/internal/perf",
 	"adhocgrid/internal/fabric",
+	"adhocgrid/internal/chaos",
 	"adhocgrid/cmd/slrhrouter",
 }
 
@@ -37,6 +38,7 @@ var ErrorHygienePackages = []string{
 	"adhocgrid/internal/serve",
 	"adhocgrid/internal/perf",
 	"adhocgrid/internal/fabric",
+	"adhocgrid/internal/chaos",
 	"adhocgrid/cmd/",
 }
 
@@ -50,6 +52,7 @@ var ConcurrencyPackages = []string{
 	"adhocgrid/internal/exp",
 	"adhocgrid/internal/par",
 	"adhocgrid/internal/fabric",
+	"adhocgrid/internal/chaos",
 	"adhocgrid/cmd/slrhrouter",
 }
 
@@ -60,6 +63,7 @@ var BytePurityPackages = []string{
 	"adhocgrid/internal/serve",
 	"adhocgrid/cmd/slrhsim",
 	"adhocgrid/internal/fabric",
+	"adhocgrid/internal/chaos",
 	"adhocgrid/cmd/slrhrouter",
 }
 
@@ -85,17 +89,18 @@ func Suite() []ScopedAnalyzer {
 	all := func(string) bool { return true }
 	return []ScopedAnalyzer{
 		{Atomicmix, "all packages", all},
-		{Bytepurity, "internal/serve, internal/fabric, cmd/slrhsim, cmd/slrhrouter", inAny(BytePurityPackages)},
-		{Ctxflow, "internal/serve, internal/fabric, cmd/slrhrouter", inAny([]string{
+		{Bytepurity, "internal/serve, internal/fabric, internal/chaos, cmd/slrhsim, cmd/slrhrouter", inAny(BytePurityPackages)},
+		{Ctxflow, "internal/serve, internal/fabric, internal/chaos, cmd/slrhrouter", inAny([]string{
 			"adhocgrid/internal/serve",
 			"adhocgrid/internal/fabric",
+			"adhocgrid/internal/chaos",
 			"adhocgrid/cmd/slrhrouter",
 		})},
-		{Detrange, "determinism-critical packages (incl. internal/fabric, cmd/slrhrouter)", inAny(DeterminismCritical)},
+		{Detrange, "determinism-critical packages (incl. internal/fabric, internal/chaos, cmd/slrhrouter)", inAny(DeterminismCritical)},
 		{Errdrop, "experiment drivers, the fabric tier and commands", inAny(ErrorHygienePackages)},
 		{Floateq, "scoring packages", inAny(ScoringPackages)},
-		{Lockbalance, "internal/serve, internal/exp, internal/par, internal/fabric, cmd/slrhrouter", inAny(ConcurrencyPackages)},
-		{Pairwise, "internal/serve, internal/exp, internal/par, internal/fabric, cmd/slrhrouter", inAny(ConcurrencyPackages)},
+		{Lockbalance, "internal/serve, internal/exp, internal/par, internal/fabric, internal/chaos, cmd/slrhrouter", inAny(ConcurrencyPackages)},
+		{Pairwise, "internal/serve, internal/exp, internal/par, internal/fabric, internal/chaos, cmd/slrhrouter", inAny(ConcurrencyPackages)},
 		{Wallclock, "all packages", all},
 	}
 }

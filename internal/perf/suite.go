@@ -7,9 +7,11 @@ import (
 	"net/http/httptest"
 	"runtime"
 	"strings"
+	"time"
 
 	"adhocgrid/internal/core"
 	"adhocgrid/internal/exp"
+	"adhocgrid/internal/fabric"
 	"adhocgrid/internal/grid"
 	"adhocgrid/internal/maxmax"
 	"adhocgrid/internal/par"
@@ -160,6 +162,59 @@ func slrhdBench(n int) func(int) (func(), func() []Metric, error) {
 	}
 }
 
+// fabricRouterBench measures the router's per-request overhead: a
+// slrhrouter over one in-process slrhd backend, posting the same
+// scenario so every routed request after the first is a backend cache
+// hit — the measured cost is the fabric's own work (key computation,
+// ring lookup, breaker check, budget deposit, proxying) plus one local
+// HTTP hop, not the planner.
+func fabricRouterBench(n int) func(int) (func(), func() []Metric, error) {
+	return func(fanout int) (func(), func() []Metric, error) {
+		srv := serve.New(serve.Config{ScoreWorkers: fanout})
+		ts := httptest.NewServer(srv.Handler())
+		// Backend and router are leaked intentionally for the process
+		// lifetime of the runner, like slrhdBench's service.
+		rt, err := fabric.New(fabric.Config{
+			Backends:      []string{ts.URL},
+			ProbeInterval: time.Hour, // one boot-time probe; no mid-benchmark noise
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		front := httptest.NewServer(rt.Handler())
+		body := fmt.Sprintf(
+			`{"n": %d, "case": "A", "heuristic": "slrh1", "seed": %d, "alpha": 0.5, "beta": 0.3}`,
+			n, exp.DefaultSeed)
+		var lastStatus, lastBytes int
+		var hits float64
+		op := func() {
+			resp, err := http.Post(front.URL+"/v1/map", "application/json", strings.NewReader(body))
+			if err != nil {
+				panic(fmt.Sprintf("perf: routed POST /v1/map: %v", err))
+			}
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				panic(fmt.Sprintf("perf: read routed /v1/map body: %v", err))
+			}
+			if err := resp.Body.Close(); err != nil {
+				panic(fmt.Sprintf("perf: close routed /v1/map body: %v", err))
+			}
+			if resp.Header.Get("X-Cache") == "hit" {
+				hits++
+			}
+			lastStatus, lastBytes = resp.StatusCode, buf.Len()
+		}
+		sample := func() []Metric {
+			return []Metric{
+				{Name: "status", Value: float64(lastStatus)},
+				{Name: "response_bytes", Value: float64(lastBytes)},
+				{Name: "cache_hits", Value: hits},
+			}
+		}
+		return op, sample, nil
+	}
+}
+
 // admissionBatch is how many Decide/Complete round-trips one
 // admission-benchmark op performs: a single decision is tens of
 // nanoseconds, far below the timer floor, so the suite prices them by
@@ -217,6 +272,7 @@ func suite() []benchmark {
 		{name: "slrh1_parallel_n1024", iters: 8, shortIters: 4, setup: slrhBench(1024, 1, false)},
 		{name: "maxmax_n256", iters: 30, shortIters: 5, setup: maxmaxBench(256)},
 		{name: "slrhd_map_n96", iters: 40, shortIters: 6, setup: slrhdBench(96)},
+		{name: "fabric_router_overhead", iters: 40, shortIters: 6, setup: fabricRouterBench(96)},
 		{name: "admission_decide_x1000", iters: 50, shortIters: 10, setup: admissionBench()},
 	}
 }
