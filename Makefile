@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fix-hints lint-json lint-vet test race check bench bench-json bench-compare fuzz serve-smoke fault-smoke admission-smoke fabric-smoke chaos-smoke
+.PHONY: all build vet lint lint-fix-hints lint-json lint-vet test race check bench bench-json bench-check bench-compare fuzz serve-smoke fault-smoke admission-smoke fabric-smoke chaos-smoke
 
 all: check
 
@@ -95,17 +95,28 @@ bench:
 # schema-versioned JSON report (ns/op, allocs/op, schedule metrics,
 # derived speedups — no wall-clock timestamps). BENCH_FLAGS=-short for
 # CI-smoke iteration counts.
-BENCH_OUT ?= BENCH_5.json
+BENCH_OUT ?= BENCH_10.json
 bench-json:
 	$(GO) run ./cmd/benchrunner -out $(BENCH_OUT) $(BENCH_FLAGS)
 
+# Absolute-expectation gate: run the suite and enforce the allocation
+# caps (always — the arena-backed SLRH benches must stay at zero
+# allocs/op) plus the parallel-speedup floor (on ≥4-core machines).
+# Prints one verdict line per gate; a gate that could not run says SKIP
+# instead of passing vacuously.
+bench-check:
+	$(GO) run ./cmd/benchrunner -out $(BENCH_OUT) $(BENCH_FLAGS) -check
+
 # Regression gate: compare a fresh report against a committed baseline;
-# exits non-zero when any benchmark's ns/op grew past TOLERANCE or a
-# baseline benchmark is missing. Full-iteration runs use the strict 10%
-# default; CI smoke passes a wider TOLERANCE because shared runners add
-# double-digit run-to-run noise that even a min-of-iters estimator can't
-# remove. Usage: make bench-compare BASE=BENCH_5.json [TOLERANCE=0.25]
-BASE ?= BENCH_5.json
+# exits non-zero when any benchmark's ns/op or allocs/op grew past
+# TOLERANCE, when a baseline benchmark is missing from the fresh run, or
+# when the baseline records allocs_per_op and the fresh run does not
+# (absence fails loudly rather than comparing against zero).
+# Full-iteration runs use the strict 10% default; CI smoke passes a
+# wider TOLERANCE because shared runners add double-digit run-to-run
+# noise that even a min-of-iters estimator can't remove.
+# Usage: make bench-compare BASE=BENCH_10.json [TOLERANCE=0.25]
+BASE ?= BENCH_10.json
 TOLERANCE ?= 0.10
 bench-compare:
 	$(GO) run ./cmd/benchrunner -compare $(BENCH_OUT) -base $(BASE) -tolerance $(TOLERANCE)

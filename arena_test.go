@@ -1,0 +1,220 @@
+// Differential tests for the per-run arena (internal/core/arena.go): the
+// arena must be invisible in the results — every SLRH variant must
+// produce a bit-for-bit identical schedule through RunArena, on the
+// first run and on every reuse of the same arena, at every shard count,
+// with the plan cache on and off, and with fault plans active. The file
+// runs under -race in CI, which also exercises the persistent worker
+// pool's dispatch. The steady-state allocation pin at the bottom is the
+// zero-alloc tentpole's unit-level gate (benchrunner -check holds the
+// benchmark-level one).
+package adhocgrid_test
+
+import (
+	"reflect"
+	"testing"
+
+	"adhocgrid/internal/core"
+	"adhocgrid/internal/exp"
+	"adhocgrid/internal/fault"
+	"adhocgrid/internal/grid"
+	"adhocgrid/internal/rng"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/workload"
+)
+
+// arenaRuns is how many consecutive runs each arena performs per
+// configuration: the first grows the buffers, the rest prove reuse.
+const arenaRuns = 3
+
+// assertArenaTransparent runs cfg through plain Run, then arenaRuns
+// times through one poolless arena and — when the config prices in
+// parallel — one arena with a persistent worker pool, and fails unless
+// every schedule is identical to the plain run's export.
+func assertArenaTransparent(t *testing.T, inst *workload.Instance, cfg core.Config, label string) {
+	t.Helper()
+	want := runExport(t, inst, cfg)
+	arenas := []struct {
+		name    string
+		workers int
+	}{{"poolless", 0}}
+	if cfg.ScoreWorkers > 1 || cfg.PoolWorkers > 1 {
+		arenas = append(arenas, struct {
+			name    string
+			workers int
+		}{"pooled", 2})
+	}
+	for _, ar := range arenas {
+		a := core.NewArena(ar.workers)
+		for run := 0; run < arenaRuns; run++ {
+			res, err := core.RunArena(inst, cfg, a)
+			if err != nil {
+				a.Close()
+				t.Fatalf("%s: arena %s run %d: %v", label, ar.name, run, err)
+			}
+			got := res.State.Export()
+			if !reflect.DeepEqual(got, want) {
+				a.Close()
+				t.Fatalf("%s: arena %s run %d differs from plain Run\narena: mapped=%d T100=%d TEC=%g AET=%g\nplain: mapped=%d T100=%d TEC=%g AET=%g",
+					label, ar.name, run,
+					got.Metrics.Mapped, got.Metrics.T100, got.Metrics.TEC, got.Metrics.AETSeconds,
+					want.Metrics.Mapped, want.Metrics.T100, want.Metrics.TEC, want.Metrics.AETSeconds)
+			}
+		}
+		a.Close()
+	}
+}
+
+// arenaConfigs sweeps the serial path, the parallel path at shard counts
+// {1, 2, NumCPU}, and the cache-off variants of both — the same matrix
+// as the parallel differential suite, with the arena bolted on.
+func arenaConfigs(base core.Config) []core.Config {
+	out := []core.Config{base}
+	for _, shards := range shardCounts() {
+		c := base
+		c.PoolWorkers = shards
+		c.ScoreWorkers = shards
+		out = append(out, c)
+	}
+	for k, n := 0, len(out); k < n; k++ {
+		c := out[k]
+		c.DisablePlanCache = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// TestArenaDifferentialSuite proves the tentpole's acceptance criterion:
+// SLRH-1/2/3 through RunArena — reused arenas included — produce
+// schedules identical to plain Run on every grid case, across the
+// serial/parallel and cache-on/off matrix.
+func TestArenaDifferentialSuite(t *testing.T) {
+	env, err := exp.NewEnv(exp.Bench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sched.NewWeights(0.5, 0.3)
+	for _, c := range grid.AllCases {
+		inst := env.Instance(c, 0, 0)
+		for _, v := range []core.Variant{core.SLRH1, core.SLRH2, core.SLRH3} {
+			for _, cfg := range arenaConfigs(core.DefaultConfig(v, w)) {
+				assertArenaTransparent(t, inst, cfg, v.String()+"/case"+c.String())
+			}
+		}
+	}
+}
+
+// TestArenaDifferentialFaultPlan repeats the sweep with the full fault
+// surface active — a transient failure, a loss/rejoin churn pair, and a
+// link-degradation window — so arena reuse is exercised across
+// shrink-epoch bumps, requeues, and pricing-relevant windows.
+func TestArenaDifferentialFaultPlan(t *testing.T) {
+	env, err := exp.NewEnv(exp.Bench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := env.Instance(grid.CaseA, 0, 0)
+	w := sched.NewWeights(0.5, 0.3)
+	spec := "fail:t7@" + itoa(inst.TauCycles/16) +
+		",lose:1@" + itoa(inst.TauCycles/8) +
+		",slow:links*0.5@[" + itoa(inst.TauCycles/6) + "," + itoa(inst.TauCycles) + "]" +
+		",rejoin:1@" + itoa(inst.TauCycles/4)
+	pl, err := fault.ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []core.Variant{core.SLRH1, core.SLRH2, core.SLRH3} {
+		cfg := core.DefaultConfig(v, w)
+		cfg.Faults = pl
+		for _, c := range arenaConfigs(cfg) {
+			assertArenaTransparent(t, inst, c, v.String()+"/faultplan")
+		}
+	}
+}
+
+// TestArenaReuseAcrossInstances re-targets one arena at instances of
+// different sizes and grid cases in both directions (grow and shrink):
+// the state and cache reset paths must leave no residue.
+func TestArenaReuseAcrossInstances(t *testing.T) {
+	w := sched.NewWeights(0.5, 0.3)
+	cfg := core.DefaultConfig(core.SLRH1, w)
+	a := core.NewArena(0)
+	defer a.Close()
+	for _, round := range []struct {
+		n int
+		c grid.Case
+	}{{48, grid.CaseA}, {96, grid.CaseB}, {32, grid.CaseC}, {96, grid.CaseB}, {48, grid.CaseA}} {
+		s, err := workload.Generate(workload.DefaultParams(round.n), rng.New(exp.DefaultSeed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := s.Instantiate(round.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runExport(t, inst, cfg)
+		res, err := core.RunArena(inst, cfg, a)
+		if err != nil {
+			t.Fatalf("n=%d case %v: %v", round.n, round.c, err)
+		}
+		if got := res.State.Export(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d case %v: arena schedule differs from plain Run", round.n, round.c)
+		}
+	}
+}
+
+// TestArenaSteadyStateAllocs pins the zero-alloc tentpole at the unit
+// level: after warm-up, a full SLRH run on a reused arena performs no
+// steady-state heap allocations — serial and parallel-with-pool alike.
+// benchrunner -check gates the same property on the recorded benchmarks.
+func TestArenaSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	s, err := workload.Generate(workload.DefaultParams(96), rng.New(exp.DefaultSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Instantiate(grid.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sched.NewWeights(0.5, 0.3)
+	cases := []struct {
+		name    string
+		workers int
+		cfg     func() core.Config
+	}{
+		{"serial_cached", 0, func() core.Config {
+			return core.DefaultConfig(core.SLRH1, w)
+		}},
+		{"serial_uncached", 0, func() core.Config {
+			cfg := core.DefaultConfig(core.SLRH1, w)
+			cfg.DisablePlanCache = true
+			return cfg
+		}},
+		{"parallel_pooled", 2, func() core.Config {
+			cfg := core.DefaultConfig(core.SLRH1, w)
+			cfg.PoolWorkers = 2
+			cfg.ScoreWorkers = 2
+			return cfg
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg()
+			a := core.NewArena(tc.workers)
+			defer a.Close()
+			op := func() {
+				if _, err := core.RunArena(inst, cfg, a); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 2; i++ { // reach the buffers' high-water marks
+				op()
+			}
+			if avg := testing.AllocsPerRun(3, op); avg > 0 {
+				t.Errorf("steady-state allocs/run = %g, want 0", avg)
+			}
+		})
+	}
+}

@@ -338,7 +338,7 @@ func BenchmarkSLRH(b *testing.B) {
 // at |T|=1024, serial vs the parallel candidate prefill + scorer at
 // GOMAXPROCS workers. The schedules are byte-identical (parallel_test.go
 // proves it); only the wall time may differ. On hosts with ≥4 cores the
-// parallel variant is expected ≥1.5x faster; the committed BENCH_5.json
+// parallel variant is expected ≥1.5x faster; the committed BENCH_10.json
 // records the ratio measured on the baseline host alongside its
 // gomaxprocs.
 func BenchmarkSLRHParallel(b *testing.B) {

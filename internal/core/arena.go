@@ -1,0 +1,120 @@
+package core
+
+import (
+	"sync"
+
+	"adhocgrid/internal/par"
+	"adhocgrid/internal/sched"
+	"adhocgrid/internal/workload"
+)
+
+// Per-run arena (DESIGN.md §19). One SLRH run allocates a schedule
+// state, a runner's pools and caches, and — on the parallel paths —
+// goroutines per timestep. None of that is inherent to a single run:
+// every buffer reaches a natural high-water mark and can be reused
+// verbatim by the next run over the same (or a same-shaped) instance.
+// An Arena owns all of it, so in steady state RunArena touches the
+// allocator only incidentally (allocs/op ≈ 0, gated by the perf suite
+// and benchrunner -check).
+
+// Arena owns the reusable storage of SLRH runs: the schedule state, the
+// runner (candidate pool, plan cache, pricing scratch), the Result, and
+// optionally a persistent scoring worker pool. RunArena behaves exactly
+// like Run — byte-identical schedules, proven by the differential arena
+// tests — but reuses all of it across calls.
+//
+// Ownership contract: the *Result returned by RunArena (including
+// Result.State) is valid only until the next RunArena call on the same
+// arena. Callers that keep the schedule longer must copy what they need
+// (the serve layer extracts its response before releasing the arena).
+//
+// An Arena serves one run at a time; use an ArenaPool to share arenas
+// across concurrent request handlers.
+type Arena struct {
+	st  *sched.State
+	run runner
+	res Result
+}
+
+// NewArena returns an empty arena. workers > 1 attaches a persistent
+// par.Pool of that many goroutines servicing the parallel pricing paths
+// (Config.ScoreWorkers / PoolWorkers) without per-timestep goroutine
+// spawns; Close must then be called to stop them. workers <= 1 attaches
+// nothing: parallel configs fall back to one-shot goroutines, and there
+// is nothing to close (Close stays safe) — the right shape for servers
+// whose test suites gate on goroutine leaks.
+func NewArena(workers int) *Arena {
+	a := &Arena{}
+	if workers > 1 {
+		a.run.wpool = par.NewPool(workers)
+	}
+	return a
+}
+
+// Close stops the arena's persistent workers, if any. The arena remains
+// usable afterwards (dispatch falls back to one-shot goroutines).
+func (a *Arena) Close() {
+	if a.run.wpool != nil {
+		a.run.wpool.Close()
+		a.run.wpool = nil
+	}
+}
+
+// RunArena is Run with storage reuse: identical results, allocation-free
+// steady state. A nil arena degrades to plain Run.
+func RunArena(inst *workload.Instance, cfg Config, a *Arena) (*Result, error) {
+	if a == nil {
+		return Run(inst, cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if a.st == nil {
+		a.st = sched.NewState(inst, cfg.Weights)
+	} else {
+		a.st.Reset(inst, cfg.Weights)
+	}
+	if err := a.run.run(a.st, cfg, &a.res); err != nil {
+		return nil, err
+	}
+	return &a.res, nil
+}
+
+// ArenaPool is a free list of arenas for concurrent servers: Get returns
+// a parked (or fresh) arena, Put parks it again after the run. Parked
+// arenas keep their grown buffers, so a server in steady state admits
+// scheduling requests without rebuilding runner state. Pooled arenas are
+// created without persistent workers — leak-gated servers must own no
+// long-lived goroutines — and every Get must be paired with a Put on all
+// paths (enforced by the adhoclint pairwise analyzer).
+type ArenaPool struct {
+	mu   sync.Mutex
+	free []*Arena
+}
+
+// NewArenaPool returns an empty pool.
+func NewArenaPool() *ArenaPool { return &ArenaPool{} }
+
+// Get pops a parked arena, or builds a fresh poolless one.
+func (p *ArenaPool) Get() *Arena {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		a := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return a
+	}
+	return NewArena(0)
+}
+
+// Put parks an arena for reuse. The caller must not touch the arena, or
+// any Result it produced, afterwards. Put(nil) is a no-op.
+func (p *ArenaPool) Put(a *Arena) {
+	if a == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, a)
+}

@@ -43,14 +43,72 @@ func (r *runner) poolWorkers() int {
 	return r.cfg.PoolWorkers
 }
 
-// workerScratch returns per-goroutine pricing scratches for a fan-out
-// of w, growing the runner's pool on first use. Entry k is owned by
-// worker k for the duration of one MapWorkers call.
-func (r *runner) workerScratch(w int) []sched.PlanScratch {
+// workerScratch sizes the per-goroutine pricing scratches for a fan-out
+// of w, growing the runner's arrays on first use. Entry k is owned by
+// worker k for the duration of one dispatch. With a persistent worker
+// pool attached, any of its workers may claim any index, so the arrays
+// cover the pool's full worker count.
+func (r *runner) workerScratch(w int) {
+	if r.wpool != nil && r.wpool.Workers() > w {
+		w = r.wpool.Workers()
+	}
 	for len(r.scratches) < w {
 		r.scratches = append(r.scratches, sched.PlanScratch{})
 	}
-	return r.scratches
+	for len(r.workerGeom) < w {
+		r.workerGeom = append(r.workerGeom, sched.CandidateGeom{})
+	}
+}
+
+// parMap dispatches n items of t: to the runner's persistent worker
+// pool when one is attached (arena path — no per-timestep goroutine
+// spawns), else to a one-shot par.MapWorkers fan-out of width w. Both
+// claim indices from one atomic counter, so results are identical.
+func (r *runner) parMap(w, n int, t par.Task) {
+	if r.wpool != nil {
+		r.wpool.Map(n, t)
+		return
+	}
+	par.MapWorkers(w, n, t.Run)
+}
+
+// prefillExec is the par.Task pricing the runner's prefill work list;
+// it lives on the runner so dispatching it does not allocate.
+type prefillExec struct {
+	r   *runner
+	now int64
+}
+
+func (t *prefillExec) Run(worker, k int) {
+	r := t.r
+	tk := r.prefillBuf[k]
+	r.priceEntryRO(r.cache.entry(tk.i, tk.j), tk.i, tk.j, t.now, &r.scratches[worker])
+}
+
+// scoreExec is the par.Task pricing one pool's cache misses (needBuf).
+type scoreExec struct {
+	r   *runner
+	j   int
+	now int64
+}
+
+func (t *scoreExec) Run(worker, k int) {
+	r := t.r
+	i := r.needBuf[k]
+	r.priceEntryRO(r.cache.entry(i, t.j), i, t.j, t.now, &r.scratches[worker])
+}
+
+// uncachedExec is the par.Task pricing one pool's candidates with the
+// plan cache disabled, each result into its own pairsBuf/pairsTr slot.
+type uncachedExec struct {
+	r   *runner
+	j   int
+	now int64
+}
+
+func (t *uncachedExec) Run(worker, k int) {
+	r := t.r
+	r.pairsBuf[k] = r.pricePairRO(r.eligible[k], t.j, t.now, worker, &r.pairsTr[k])
 }
 
 // prefillPools warms the plan cache for the timestep at clock `now`: it
@@ -82,13 +140,10 @@ func (r *runner) prefillPools(now int64) {
 			r.prefillBuf = append(r.prefillBuf, pricedTask{i, j})
 		}
 	}
-	tasks := r.prefillBuf
 	w := r.poolWorkers()
-	scratch := r.workerScratch(w)
-	par.MapWorkers(w, len(tasks), func(worker, k int) {
-		t := tasks[k]
-		r.priceEntryRO(r.cache.entry(t.i, t.j), t.i, t.j, now, &scratch[worker])
-	})
+	r.workerScratch(w)
+	r.prefillT = prefillExec{r: r, now: now}
+	r.parMap(w, len(r.prefillBuf), &r.prefillT)
 }
 
 // priceEntryRO prices candidate (i, j) directly into its cache entry
@@ -105,7 +160,7 @@ func (r *runner) priceEntryRO(e *planEntry, i, j int, now int64, sc *sched.PlanS
 		r.finishStore(e, i, j, now)
 		return
 	}
-	planP, errP, planS, errS := r.st.PlanVersionsFromGeomRO(i, j, now, &e.geom, sc)
+	planP, errP, planS, errS := r.st.PlanVersionsFromGeomRO(i, j, now, &e.geom, sc, &e.trBuf)
 	e.pair = planPair{planP: planP, planS: planS, okP: errP == nil, okS: errS == nil}
 	r.finishStore(e, i, j, now)
 }
@@ -123,41 +178,41 @@ func (r *runner) scoreParallel(j int, now int64) {
 				r.needBuf = append(r.needBuf, i)
 			}
 		}
-		need := r.needBuf
-		scratch := r.workerScratch(r.cfg.ScoreWorkers)
-		par.MapWorkers(r.cfg.ScoreWorkers, len(need), func(worker, k int) {
-			i := need[k]
-			r.priceEntryRO(r.cache.entry(i, j), i, j, now, &scratch[worker])
-		})
+		r.workerScratch(r.cfg.ScoreWorkers)
+		r.scoreT = scoreExec{r: r, j: j, now: now}
+		r.parMap(r.cfg.ScoreWorkers, len(r.needBuf), &r.scoreT)
 		for _, i := range r.eligible {
 			// Every entry is now priced at `now` with current deps, so
 			// this is a guaranteed cache hit returning the stored pair.
-			if c, ok := r.selectVersion(i, r.plansFor(i, j, now)); ok {
-				r.pool = append(r.pool, c)
-			}
+			r.poolAddBest(i, r.plansFor(i, j, now))
 		}
 		return
 	}
-	pairs := make([]planPair, len(r.eligible))
-	scratch := r.workerScratch(r.cfg.ScoreWorkers)
-	par.MapWorkers(r.cfg.ScoreWorkers, len(r.eligible), func(worker, k int) {
-		pairs[k] = r.pricePairRO(r.eligible[k], j, now, &scratch[worker])
-	})
+	n := len(r.eligible)
+	if cap(r.pairsBuf) < n {
+		r.pairsBuf = make([]planPair, n)
+	}
+	r.pairsBuf = r.pairsBuf[:n]
+	for len(r.pairsTr) < n {
+		r.pairsTr = append(r.pairsTr, nil)
+	}
+	r.workerScratch(r.cfg.ScoreWorkers)
+	r.uncachedT = uncachedExec{r: r, j: j, now: now}
+	r.parMap(r.cfg.ScoreWorkers, n, &r.uncachedT)
 	for k, i := range r.eligible {
-		if c, ok := r.selectVersion(i, &pairs[k]); ok {
-			r.pool = append(r.pool, c)
-		}
+		r.poolAddBest(i, &r.pairsBuf[k])
 	}
 }
 
 // pricePairRO prices both versions of (i, j) without mutating shared
-// state: geometry into a plan-local scratch, then the read-only replay.
-// Identical to pricePair by the PlanVersionsFromGeomRO equivalence.
-func (r *runner) pricePairRO(i, j int, now int64, sc *sched.PlanScratch) planPair {
-	var g sched.CandidateGeom
-	if err := r.st.FillCandidateGeom(i, j, &g); err != nil {
+// state: geometry into the worker's scratch, then the read-only replay
+// into the item's own transfer buffer. Identical to pricePair by the
+// PlanVersionsFromGeomRO equivalence.
+func (r *runner) pricePairRO(i, j int, now int64, worker int, buf *[]sched.Transfer) planPair {
+	g := &r.workerGeom[worker]
+	if err := r.st.FillCandidateGeom(i, j, g); err != nil {
 		return planPair{}
 	}
-	planP, errP, planS, errS := r.st.PlanVersionsFromGeomRO(i, j, now, &g, sc)
+	planP, errP, planS, errS := r.st.PlanVersionsFromGeomRO(i, j, now, g, &r.scratches[worker], buf)
 	return planPair{planP: planP, planS: planS, okP: errP == nil, okS: errS == nil}
 }

@@ -86,6 +86,13 @@ type planEntry struct {
 	geomValid bool
 	geomEpoch uint64 // State.ShrinkEpoch at geometry capture
 	geom      sched.CandidateGeom
+
+	// trBuf is the entry-owned transfer backing of pair's plans: every
+	// repricing of this entry rebuilds the transfers in place, so the
+	// pair's plans are valid until the entry's next repricing. Consumers
+	// that outlive that (the candidate pool, committed assignments) copy
+	// the contents out.
+	trBuf []sched.Transfer
 }
 
 // planCache holds one entry per (subtask, machine) pair.
@@ -100,9 +107,31 @@ func newPlanCache(n, m int) *planCache {
 
 func (pc *planCache) entry(i, j int) *planEntry { return &pc.entries[i*pc.m+j] }
 
-// pricePair runs the full sequential pricing of both versions.
+// reset readies the cache for a new run of n subtasks on m machines.
+// When the machine stride matches and the entry array is large enough,
+// every entry is invalidated in place so entry (i, j) keeps the deps,
+// geometry, and transfer backings it grew on earlier runs — the arena
+// path's cache reaches a steady state with no per-run allocation.
+func (pc *planCache) reset(n, m int) {
+	if m != pc.m || n*m > cap(pc.entries) {
+		pc.m = m
+		pc.entries = make([]planEntry, n*m)
+		return
+	}
+	pc.entries = pc.entries[:n*m]
+	for k := range pc.entries {
+		e := &pc.entries[k]
+		e.valid = false
+		e.geomValid = false
+		e.depsKnown = false
+	}
+}
+
+// pricePair runs the full sequential pricing of both versions into the
+// runner's cache-off scratch buffer (safe: the pool and Commit copy the
+// transfer contents out before the next pricing overwrites it).
 func (r *runner) pricePair(i, j int, now int64) planPair {
-	planP, errP, planS, errS := r.st.PlanCandidateVersions(i, j, now)
+	planP, errP, planS, errS := r.st.PlanCandidateVersionsBuf(i, j, now, &r.trScratch)
 	return planPair{planP: planP, planS: planS, okP: errP == nil, okS: errS == nil}
 }
 
@@ -137,7 +166,7 @@ func (r *runner) repriceEntry(e *planEntry, i, j int, now int64) *planPair {
 		r.finishStore(e, i, j, now)
 		return &e.pair
 	}
-	planP, errP, planS, errS := r.st.PlanVersionsFromGeom(i, j, now, &e.geom)
+	planP, errP, planS, errS := r.st.PlanVersionsFromGeom(i, j, now, &e.geom, &e.trBuf)
 	e.pair = planPair{planP: planP, planS: planS, okP: errP == nil, okS: errS == nil}
 	r.finishStore(e, i, j, now)
 	return &e.pair

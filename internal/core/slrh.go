@@ -20,10 +20,11 @@ package core
 
 import (
 	"fmt"
-	"slices"
+	"sort"
 	"time"
 
 	"adhocgrid/internal/fault"
+	"adhocgrid/internal/par"
 	"adhocgrid/internal/sched"
 	"adhocgrid/internal/workload"
 )
@@ -163,28 +164,139 @@ type Result struct {
 	FaultsSkipped int
 }
 
-// candidate is one pool entry: a subtask with its chosen version, its
-// priced plan, and its objective score.
-type candidate struct {
-	subtask int
-	version workload.Version
-	plan    sched.Plan
-	score   float64
+// candPool is the candidate pool U in struct-of-arrays layout (DESIGN.md
+// §19): the sort and the sweep permute a dense int32 order array over
+// parallel score/subtask columns instead of moving ~100-byte candidate
+// structs, and each plan's transfer contents are copied into a
+// pool-owned slab, so later repricings of the cache entry the plan came
+// from cannot mutate a pool entry in place (SLRH-2 revisits pool entries
+// after failed commits; the copy pins their build-time pricing).
+type candPool struct {
+	subtask []int32
+	version []workload.Version
+	score   []float64
+	plan    []sched.Plan
+	order   []int32 // sorted permutation; mapFirstStartable removes from it
+	slab    trSlab
+}
+
+// reset empties the pool for the next build, keeping every backing array
+// and the transfer slab's chunks.
+func (p *candPool) reset() {
+	p.subtask = p.subtask[:0]
+	p.version = p.version[:0]
+	p.score = p.score[:0]
+	p.plan = p.plan[:0]
+	p.order = p.order[:0]
+	p.slab.reset()
+}
+
+// add appends one candidate, copying the plan's transfers into the
+// pool's slab (the source buffer is cache- or scratch-owned and will be
+// overwritten by the next pricing).
+func (p *candPool) add(i int, v workload.Version, plan *sched.Plan, score float64) {
+	p.order = append(p.order, int32(len(p.subtask)))
+	p.subtask = append(p.subtask, int32(i))
+	p.version = append(p.version, v)
+	p.score = append(p.score, score)
+	p.plan = append(p.plan, *plan)
+	pl := &p.plan[len(p.plan)-1]
+	pl.Transfers = p.slab.copy(pl.Transfers)
+}
+
+// sort.Interface over the order permutation: descending score, ascending
+// subtask id. The key is unique, so any comparison sort yields the same
+// deterministic order; sort.Sort on the pointer receiver avoids the
+// per-call comparator allocation of the slices helpers.
+func (p *candPool) Len() int      { return len(p.order) }
+func (p *candPool) Swap(a, b int) { p.order[a], p.order[b] = p.order[b], p.order[a] }
+func (p *candPool) Less(a, b int) bool {
+	x, y := p.order[a], p.order[b]
+	switch {
+	case p.score[x] > p.score[y]:
+		return true
+	case p.score[x] < p.score[y]:
+		return false
+	default:
+		return p.subtask[x] < p.subtask[y]
+	}
+}
+
+// trChunkLen sizes the slab chunks of candPool and the per-run transfer
+// interning in sched.State; plans carry a handful of transfers, so one
+// chunk serves many candidates.
+const trChunkLen = 256
+
+// trSlab is a chunked transfer arena: spans handed out by copy stay at
+// their addresses until reset, and reset keeps the chunks for reuse.
+type trSlab struct {
+	chunks [][]sched.Transfer
+	cur    int
+}
+
+func (s *trSlab) reset() {
+	for k := range s.chunks {
+		s.chunks[k] = s.chunks[k][:0]
+	}
+	s.cur = 0
+}
+
+// copy stores a copy of ts in the slab and returns the stored span; nil
+// in, nil out (plans distinguish nil from empty).
+func (s *trSlab) copy(ts []sched.Transfer) []sched.Transfer {
+	if ts == nil {
+		return nil
+	}
+	need := len(ts)
+	for {
+		if s.cur == len(s.chunks) {
+			size := trChunkLen
+			if need > size {
+				size = need
+			}
+			s.chunks = append(s.chunks, make([]sched.Transfer, 0, size))
+		}
+		c := s.chunks[s.cur]
+		if cap(c)-len(c) >= need {
+			out := c[len(c) : len(c)+need : len(c)+need]
+			copy(out, ts)
+			s.chunks[s.cur] = c[:len(c)+need]
+			return out
+		}
+		s.cur++
+	}
 }
 
 // runner holds per-run scratch state so the hot loop does not allocate.
+// A zero runner is ready; the arena path (arena.go) keeps one alive
+// across runs so every buffer below reaches steady state after the first
+// run and stays there.
 type runner struct {
 	st         *sched.State
 	cfg        Config
 	readyBuf   []int
 	eligible   []int
-	pool       []candidate
-	cache      *planCache   // nil when Config.DisablePlanCache
-	pairBuf    planPair     // pricing scratch when the cache is off
-	revalCost  []senderCost // reusable revalidation scratch
-	prefillBuf []pricedTask // per-timestep parallel prefill work list
-	needBuf    []int        // per-pool parallel scoring miss list
-	scratches  []sched.PlanScratch // one read-only pricing scratch per worker
+	pool       candPool
+	cache      *planCache           // nil when Config.DisablePlanCache
+	pairBuf    planPair             // pricing scratch when the cache is off
+	trScratch  []sched.Transfer     // cache-off serial pricing transfer buffer
+	revalCost  []senderCost         // reusable revalidation scratch
+	prefillBuf []pricedTask         // per-timestep parallel prefill work list
+	needBuf    []int                // per-pool parallel scoring miss list
+	scratches  []sched.PlanScratch  // one read-only pricing scratch per worker
+	workerGeom []sched.CandidateGeom // one cache-off pricing geometry per worker
+	pairsBuf   []planPair           // cache-off parallel scoring results
+	pairsTr    [][]sched.Transfer   // per-item transfer buffers for pairsBuf
+
+	// wpool, when non-nil, dispatches parallel pricing batches to
+	// persistent workers instead of spawning goroutines per timestep
+	// (arena-owned; see par.Pool). The task values below persist on the
+	// runner so handing them to the pool converts to the par.Task
+	// interface without allocating.
+	wpool     *par.Pool
+	prefillT  prefillExec
+	scoreT    scoreExec
+	uncachedT uncachedExec
 }
 
 // Run executes the SLRH heuristic on the instance and returns the
@@ -201,8 +313,21 @@ func Run(inst *workload.Instance, cfg Config) (*Result, error) {
 }
 
 // runOn drives the clock loop on an existing state (exported via Run and
-// reused by the adaptive extension and tests).
+// reused by the adaptive extension and tests) with a fresh runner.
 func runOn(st *sched.State, cfg Config) (*Result, error) {
+	var r runner
+	res := &Result{}
+	if err := r.run(st, cfg, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// run drives the clock loop on st, writing the outcome into *res. The
+// runner's buffers, pools, and plan cache are reset in place and reused,
+// which is what makes the arena path's steady state allocation-free; a
+// zero runner behaves identically and simply grows them on first use.
+func (r *runner) run(st *sched.State, cfg Config, res *Result) error {
 	// Merge the structured fault plan with the legacy loss-event list into
 	// one validated, ordered event sequence, and install the plan's
 	// link-degradation windows before any pricing happens.
@@ -214,9 +339,13 @@ func runOn(st *sched.State, cfg Config) (*Result, error) {
 	for _, ev := range cfg.Events {
 		pl.Events = append(pl.Events, fault.Event{Kind: fault.Lose, At: ev.At, Machine: ev.Machine})
 	}
-	pl.Normalize()
-	if err := pl.Validate(st.Inst.Grid.M(), st.N()); err != nil {
-		return nil, err
+	// Normalize/Validate are no-ops on an empty plan; skipping them keeps
+	// the no-fault steady state (the benchmarked one) allocation-free.
+	if len(pl.Events) > 0 || len(pl.Windows) > 0 {
+		pl.Normalize()
+		if err := pl.Validate(st.Inst.Grid.M(), st.N()); err != nil {
+			return err
+		}
 	}
 	fev := pl.Events
 	if len(pl.Windows) > 0 {
@@ -227,12 +356,16 @@ func runOn(st *sched.State, cfg Config) (*Result, error) {
 		st.SetLinkSlowdowns(ws)
 	}
 
-	r := &runner{st: st, cfg: cfg}
-	if !cfg.DisablePlanCache {
+	r.st, r.cfg = st, cfg
+	if cfg.DisablePlanCache {
+		r.cache = nil
+	} else if r.cache == nil {
 		r.cache = newPlanCache(st.N(), st.Inst.Grid.M())
+	} else {
+		r.cache.reset(st.N(), st.Inst.Grid.M())
 	}
 	inst := st.Inst
-	res := &Result{State: st}
+	*res = Result{State: st}
 	eventIdx := 0
 	// The stall-detection fixpoint argument assumes every subtask is
 	// available; with an arrival process the last release bounds when the
@@ -256,13 +389,13 @@ func runOn(st *sched.State, cfg Config) (*Result, error) {
 			case fault.Lose:
 				requeued, err := st.LoseMachine(ev.Machine, ev.At)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				res.Requeued += len(requeued)
 				res.FaultsApplied++
 			case fault.Rejoin:
 				if err := st.RejoinMachine(ev.Machine, ev.At); err != nil {
-					return nil, err
+					return err
 				}
 				res.FaultsApplied++
 			case fault.Fail:
@@ -277,12 +410,12 @@ func runOn(st *sched.State, cfg Config) (*Result, error) {
 				}
 				requeued, err := st.FailSubtask(ev.Subtask, ev.At)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				res.Requeued += len(requeued)
 				res.FaultsApplied++
 			default:
-				return nil, fmt.Errorf("core: unknown fault kind %d", int(ev.Kind))
+				return fmt.Errorf("core: unknown fault kind %d", int(ev.Kind))
 			}
 		}
 		if st.Done() {
@@ -355,7 +488,7 @@ func runOn(st *sched.State, cfg Config) (*Result, error) {
 	}
 	res.Elapsed = time.Since(start) //lint:wallclock elapsed-time reporting only; never a scheduling input
 	res.Metrics = st.Metrics()
-	return res, nil
+	return nil
 }
 
 // buildPool collects the pool U of feasible candidates for machine j at
@@ -366,7 +499,7 @@ func runOn(st *sched.State, cfg Config) (*Result, error) {
 // by descending score.
 func (r *runner) buildPool(j int, now int64) {
 	st := r.st
-	r.pool = r.pool[:0]
+	r.pool.reset()
 	r.readyBuf = st.ReadySet(r.readyBuf)
 	r.eligible = r.eligible[:0]
 	for _, i := range r.readyBuf {
@@ -388,25 +521,10 @@ func (r *runner) buildPool(j int, now int64) {
 		r.scoreParallel(j, now)
 	} else {
 		for _, i := range r.eligible {
-			c, ok := r.scoreCandidate(i, j, now)
-			if !ok {
-				continue
-			}
-			r.pool = append(r.pool, c)
+			r.poolAddBest(i, r.plansFor(i, j, now))
 		}
 	}
-	slices.SortFunc(r.pool, func(a, b candidate) int {
-		// Descending score, ascending subtask id; the key is unique, so
-		// any comparison sort yields the same deterministic order.
-		switch {
-		case a.score > b.score:
-			return -1
-		case a.score < b.score:
-			return 1
-		default:
-			return a.subtask - b.subtask
-		}
-	})
+	sort.Sort(&r.pool)
 }
 
 // plansFor returns the candidate pricing for (i, j), consulting and
@@ -440,31 +558,30 @@ func (r *runner) freshPlan(i, j int, v workload.Version, now int64) (sched.Plan,
 	return pair.planS, pair.okS
 }
 
-// scoreCandidate prices subtask i on machine j at both versions and keeps
-// the one with the larger objective value (ties prefer the primary, which
-// serves the study's stated goal of maximizing T100).
-func (r *runner) scoreCandidate(i, j int, now int64) (candidate, bool) {
-	return r.selectVersion(i, r.plansFor(i, j, now))
-}
-
-// selectVersion picks the version with the larger objective value from a
-// priced pair. Scores are always computed fresh: Hypothetical depends on
-// the schedule's aggregates, which move with every commit.
-func (r *runner) selectVersion(i int, pair *planPair) (candidate, bool) {
+// poolAddBest picks the version of a priced pair with the larger
+// objective value (ties prefer the primary, which serves the study's
+// stated goal of maximizing T100) and appends it to the pool; a pair
+// with no feasible version adds nothing. Scores are always computed
+// fresh: Hypothetical depends on the schedule's aggregates, which move
+// with every commit.
+func (r *runner) poolAddBest(i int, pair *planPair) {
 	st := r.st
 	switch {
 	case !pair.okS && !pair.okP:
-		return candidate{}, false
+		return
 	case !pair.okP:
-		return candidate{subtask: i, version: workload.Secondary, plan: pair.planS, score: st.Hypothetical(&pair.planS)}, true
+		r.pool.add(i, workload.Secondary, &pair.planS, st.Hypothetical(&pair.planS))
+		return
 	case !pair.okS:
-		return candidate{subtask: i, version: workload.Primary, plan: pair.planP, score: st.Hypothetical(&pair.planP)}, true
+		r.pool.add(i, workload.Primary, &pair.planP, st.Hypothetical(&pair.planP))
+		return
 	}
 	scoreP, scoreS := st.Hypothetical(&pair.planP), st.Hypothetical(&pair.planS)
 	if scoreP >= scoreS {
-		return candidate{subtask: i, version: workload.Primary, plan: pair.planP, score: scoreP}, true
+		r.pool.add(i, workload.Primary, &pair.planP, scoreP)
+	} else {
+		r.pool.add(i, workload.Secondary, &pair.planS, scoreS)
 	}
-	return candidate{subtask: i, version: workload.Secondary, plan: pair.planS, score: scoreS}, true
 }
 
 // mapFirstStartable walks the ordered pool and commits the first candidate
@@ -477,22 +594,24 @@ func (r *runner) selectVersion(i int, pair *planPair) (candidate, bool) {
 // was made.
 func (r *runner) mapFirstStartable(now int64, cachedHorizon bool) bool {
 	st := r.st
+	p := &r.pool
 	deadline := now + r.cfg.Horizon
-	for k := 0; k < len(r.pool); k++ {
-		c := &r.pool[k]
-		if st.Assignments[c.subtask] != nil {
+	for k := 0; k < len(p.order); k++ {
+		ord := p.order[k]
+		subtask := int(p.subtask[ord])
+		if st.Assignments[subtask] != nil {
 			continue
 		}
-		plan := &c.plan
+		plan := &p.plan[ord]
 		if stale := st.Mapped > 0 && planStale(st, plan); stale {
-			fresh, ok := r.freshPlan(c.subtask, plan.Machine, c.version, now)
+			fresh, ok := r.freshPlan(subtask, plan.Machine, p.version[ord], now)
 			if !ok {
 				continue
 			}
 			if cachedHorizon {
 				// SLRH-2: the pool is not re-evaluated, so the horizon
 				// test sees the start priced when the pool was built.
-				if c.plan.Start > deadline {
+				if plan.Start > deadline {
 					continue
 				}
 			} else if fresh.Start > deadline {
@@ -501,7 +620,7 @@ func (r *runner) mapFirstStartable(now int64, cachedHorizon bool) bool {
 			if err := st.Commit(fresh); err != nil {
 				continue
 			}
-			r.pool = append(r.pool[:k], r.pool[k+1:]...)
+			p.order = append(p.order[:k], p.order[k+1:]...)
 			return true
 		}
 		if plan.Start > deadline {
@@ -512,7 +631,7 @@ func (r *runner) mapFirstStartable(now int64, cachedHorizon bool) bool {
 			// by an earlier assignment this timestep; drop the candidate.
 			continue
 		}
-		r.pool = append(r.pool[:k], r.pool[k+1:]...)
+		p.order = append(p.order[:k], p.order[k+1:]...)
 		return true
 	}
 	return false

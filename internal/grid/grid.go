@@ -234,6 +234,21 @@ func NewEnergyLedger(g *Grid) *EnergyLedger {
 	return &EnergyLedger{remaining: rem}
 }
 
+// Reset returns every machine of g to full battery in place, reusing the
+// ledger's backing (the arena path re-runs schedules on one ledger). The
+// grid may differ from the one the ledger was built for.
+func (l *EnergyLedger) Reset(g *Grid) {
+	if cap(l.remaining) < g.M() {
+		l.remaining = make([]float64, g.M())
+	}
+	l.remaining = l.remaining[:g.M()]
+	for j, m := range g.Machines {
+		l.remaining[j] = m.Battery
+	}
+	l.version++
+	l.sumVersion = 0
+}
+
 // Remaining returns the energy left on machine j.
 func (l *EnergyLedger) Remaining(j int) float64 { return l.remaining[j] }
 

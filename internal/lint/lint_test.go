@@ -86,6 +86,12 @@ func TestSuiteScopes(t *testing.T) {
 		{"bytepurity", "adhocgrid/internal/chaos", true},
 		{"lockbalance", "adhocgrid/internal/chaos", true},
 		{"pairwise", "adhocgrid/internal/chaos", true},
+		// The scheduler core joined the concurrency families in PR 10:
+		// the arena pool's mutex-guarded free-list (lockbalance) and
+		// its Get/Put borrow protocol (pairwise) are now proven
+		// path-by-path like the service's.
+		{"lockbalance", "adhocgrid/internal/core", true},
+		{"pairwise", "adhocgrid/internal/core", true},
 	}
 	for _, c := range cases {
 		a, ok := byName[c.analyzer]

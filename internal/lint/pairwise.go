@@ -77,6 +77,14 @@ var PairSpecs = []PairSpec{
 		Acquire: []CallPat{{Method: "Add", Recv: "Gauge", Arg: "1"}},
 		Release: []CallPat{{Method: "Add", Recv: "Gauge", Arg: "-1"}},
 	},
+	{
+		// A borrowed arena that never returns to the pool degrades the
+		// pool back to alloc-per-request; a Get must reach a Put on
+		// every path (or annotate the handoff).
+		Name:    "arena pool Get/Put",
+		Acquire: []CallPat{{Method: "Get", Recv: "ArenaPool"}},
+		Release: []CallPat{{Method: "Put", Recv: "ArenaPool"}},
+	},
 }
 
 func runPairwise(pass *Pass) error {

@@ -43,12 +43,13 @@ var ErrorHygienePackages = []string{
 }
 
 // ConcurrencyPackages carry the module's lock-based concurrency: the
-// service's flight coalescing and admission accounting, the priority
-// worker pool, the parallel scorer, and the fabric tier's health view
-// and batch windows. lockbalance and pairwise prove their invariants
-// path-by-path.
+// service's flight coalescing and admission accounting, the scheduler
+// core's arena free-list, the priority worker pool, the parallel
+// scorer, and the fabric tier's health view and batch windows.
+// lockbalance and pairwise prove their invariants path-by-path.
 var ConcurrencyPackages = []string{
 	"adhocgrid/internal/serve",
+	"adhocgrid/internal/core",
 	"adhocgrid/internal/exp",
 	"adhocgrid/internal/par",
 	"adhocgrid/internal/fabric",
@@ -99,8 +100,8 @@ func Suite() []ScopedAnalyzer {
 		{Detrange, "determinism-critical packages (incl. internal/fabric, internal/chaos, cmd/slrhrouter)", inAny(DeterminismCritical)},
 		{Errdrop, "experiment drivers, the fabric tier and commands", inAny(ErrorHygienePackages)},
 		{Floateq, "scoring packages", inAny(ScoringPackages)},
-		{Lockbalance, "internal/serve, internal/exp, internal/par, internal/fabric, internal/chaos, cmd/slrhrouter", inAny(ConcurrencyPackages)},
-		{Pairwise, "internal/serve, internal/exp, internal/par, internal/fabric, internal/chaos, cmd/slrhrouter", inAny(ConcurrencyPackages)},
+		{Lockbalance, "internal/serve, internal/core, internal/exp, internal/par, internal/fabric, internal/chaos, cmd/slrhrouter", inAny(ConcurrencyPackages)},
+		{Pairwise, "internal/serve, internal/core, internal/exp, internal/par, internal/fabric, internal/chaos, cmd/slrhrouter", inAny(ConcurrencyPackages)},
 		{Wallclock, "all packages", all},
 	}
 }

@@ -65,3 +65,34 @@ func leakWaiterRef(f *flight, cancel bool) {
 func leakLeaderRef(f *flight) {
 	f.waiters.Store(1) // want `flight waiter ref/release: acquire does not reach its release`
 }
+
+type Arena struct {
+	scratch []int
+}
+
+type ArenaPool struct {
+	free []*Arena
+}
+
+func (p *ArenaPool) Get() *Arena {
+	if n := len(p.free); n > 0 {
+		a := p.free[n-1]
+		p.free = p.free[:n-1]
+		return a
+	}
+	return &Arena{}
+}
+
+func (p *ArenaPool) Put(a *Arena) {
+	p.free = append(p.free, a)
+}
+
+func leakArena(p *ArenaPool, fail bool) error {
+	a := p.Get() // want `arena pool Get/Put: acquire does not reach its release`
+	if fail {
+		return errBoom
+	}
+	a.scratch = a.scratch[:0]
+	p.Put(a)
+	return nil
+}

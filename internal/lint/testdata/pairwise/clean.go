@@ -36,3 +36,13 @@ type stats struct {
 func countRequest(s *stats) {
 	s.requests.Add(1)
 }
+
+func balancedArena(p *ArenaPool, fail bool) error {
+	a := p.Get()
+	defer p.Put(a)
+	if fail {
+		return errBoom
+	}
+	a.scratch = append(a.scratch, 1)
+	return nil
+}

@@ -1,0 +1,89 @@
+package par
+
+import "sync/atomic"
+
+// Task is one batch of parallel work: Run processes item k on the given
+// worker (the worker index selects per-goroutine scratch, exactly as in
+// MapWorkers). Implementations are typically pointers to structs that
+// persist across batches, so handing one to Pool.Map converts to the
+// interface without allocating.
+type Task interface {
+	Run(worker, k int)
+}
+
+// Pool is a persistent worker set for steady-state fan-out. MapWorkers
+// spawns its goroutines per call, which is fine for one-shot use but
+// puts goroutine startup and closure allocation on the SLRH per-timestep
+// path; a Pool starts its workers once and dispatches every subsequent
+// batch over two channel operations per worker.
+//
+// Determinism contract: identical to MapWorkers — indices are claimed
+// from one atomic counter, every index is processed exactly once, and
+// each task writes only to its own output slot, so results are
+// independent of scheduling order and of the worker count.
+//
+// A Pool is driven by one goroutine at a time: Map must not be called
+// concurrently with itself or with Close.
+type Pool struct {
+	workers int
+	task    Task
+	n       int
+	next    atomic.Int64
+	start   chan struct{}
+	done    chan struct{}
+}
+
+// NewPool starts `workers` persistent goroutines (minimum 1). Callers
+// own the pool's lifecycle and must Close it; the leak-gated suites
+// treat an unclosed pool as a goroutine leak.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, start: make(chan struct{}), done: make(chan struct{})}
+	for g := 0; g < workers; g++ {
+		go p.worker(g)
+	}
+	return p
+}
+
+// Workers returns the pool's worker count (scratch arrays are sized by
+// it: any worker may claim any index).
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) worker(id int) {
+	for range p.start {
+		for {
+			k := int(p.next.Add(1)) - 1
+			if k >= p.n {
+				break
+			}
+			p.task.Run(id, k)
+		}
+		p.done <- struct{}{}
+	}
+}
+
+// Map runs t over every index in [0, n), returning once all are done
+// (which orders the tasks' writes before the caller's subsequent reads,
+// via the completion channel). n <= 0 is a no-op.
+func (p *Pool) Map(n int, t Task) {
+	if n <= 0 {
+		return
+	}
+	p.task, p.n = t, n
+	p.next.Store(0)
+	for g := 0; g < p.workers; g++ {
+		p.start <- struct{}{}
+	}
+	for g := 0; g < p.workers; g++ {
+		<-p.done
+	}
+	p.task = nil
+}
+
+// Close stops the workers. Map must not be called after Close; Close
+// must not be called twice.
+func (p *Pool) Close() {
+	close(p.start)
+}

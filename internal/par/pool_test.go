@@ -1,0 +1,118 @@
+package par_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"adhocgrid/internal/leakcheck"
+	"adhocgrid/internal/par"
+)
+
+// sqTask writes k*k into its slot — the only-your-own-slot pattern the
+// SLRH scorer uses, so pooled and pool-free dispatch must agree.
+type sqTask struct{ out []int }
+
+func (t *sqTask) Run(_, k int) { t.out[k] = k * k }
+
+// hitTask counts how many times each index is claimed and records the
+// worker ids it sees.
+type hitTask struct {
+	hits    []atomic.Int32
+	workers int32 // pool's worker count, for range checking
+	badID   atomic.Int32
+}
+
+func (t *hitTask) Run(worker, k int) {
+	if worker < 0 || int32(worker) >= t.workers {
+		t.badID.Add(1)
+	}
+	t.hits[k].Add(1)
+}
+
+// TestPoolCoversEveryIndexOnce: persistent-worker dispatch claims every
+// index exactly once per batch, at every worker count including the
+// clamped degenerate ones, with in-range worker ids.
+func TestPoolCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 3, 16} {
+		p := par.NewPool(workers)
+		const n = 57
+		task := &hitTask{hits: make([]atomic.Int32, n), workers: int32(p.Workers())}
+		p.Map(n, task)
+		for k := range task.hits {
+			if got := task.hits[k].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d processed %d times", workers, k, got)
+			}
+		}
+		if bad := task.badID.Load(); bad != 0 {
+			t.Fatalf("workers=%d: %d out-of-range worker ids", workers, bad)
+		}
+		p.Close()
+	}
+}
+
+// TestPoolMatchesMapWorkers: the pool and the spawn-per-call MapWorkers
+// produce identical results for slot-writing tasks — same dispatch
+// semantics, different goroutine lifecycle.
+func TestPoolMatchesMapWorkers(t *testing.T) {
+	const n = 1000
+	ref := &sqTask{out: make([]int, n)}
+	par.MapWorkers(4, n, ref.Run)
+
+	p := par.NewPool(4)
+	defer p.Close()
+	got := &sqTask{out: make([]int, n)}
+	p.Map(n, got)
+
+	for k := range ref.out {
+		if ref.out[k] != got.out[k] {
+			t.Fatalf("slot %d: MapWorkers %d vs Pool %d", k, ref.out[k], got.out[k])
+		}
+	}
+}
+
+// TestPoolReuseAcrossBatches: one pool serves many batches of varying
+// size — including empty — without respawning workers or dropping work.
+func TestPoolReuseAcrossBatches(t *testing.T) {
+	p := par.NewPool(3)
+	defer p.Close()
+	for round, n := range []int{5, 0, 1, 400, 7, 0, 64} {
+		task := &hitTask{hits: make([]atomic.Int32, n), workers: int32(p.Workers())}
+		p.Map(n, task)
+		for k := range task.hits {
+			if got := task.hits[k].Load(); got != 1 {
+				t.Fatalf("round %d (n=%d): index %d processed %d times", round, n, k, got)
+			}
+		}
+	}
+}
+
+// TestPoolWorkersClamped: worker counts are clamped to at least one, so
+// a misconfigured pool degrades to serial instead of deadlocking.
+func TestPoolWorkersClamped(t *testing.T) {
+	for _, w := range []int{-5, 0} {
+		p := par.NewPool(w)
+		if got := p.Workers(); got != 1 {
+			t.Errorf("NewPool(%d).Workers() = %d, want 1", w, got)
+		}
+		p.Close()
+	}
+	p := par.NewPool(6)
+	if got := p.Workers(); got != 6 {
+		t.Errorf("NewPool(6).Workers() = %d, want 6", got)
+	}
+	p.Close()
+}
+
+// TestPoolCloseReleasesWorkers: Close must end every worker goroutine —
+// the pool is used by arenas inside leak-gated servers, so a lingering
+// worker is a real defect, not hygiene.
+func TestPoolCloseReleasesWorkers(t *testing.T) {
+	p := par.NewPool(8)
+	task := &sqTask{out: make([]int, 100)}
+	p.Map(len(task.out), task)
+	p.Close()
+	// Check settles before reporting: Close returns without joining the
+	// workers (they exit as soon as the scheduler runs them), so an
+	// instantaneous snapshot could catch one mid-exit.
+	leakcheck.Check(t)
+}

@@ -9,6 +9,8 @@ import (
 )
 
 // report builds a minimal report with the given (name, ns/op) pairs.
+// The benchmarks carry no allocs/bytes fields; use setAllocs to add
+// them where a test needs the v2 metrics.
 func report(pairs ...interface{}) *Report {
 	r := &Report{SchemaVersion: SchemaVersion, Suite: DefaultSuite}
 	for k := 0; k < len(pairs); k += 2 {
@@ -17,6 +19,16 @@ func report(pairs ...interface{}) *Report {
 		})
 	}
 	return r
+}
+
+// setAllocs records allocs/op on the named benchmark.
+func setAllocs(t *testing.T, r *Report, name string, v float64) {
+	t.Helper()
+	b := r.Bench(name)
+	if b == nil {
+		t.Fatalf("setAllocs: no benchmark %s", name)
+	}
+	b.AllocsPerOp = &v
 }
 
 func TestCompareWithinTolerance(t *testing.T) {
@@ -64,6 +76,65 @@ func TestCompareSchemaMismatch(t *testing.T) {
 	}
 }
 
+// TestComparePerMetricFields drives the per-metric missing-field
+// contract through a table: a metric the baseline records is mandatory
+// in the current run (absence must fail loudly, never compare as 0),
+// while metrics only the current run has are fine — baselines trail.
+func TestComparePerMetricFields(t *testing.T) {
+	cases := []struct {
+		name       string
+		baseAllocs *float64 // nil = field absent
+		curAllocs  *float64
+		wantErr    string // substring of the failure, "" = clean pass
+	}{
+		{name: "both recorded within slack",
+			baseAllocs: pf(10), curAllocs: pf(10.5), wantErr: ""},
+		{name: "zero baseline tolerates window noise",
+			baseAllocs: pf(0), curAllocs: pf(0.4), wantErr: ""},
+		{name: "alloc regression fails",
+			baseAllocs: pf(10), curAllocs: pf(30), wantErr: "allocs/op"},
+		{name: "new allocation on a zero baseline fails",
+			baseAllocs: pf(0), curAllocs: pf(2), wantErr: "allocs/op"},
+		{name: "baseline records allocs but current run lacks them",
+			baseAllocs: pf(10), curAllocs: nil, wantErr: "missing in current run"},
+		{name: "legacy baseline without allocs constrains nothing",
+			baseAllocs: nil, curAllocs: pf(500), wantErr: ""},
+		{name: "neither side records allocs",
+			baseAllocs: nil, curAllocs: nil, wantErr: ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := report("a", 100.0)
+			cur := report("a", 100.0)
+			base.Benchmarks[0].AllocsPerOp = tc.baseAllocs
+			cur.Benchmarks[0].AllocsPerOp = tc.curAllocs
+			_, err := Compare(cur, base, 0.10)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Compare = %v, want clean pass", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Compare = %v, want failure containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestCompareNonpositiveNs: a zeroed ns/op in the current run is a
+// broken measurement, not an infinite speedup.
+func TestCompareNonpositiveNs(t *testing.T) {
+	base := report("a", 100.0)
+	cur := report("a", 0.0)
+	if _, err := Compare(cur, base, 0.10); err == nil || !strings.Contains(err.Error(), "nonpositive") {
+		t.Fatalf("Compare = %v, want nonpositive ns_per_op failure", err)
+	}
+}
+
+// pf returns a pointer to v, for literal optional metrics in tests.
+func pf(v float64) *float64 { return &v }
+
 func TestCheckSpeedupExpectation(t *testing.T) {
 	r := &Report{SchemaVersion: SchemaVersion, GoMaxProcs: 8,
 		Derived: []Metric{{Name: "speedup_parallel_n1024", Value: 1.1}}}
@@ -82,10 +153,22 @@ func TestCheckSpeedupExpectation(t *testing.T) {
 	}
 }
 
+// gate fetches the named gate from a verdict.
+func gate(t *testing.T, v Verdict, name string) GateResult {
+	t.Helper()
+	for _, g := range v.Gates {
+		if g.Name == name {
+			return g
+		}
+	}
+	t.Fatalf("verdict %+v has no gate %s", v, name)
+	return GateResult{}
+}
+
 // TestCheckVerdictVacuity pins the verdict seam: a measured pass is
-// not vacuous, a single-core pass is vacuous naming gomaxprocs, and a
-// filtered run without the |T|=1024 pair is vacuous with its own
-// reason — so callers can print SKIP instead of a false "met".
+// not vacuous, a single-core run skips only the speedup gate (naming
+// gomaxprocs), and the overall verdict is vacuous only when every gate
+// was — so callers can print SKIP instead of a false "met".
 func TestCheckVerdictVacuity(t *testing.T) {
 	r := &Report{SchemaVersion: SchemaVersion, GoMaxProcs: 8,
 		Derived: []Metric{{Name: "speedup_parallel_n1024", Value: 1.7}}}
@@ -94,12 +177,35 @@ func TestCheckVerdictVacuity(t *testing.T) {
 		t.Fatalf("measured pass: verdict %+v err %v, want a non-vacuous pass", v, err)
 	}
 
+	// No benchmarks at all: the allocs gate is vacuous too, so a
+	// single-core run measures nothing and the whole verdict says so,
+	// still naming gomaxprocs.
 	r.GoMaxProcs = 1
 	v, err = CheckVerdict(r)
-	if err != nil || !v.Vacuous || v.Reason != "gomaxprocs=1" {
-		t.Fatalf("single-core: verdict %+v err %v, want vacuous with reason gomaxprocs=1", v, err)
+	if err != nil || !v.Vacuous || !strings.Contains(v.Reason, "gomaxprocs=1") {
+		t.Fatalf("single-core: verdict %+v err %v, want vacuous mentioning gomaxprocs=1", v, err)
+	}
+	if g := gate(t, v, "parallel_speedup"); !g.Vacuous || g.Reason != "gomaxprocs=1" {
+		t.Fatalf("speedup gate = %+v, want vacuous with reason gomaxprocs=1", g)
 	}
 
+	// With a capped benchmark present the allocs gate runs regardless of
+	// core count, so the overall verdict is a real (non-vacuous) pass
+	// even though the speedup gate still skips.
+	r.Benchmarks = append(r.Benchmarks, BenchResult{Name: "slrh1_serial_n256", Iterations: 1, NsPerOp: 1})
+	setAllocs(t, r, "slrh1_serial_n256", 0)
+	v, err = CheckVerdict(r)
+	if err != nil || v.Vacuous {
+		t.Fatalf("single-core with alloc gate: verdict %+v err %v, want a non-vacuous pass", v, err)
+	}
+	if g := gate(t, v, "parallel_speedup"); !g.Vacuous {
+		t.Fatalf("speedup gate = %+v, want still vacuous on 1 core", g)
+	}
+	if g := gate(t, v, "allocs"); g.Vacuous {
+		t.Fatalf("allocs gate = %+v, want measured", g)
+	}
+
+	r.Benchmarks = nil
 	r.GoMaxProcs = 8
 	r.Derived = nil
 	v, err = CheckVerdict(r)
@@ -113,8 +219,40 @@ func TestCheckVerdictVacuity(t *testing.T) {
 	}
 }
 
+// TestCheckAllocCaps pins the allocation gate: a capped benchmark over
+// its budget fails, one without a recorded allocs/op fails loudly (the
+// gate refuses to assume 0), and uncapped benchmarks are ignored.
+func TestCheckAllocCaps(t *testing.T) {
+	r := report("slrh1_serial_n256", 100.0, "helper_bench", 50.0)
+	r.GoMaxProcs = 1
+
+	// Capped benchmark with allocs_per_op missing: loud failure.
+	if _, err := CheckVerdict(r); err == nil || !strings.Contains(err.Error(), "not recorded") {
+		t.Fatalf("missing allocs on capped bench: err %v, want 'not recorded' failure", err)
+	}
+
+	// Within budget: pass, and the gate reports it ran.
+	setAllocs(t, r, "slrh1_serial_n256", 0.2)
+	v, err := CheckVerdict(r)
+	if err != nil || v.Vacuous {
+		t.Fatalf("within budget: verdict %+v err %v, want non-vacuous pass", v, err)
+	}
+
+	// Over budget: fail naming the benchmark and the cap.
+	setAllocs(t, r, "slrh1_serial_n256", 12)
+	if _, err := CheckVerdict(r); err == nil || !strings.Contains(err.Error(), "slrh1_serial_n256") {
+		t.Fatalf("over budget: err %v, want failure naming the benchmark", err)
+	}
+
+	// An uncapped benchmark may allocate freely without a recorded value.
+	if _, ok := AllocCaps["helper_bench"]; ok {
+		t.Fatal("test premise broken: helper_bench must not be capped")
+	}
+}
+
 func TestReportFileRoundTrip(t *testing.T) {
 	r := report("a", 123.0)
+	setAllocs(t, r, "a", 42)
 	r.Seed = 7
 	r.GoMaxProcs = 2
 	r.Derived = []Metric{{Name: "x", Value: 1.5}}
@@ -179,6 +317,9 @@ func TestRunSubsetDeterministicMetrics(t *testing.T) {
 		t.Fatalf("filter selected %d/%d benchmarks, want 2/2", len(a.Benchmarks), len(b.Benchmarks))
 	}
 	for k := range a.Benchmarks {
+		if _, ok := a.Benchmarks[k].Allocs(); !ok {
+			t.Fatalf("%s: Run did not record allocs_per_op", a.Benchmarks[k].Name)
+		}
 		am, bm := a.Benchmarks[k].Metrics, b.Benchmarks[k].Metrics
 		if len(am) == 0 {
 			t.Fatalf("%s: no metrics sampled", a.Benchmarks[k].Name)

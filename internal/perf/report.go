@@ -17,8 +17,11 @@ import (
 )
 
 // SchemaVersion identifies the report layout. Compare refuses to diff
-// reports across schema versions.
-const SchemaVersion = 1
+// reports across schema versions. v2 made allocs_per_op/bytes_per_op
+// optional-but-explicit pointers: an absent field means "not measured"
+// and is distinguishable from a measured zero, so the compare gate can
+// fail loudly on missing data instead of treating it as 0.
+const SchemaVersion = 2
 
 // Metric is one named scalar attached to a benchmark or derived from
 // the whole report.
@@ -27,13 +30,16 @@ type Metric struct {
 	Value float64 `json:"value"`
 }
 
-// BenchResult is one benchmark's measurement.
+// BenchResult is one benchmark's measurement. AllocsPerOp/BytesPerOp
+// are pointers so a report that never measured them (hand-trimmed
+// baseline, older tool) is distinguishable from one that measured zero;
+// reports produced by Run always set both.
 type BenchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
+	Name        string   `json:"name"`
+	Iterations  int      `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	// Metrics carries schedule-quality scalars (t100, mapped, …) sampled
 	// from the final iteration. They are deterministic given the seed, so
 	// a baseline diff in this section is a correctness signal, not noise.
@@ -51,6 +57,22 @@ type Report struct {
 	// Derived holds cross-benchmark ratios (speedups), computed from the
 	// measurements above so consumers need not re-derive them.
 	Derived []Metric `json:"derived,omitempty"`
+}
+
+// Allocs returns the benchmark's allocs/op and whether it was recorded.
+func (b *BenchResult) Allocs() (float64, bool) {
+	if b.AllocsPerOp == nil {
+		return 0, false
+	}
+	return *b.AllocsPerOp, true
+}
+
+// Bytes returns the benchmark's bytes/op and whether it was recorded.
+func (b *BenchResult) Bytes() (float64, bool) {
+	if b.BytesPerOp == nil {
+		return 0, false
+	}
+	return *b.BytesPerOp, true
 }
 
 // Bench returns the named benchmark result, or nil.

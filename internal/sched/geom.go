@@ -57,7 +57,7 @@ func (s *State) FillCandidateGeom(i, j int, g *CandidateGeom) error {
 	for _, p := range s.Inst.Scenario.Graph.Parents(i) {
 		pa := s.Assignments[p]
 		if pa == nil {
-			return fmt.Errorf("sched: parent %d of %d unmapped", p, i)
+			return errParentUnmapped
 		}
 		if pa.Machine == j {
 			// Same machine: data available when the parent completes,
@@ -87,30 +87,34 @@ func (s *State) FillCandidateGeom(i, j int, g *CandidateGeom) error {
 // PlanVersionsFromGeom prices both versions of candidate (i, j) from a
 // previously captured geometry. g must have been filled within the
 // current shrink epoch; the result is then identical to
-// PlanCandidateVersions(i, j, now).
-func (s *State) PlanVersionsFromGeom(i, j int, now int64, g *CandidateGeom) (primary Plan, perr error, secondary Plan, serr error) {
+// PlanCandidateVersions(i, j, now). buf, when non-nil, names a reusable
+// transfer buffer: the plans' shared transfer list is built in it and the
+// (possibly grown) backing is written back through the pointer, so a
+// caller that owns the buffer prices repeatedly without allocating. The
+// buffer contents are only valid until the caller's next pricing into it.
+func (s *State) PlanVersionsFromGeom(i, j int, now int64, g *CandidateGeom, buf *[]Transfer) (primary Plan, perr error, secondary Plan, serr error) {
 	if err := s.planChecks(i, j); err != nil {
 		return primary, err, secondary, err
 	}
-	return s.planVersionsFromGeom(i, j, now, g)
+	return s.planVersionsFromGeom(i, j, now, g, buf)
 }
 
 // planVersionsFromGeom is the shared placement half of both
 // PlanCandidateVersions and the cache's replay path.
-func (s *State) planVersionsFromGeom(i, j int, now int64, g *CandidateGeom) (primary Plan, perr error, secondary Plan, serr error) {
+func (s *State) planVersionsFromGeom(i, j int, now int64, g *CandidateGeom, buf *[]Transfer) (primary Plan, perr error, secondary Plan, serr error) {
 	rem := s.Ledger.Remaining(j)
 	priOK := rem >= g.GuardNeed[workload.Primary]
 	secOK := rem >= g.GuardNeed[workload.Secondary]
 	if !priOK {
-		perr = fmt.Errorf("sched: machine %d lacks energy for subtask %d %v", j, i, workload.Primary)
+		perr = errLacksEnergy
 	}
 	if !secOK {
-		serr = fmt.Errorf("sched: machine %d lacks energy for subtask %d %v", j, i, workload.Secondary)
+		serr = errLacksEnergy
 	}
 	if !priOK && !secOK {
 		return primary, perr, secondary, serr
 	}
-	arrival, transfers, err := s.placeIncoming(i, j, now, g)
+	arrival, transfers, err := s.placeIncoming(i, j, now, g, buf)
 	if err != nil {
 		return primary, err, secondary, err
 	}
@@ -155,8 +159,11 @@ type machineCost struct {
 // in-link and the senders' out-links, never booking before cycle `now`.
 // Tentative bookings let later parents see earlier siblings' link usage
 // and are rolled back before returning. It returns the data-arrival cycle
-// and the transfer records.
-func (s *State) placeIncoming(i, j int, now int64, g *CandidateGeom) (int64, []Transfer, error) {
+// and the transfer records, built in *buf when buf is non-nil (the grown
+// backing is written back through the pointer even on the error paths,
+// so the owner never loses capacity). The returned slice is nil exactly
+// when the geometry has no off-machine transfers, buffer or not.
+func (s *State) placeIncoming(i, j int, now int64, g *CandidateGeom, buf *[]Transfer) (int64, []Transfer, error) {
 	booked := s.bookScratch[:0]
 	defer func() {
 		for k := len(booked) - 1; k >= 0; k-- {
@@ -174,14 +181,21 @@ func (s *State) placeIncoming(i, j int, now int64, g *CandidateGeom) (int64, []T
 	}
 	var transfers []Transfer
 	if len(g.Transfers) > 0 {
-		transfers = make([]Transfer, 0, len(g.Transfers))
+		if buf != nil {
+			transfers = (*buf)[:0]
+		} else {
+			transfers = make([]Transfer, 0, len(g.Transfers))
+		}
 	}
 	costs := s.costScratch[:0]
 	defer func() { s.costScratch = costs[:0] }()
 	for idx := range g.Transfers {
 		tg := &g.Transfers[idx]
 		if !s.Alive(tg.From) {
-			return 0, nil, fmt.Errorf("sched: parent %d of %d stranded on lost machine %d", tg.Parent, i, tg.From)
+			if buf != nil && transfers != nil {
+				*buf = transfers
+			}
+			return 0, nil, errParentStranded
 		}
 
 		// Find the earliest slot free on BOTH the sender's out-link and
@@ -230,16 +244,24 @@ func (s *State) placeIncoming(i, j int, now int64, g *CandidateGeom) (int64, []T
 			costs = append(costs, machineCost{tg.From, energy})
 		}
 		if s.Ledger.Remaining(tg.From) < cum {
-			return 0, nil, fmt.Errorf("sched: sender machine %d out of energy for transfer %d->%d",
-				tg.From, tg.Parent, i)
+			if buf != nil && transfers != nil {
+				*buf = transfers
+			}
+			return 0, nil, errSenderEnergy
 		}
 
 		if dur > 0 {
 			if err := send.Book(start, dur); err != nil {
+				if buf != nil && transfers != nil {
+					*buf = transfers
+				}
 				return 0, nil, fmt.Errorf("sched: internal send booking: %w", err)
 			}
 			booked = append(booked, tentBooking{send, start, dur})
 			if err := recv.Book(start, dur); err != nil {
+				if buf != nil && transfers != nil {
+					*buf = transfers
+				}
 				return 0, nil, fmt.Errorf("sched: internal recv booking: %w", err)
 			}
 			booked = append(booked, tentBooking{recv, start, dur})
@@ -252,6 +274,9 @@ func (s *State) placeIncoming(i, j int, now int64, g *CandidateGeom) (int64, []T
 			Parent: tg.Parent, Child: i, From: tg.From, To: j,
 			Start: start, End: end, Bits: tg.Bits, Energy: energy,
 		})
+	}
+	if buf != nil && transfers != nil {
+		*buf = transfers
 	}
 	return arrival, transfers, nil
 }

@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"fmt"
-
 	"adhocgrid/internal/grid"
 	"adhocgrid/internal/workload"
 )
@@ -103,20 +101,14 @@ func (sc *PlanScratch) addCost(machine int, energy float64) float64 {
 // same State; it must not race with Commit.
 func (s *State) PlanCandidateRO(i, j int, v workload.Version, now int64) (Plan, error) {
 	var plan Plan
-	if s.Assignments[i] != nil {
-		return plan, fmt.Errorf("sched: subtask %d already mapped", i)
-	}
-	if s.unmappedParent[i] != 0 {
-		return plan, fmt.Errorf("sched: subtask %d has unmapped parents", i)
-	}
-	if !s.Alive(j) {
-		return plan, fmt.Errorf("sched: machine %d has been lost", j)
+	if err := s.planChecks(i, j); err != nil {
+		return plan, err
 	}
 	graph := s.Inst.Scenario.Graph
 
 	execEnergy := s.Inst.ExecEnergy(i, j, v)
 	if s.Ledger.Remaining(j) < execEnergy+s.Inst.WorstChildCommEnergy(i, j, v) {
-		return plan, fmt.Errorf("sched: machine %d lacks energy for subtask %d %v", j, i, v)
+		return plan, errLacksEnergy
 	}
 
 	var scratch PlanScratch
@@ -125,10 +117,10 @@ func (s *State) PlanCandidateRO(i, j int, v workload.Version, now int64) (Plan, 
 	for _, p := range graph.Parents(i) {
 		pa := s.Assignments[p]
 		if pa == nil {
-			return plan, fmt.Errorf("sched: parent %d of %d unmapped", p, i)
+			return plan, errParentUnmapped
 		}
 		if !s.Alive(pa.Machine) {
-			return plan, fmt.Errorf("sched: parent %d of %d stranded on lost machine %d", p, i, pa.Machine)
+			return plan, errParentStranded
 		}
 		if pa.Machine == j {
 			if pa.End > arrival {
@@ -169,8 +161,7 @@ func (s *State) PlanCandidateRO(i, j int, v workload.Version, now int64) (Plan, 
 		}
 
 		if s.Ledger.Remaining(pa.Machine) < scratch.addCost(pa.Machine, energy) {
-			return plan, fmt.Errorf("sched: sender machine %d out of energy for transfer %d->%d",
-				pa.Machine, p, i)
+			return plan, errSenderEnergy
 		}
 		if dur > 0 {
 			scratch.addSend(pa.Machine, Interval{start, start + dur})
@@ -189,8 +180,7 @@ func (s *State) PlanCandidateRO(i, j int, v workload.Version, now int64) (Plan, 
 	execDur := s.Inst.ExecCycles(i, j, v)
 	execStart := s.ExecTL[j].EarliestFit(arrival, execDur)
 	if execStart+execDur > s.Inst.TauCycles {
-		return plan, fmt.Errorf("sched: subtask %d on machine %d would finish at %d, past tau %d",
-			i, j, execStart+execDur, s.Inst.TauCycles)
+		return plan, errPastTau
 	}
 	plan.Assignment = Assignment{
 		Subtask: i, Machine: j, Version: v,
@@ -206,11 +196,14 @@ func (s *State) PlanCandidateRO(i, j int, v workload.Version, now int64) (Plan, 
 // read-only analogue of PlanVersionsFromGeom, built on EarliestFitWith
 // and plan-local scratch instead of tentative timeline bookings. g must
 // have been filled within the current shrink epoch; the result is then
-// identical to PlanVersionsFromGeom(i, j, now, g). sc provides reusable
-// buffers (nil is allowed and allocates locally); give each goroutine
-// its own. Safe to call concurrently with other read-only pricing calls
-// on the same State; it must not race with Commit.
-func (s *State) PlanVersionsFromGeomRO(i, j int, now int64, g *CandidateGeom, sc *PlanScratch) (primary Plan, perr error, secondary Plan, serr error) {
+// identical to PlanVersionsFromGeom(i, j, now, g, buf). sc provides
+// reusable buffers (nil is allowed and allocates locally); give each
+// goroutine its own. buf, when non-nil, is a reusable transfer buffer
+// exactly as in PlanVersionsFromGeom — callers pricing concurrently must
+// give each work item its own buffer. Safe to call concurrently with
+// other read-only pricing calls on the same State; it must not race with
+// Commit.
+func (s *State) PlanVersionsFromGeomRO(i, j int, now int64, g *CandidateGeom, sc *PlanScratch, buf *[]Transfer) (primary Plan, perr error, secondary Plan, serr error) {
 	if err := s.planChecks(i, j); err != nil {
 		return primary, err, secondary, err
 	}
@@ -218,15 +211,15 @@ func (s *State) PlanVersionsFromGeomRO(i, j int, now int64, g *CandidateGeom, sc
 	priOK := rem >= g.GuardNeed[workload.Primary]
 	secOK := rem >= g.GuardNeed[workload.Secondary]
 	if !priOK {
-		perr = fmt.Errorf("sched: machine %d lacks energy for subtask %d %v", j, i, workload.Primary)
+		perr = errLacksEnergy
 	}
 	if !secOK {
-		serr = fmt.Errorf("sched: machine %d lacks energy for subtask %d %v", j, i, workload.Secondary)
+		serr = errLacksEnergy
 	}
 	if !priOK && !secOK {
 		return primary, perr, secondary, serr
 	}
-	arrival, transfers, err := s.placeIncomingRO(i, j, now, g, sc)
+	arrival, transfers, err := s.placeIncomingRO(i, j, now, g, sc, buf)
 	if err != nil {
 		return primary, err, secondary, err
 	}
@@ -247,14 +240,18 @@ func (s *State) PlanVersionsFromGeomRO(i, j int, now int64, g *CandidateGeom, sc
 // shared timelines are only read. The fixpoint loop, the sender-energy
 // accumulation order and every guard mirror placeIncoming exactly —
 // the two must stay in lockstep for the byte-identity guarantee.
-func (s *State) placeIncomingRO(i, j int, now int64, g *CandidateGeom, sc *PlanScratch) (int64, []Transfer, error) {
+func (s *State) placeIncomingRO(i, j int, now int64, g *CandidateGeom, sc *PlanScratch, buf *[]Transfer) (int64, []Transfer, error) {
 	arrival := now
 	if g.Arrival0 > arrival {
 		arrival = g.Arrival0
 	}
 	var transfers []Transfer
 	if len(g.Transfers) > 0 {
-		transfers = make([]Transfer, 0, len(g.Transfers))
+		if buf != nil {
+			transfers = (*buf)[:0]
+		} else {
+			transfers = make([]Transfer, 0, len(g.Transfers))
+		}
 	}
 	if sc == nil {
 		sc = &PlanScratch{}
@@ -263,7 +260,10 @@ func (s *State) placeIncomingRO(i, j int, now int64, g *CandidateGeom, sc *PlanS
 	for idx := range g.Transfers {
 		tg := &g.Transfers[idx]
 		if !s.Alive(tg.From) {
-			return 0, nil, fmt.Errorf("sched: parent %d of %d stranded on lost machine %d", tg.Parent, i, tg.From)
+			if buf != nil && transfers != nil {
+				*buf = transfers
+			}
+			return 0, nil, errParentStranded
 		}
 
 		start := tg.ParentEnd
@@ -291,8 +291,10 @@ func (s *State) placeIncomingRO(i, j int, now int64, g *CandidateGeom, sc *PlanS
 		}
 
 		if s.Ledger.Remaining(tg.From) < sc.addCost(tg.From, energy) {
-			return 0, nil, fmt.Errorf("sched: sender machine %d out of energy for transfer %d->%d",
-				tg.From, tg.Parent, i)
+			if buf != nil && transfers != nil {
+				*buf = transfers
+			}
+			return 0, nil, errSenderEnergy
 		}
 
 		if dur > 0 {
@@ -307,6 +309,9 @@ func (s *State) placeIncomingRO(i, j int, now int64, g *CandidateGeom, sc *PlanS
 			Parent: tg.Parent, Child: i, From: tg.From, To: j,
 			Start: start, End: end, Bits: tg.Bits, Energy: energy,
 		})
+	}
+	if buf != nil && transfers != nil {
+		*buf = transfers
 	}
 	return arrival, transfers, nil
 }

@@ -92,8 +92,8 @@ func TestROGeomReplayEquivalence(t *testing.T) {
 				if err := st.FillCandidateGeom(i, j, &g); err != nil {
 					continue
 				}
-				wantP, wantPE, wantS, wantSE := st.PlanVersionsFromGeom(i, j, now, &g)
-				gotP, gotPE, gotS, gotSE := st.PlanVersionsFromGeomRO(i, j, now, &g, &sc)
+				wantP, wantPE, wantS, wantSE := st.PlanVersionsFromGeom(i, j, now, &g, nil)
+				gotP, gotPE, gotS, gotSE := st.PlanVersionsFromGeomRO(i, j, now, &g, &sc, nil)
 				if (wantPE == nil) != (gotPE == nil) || (wantSE == nil) != (gotSE == nil) {
 					t.Logf("error mismatch i=%d j=%d: %v/%v vs %v/%v", i, j, wantPE, wantSE, gotPE, gotSE)
 					return false

@@ -1,11 +1,28 @@
 package sched
 
 import (
-	"fmt"
+	"errors"
 	"sort"
 
 	"adhocgrid/internal/grid"
 	"adhocgrid/internal/workload"
+)
+
+// Hot-path pricing failures are pre-allocated sentinels: candidate
+// rejection is the common case of the SLRH inner loop (energy guards and
+// the deadline check fire for most of the pool at most timesteps), and a
+// fmt.Errorf per rejection would dominate steady-state allocations. The
+// messages drop the subtask/machine ids; every caller in this repository
+// treats these as a skip verdict, not a report.
+var (
+	errAlreadyMapped  = errors.New("sched: subtask already mapped")
+	errUnmappedParent = errors.New("sched: subtask has unmapped parents")
+	errMachineLost    = errors.New("sched: machine has been lost")
+	errLacksEnergy    = errors.New("sched: machine lacks energy for candidate version")
+	errPastTau        = errors.New("sched: candidate would finish past tau")
+	errParentUnmapped = errors.New("sched: parent of candidate unmapped")
+	errParentStranded = errors.New("sched: parent stranded on lost machine")
+	errSenderEnergy   = errors.New("sched: sender machine out of energy for transfer")
 )
 
 // Transfer records one scheduled inter-machine communication: the global
@@ -65,36 +82,171 @@ type State struct {
 	geomScratch CandidateGeom
 	bookScratch []tentBooking
 	costScratch []machineCost
+
+	// Run-lifetime slabs. Commit interns every assignment and its transfer
+	// records here so the pointers handed out stay stable for the whole
+	// run while the callers' pricing buffers are reused; Reset rewinds the
+	// cursors and the next run reuses the chunks. Chunks are fixed once
+	// allocated, never reallocated or shrunk.
+	asgChunks [][]Assignment
+	asgNext   int // slots handed out across all assignment chunks
+	trChunks  [][]Transfer
+	trCur     int // chunk the transfer cursor is filling
+
+	commitBook []tentBooking // Commit's rollback scratch (reused per call)
+}
+
+// Slab chunk granularity. Assignment chunks are arrays of fixed length;
+// transfer chunks are append-only caps (a single assignment's transfer
+// list must fit one chunk, so oversized requests get a dedicated chunk).
+const (
+	asgChunkSize = 256
+	trChunkSize  = 256
+)
+
+// newAssignment hands out one slab-backed assignment slot. The pointer is
+// stable until the next Reset; callers overwrite the whole struct.
+func (s *State) newAssignment() *Assignment {
+	ci, k := s.asgNext/asgChunkSize, s.asgNext%asgChunkSize
+	if ci == len(s.asgChunks) {
+		s.asgChunks = append(s.asgChunks, make([]Assignment, asgChunkSize))
+	}
+	s.asgNext++
+	return &s.asgChunks[ci][k]
+}
+
+// internTransfers copies ts into the run-lifetime transfer slab and
+// returns the stable-backed copy (nil in, nil out — the nil/non-nil
+// distinction of placeIncoming is part of the byte-identity contract).
+func (s *State) internTransfers(ts []Transfer) []Transfer {
+	if ts == nil {
+		return nil
+	}
+	need := len(ts)
+	for {
+		if s.trCur == len(s.trChunks) {
+			size := trChunkSize
+			if need > size {
+				size = need
+			}
+			s.trChunks = append(s.trChunks, make([]Transfer, 0, size))
+		}
+		c := s.trChunks[s.trCur]
+		if cap(c)-len(c) >= need {
+			out := c[len(c) : len(c)+need : len(c)+need]
+			copy(out, ts)
+			s.trChunks[s.trCur] = c[:len(c)+need]
+			return out
+		}
+		s.trCur++
+	}
+}
+
+// grown returns buf resized to n, reusing its backing when the capacity
+// allows. Contents are unspecified; callers refill every element.
+func grown[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// resetTimelines clears every retained timeline (spare chunk lists
+// included in the reuse) and returns the slice resized to m, creating
+// timelines only for machines the state has never been this wide for.
+func resetTimelines(ts []*Timeline, m int) []*Timeline {
+	ts = ts[:cap(ts)]
+	for _, t := range ts {
+		if t != nil {
+			t.Clear()
+		}
+	}
+	if cap(ts) < m {
+		nts := make([]*Timeline, m)
+		copy(nts, ts)
+		ts = nts
+	}
+	ts = ts[:m]
+	for k, t := range ts {
+		if t == nil {
+			ts[k] = &Timeline{}
+		}
+	}
+	return ts
 }
 
 // NewState returns an empty schedule for the instance under objective
 // weights w.
 func NewState(inst *workload.Instance, w Weights) *State {
+	s := &State{}
+	s.Reset(inst, w)
+	return s
+}
+
+// Reset reinitializes the state in place for a fresh run of inst under
+// weights w, retaining every reusable backing — timeline chunks, the
+// assignment and transfer slabs, the ready list, and the pricing
+// scratches — so a reused State runs a whole horizon without touching
+// the allocator. The instance may differ from the previous run's;
+// slices are resized as needed.
+func (s *State) Reset(inst *workload.Instance, w Weights) {
 	n := inst.Scenario.N()
 	m := inst.Grid.M()
-	s := &State{
-		Inst:           inst,
-		Obj:            NewObjective(w, n, inst.Grid, inst.TauCycles),
-		Assignments:    make([]*Assignment, n),
-		ExecTL:         make([]*Timeline, m),
-		SendTL:         make([]*Timeline, m),
-		RecvTL:         make([]*Timeline, m),
-		Ledger:         grid.NewEnergyLedger(inst.Grid),
-		unmappedParent: make([]int, n),
-		gen:            make([]uint64, m),
+	s.Inst = inst
+	s.Obj = NewObjective(w, n, inst.Grid, inst.TauCycles)
+	s.Assignments = grown(s.Assignments, n)
+	for i := range s.Assignments {
+		s.Assignments[i] = nil
 	}
-	for j := 0; j < m; j++ {
-		s.ExecTL[j] = &Timeline{}
-		s.SendTL[j] = &Timeline{}
-		s.RecvTL[j] = &Timeline{}
+	s.ExecTL = resetTimelines(s.ExecTL, m)
+	s.SendTL = resetTimelines(s.SendTL, m)
+	s.RecvTL = resetTimelines(s.RecvTL, m)
+	if s.Ledger == nil {
+		s.Ledger = grid.NewEnergyLedger(inst.Grid)
+	} else {
+		s.Ledger.Reset(inst.Grid)
 	}
+	s.Mapped, s.T100, s.AETCycles = 0, 0, 0
+	s.unmappedParent = grown(s.unmappedParent, n)
+	s.ready = s.ready[:0]
 	for i := 0; i < n; i++ {
 		s.unmappedParent[i] = len(inst.Scenario.Graph.Parents(i))
 		if s.unmappedParent[i] == 0 {
 			s.ready = append(s.ready, i)
 		}
 	}
-	return s
+	s.gen = grown(s.gen, m)
+	for j := range s.gen {
+		s.gen[j] = 0
+	}
+	s.shrinkEpoch = 0
+	// The loss/failure bookkeeping is lazily allocated; when a previous
+	// run created it, refill in place (Alive indexes these whenever the
+	// slice is non-nil, so lengths must track m exactly).
+	if s.deadAt != nil {
+		s.deadAt = grown(s.deadAt, m)
+		for j := range s.deadAt {
+			s.deadAt[j] = aliveForever
+		}
+	}
+	if s.sunk != nil {
+		s.sunk = grown(s.sunk, m)
+		for j := range s.sunk {
+			s.sunk[j] = 0
+		}
+	}
+	if s.downtime != nil {
+		s.downtime = grown(s.downtime, m)
+		for j := range s.downtime {
+			s.downtime[j] = s.downtime[j][:0]
+		}
+	}
+	s.slowdowns = s.slowdowns[:0]
+	s.asgNext = 0
+	for k := range s.trChunks {
+		s.trChunks[k] = s.trChunks[k][:0]
+	}
+	s.trCur = 0
 }
 
 // N returns the number of subtasks.
@@ -156,7 +308,7 @@ type LinkSlowdown struct {
 // candidate is priced or committed, and never changed afterwards (the
 // plan cache assumes the stretch function is fixed for the whole run).
 func (s *State) SetLinkSlowdowns(ws []LinkSlowdown) {
-	s.slowdowns = append([]LinkSlowdown(nil), ws...)
+	s.slowdowns = append(s.slowdowns[:0], ws...)
 }
 
 // LinkSlowdowns returns the installed degradation windows. The slice is
@@ -272,25 +424,34 @@ func (s *State) PlanCandidate(i, j int, v workload.Version, now int64) (Plan, er
 // Each version carries its own error; both plans share the same transfer
 // slice contents.
 func (s *State) PlanCandidateVersions(i, j int, now int64) (primary Plan, perr error, secondary Plan, serr error) {
+	return s.PlanCandidateVersionsBuf(i, j, now, nil)
+}
+
+// PlanCandidateVersionsBuf is PlanCandidateVersions with a reusable
+// transfer buffer, exactly as in PlanVersionsFromGeom: when buf is
+// non-nil the plans' transfers are built in (*buf)[:0] and the grown
+// backing is written back through the pointer, making repeated pricing
+// allocation-free.
+func (s *State) PlanCandidateVersionsBuf(i, j int, now int64, buf *[]Transfer) (primary Plan, perr error, secondary Plan, serr error) {
 	if err := s.planChecks(i, j); err != nil {
 		return primary, err, secondary, err
 	}
 	if err := s.FillCandidateGeom(i, j, &s.geomScratch); err != nil {
 		return primary, err, secondary, err
 	}
-	return s.planVersionsFromGeom(i, j, now, &s.geomScratch)
+	return s.planVersionsFromGeom(i, j, now, &s.geomScratch, buf)
 }
 
 // planChecks performs the version-independent candidate checks.
 func (s *State) planChecks(i, j int) error {
 	if s.Assignments[i] != nil {
-		return fmt.Errorf("sched: subtask %d already mapped", i)
+		return errAlreadyMapped
 	}
 	if s.unmappedParent[i] != 0 {
-		return fmt.Errorf("sched: subtask %d has unmapped parents", i)
+		return errUnmappedParent
 	}
 	if !s.Alive(j) {
-		return fmt.Errorf("sched: machine %d has been lost", j)
+		return errMachineLost
 	}
 	return nil
 }
@@ -301,7 +462,7 @@ func (s *State) planChecks(i, j int) error {
 func (s *State) versionGuard(i, j int, v workload.Version) (float64, error) {
 	execEnergy := s.Inst.ExecEnergy(i, j, v)
 	if s.Ledger.Remaining(j) < execEnergy+s.Inst.WorstChildCommEnergy(i, j, v) {
-		return 0, fmt.Errorf("sched: machine %d lacks energy for subtask %d %v", j, i, v)
+		return 0, errLacksEnergy
 	}
 	return execEnergy, nil
 }
@@ -314,7 +475,7 @@ func (s *State) planIncoming(i, j int, now int64) (int64, []Transfer, error) {
 	if err := s.FillCandidateGeom(i, j, &s.geomScratch); err != nil {
 		return 0, nil, err
 	}
-	return s.placeIncoming(i, j, now, &s.geomScratch)
+	return s.placeIncoming(i, j, now, &s.geomScratch, nil)
 }
 
 // finishPlan places the execution for one version and applies the ongoing
@@ -333,8 +494,7 @@ func (s *State) finishPlanDur(i, j int, v workload.Version, execEnergy float64, 
 	var plan Plan
 	execStart := s.ExecTL[j].EarliestFit(arrival, execDur)
 	if execStart+execDur > s.Inst.TauCycles {
-		return plan, fmt.Errorf("sched: subtask %d on machine %d would finish at %d, past tau %d",
-			i, j, execStart+execDur, s.Inst.TauCycles)
+		return plan, errPastTau
 	}
 	plan.Assignment = Assignment{
 		Subtask: i, Machine: j, Version: v,
@@ -372,69 +532,60 @@ func (s *State) Objective() float64 {
 // intervals, charges execution energy to the target machine and
 // communication energy to the sending machines, and updates readiness
 // bookkeeping. Commit is atomic: on error the state is unchanged.
+//
+// The stored assignment and its transfer list are interned copies in the
+// state's run-lifetime slabs: callers are free to reuse the plan's
+// transfer buffer (the plan cache and the candidate pool do) the moment
+// Commit returns.
 func (s *State) Commit(plan Plan) error {
 	i, j := plan.Subtask, plan.Machine
 	if s.Assignments[i] != nil {
-		return fmt.Errorf("sched: subtask %d already mapped", i)
+		return errAlreadyMapped
 	}
 
 	// Charge energy first (cheap to roll back).
 	if err := s.Ledger.Charge(j, plan.ExecEnergy); err != nil {
 		return err
 	}
-	var charged []Transfer
-	rollbackEnergy := func() {
-		s.Ledger.Refund(j, plan.ExecEnergy)
-		for _, tr := range charged {
-			s.Ledger.Refund(tr.From, tr.Energy)
-		}
-	}
+	charged := 0
 	for _, tr := range plan.Transfers {
 		if err := s.Ledger.Charge(tr.From, tr.Energy); err != nil {
-			rollbackEnergy()
+			s.rollbackCommit(&plan, charged, 0)
 			return err
 		}
-		charged = append(charged, tr)
+		charged++
 	}
 
-	// Book intervals.
-	type booking struct {
-		tl         *Timeline
-		start, dur int64
-	}
-	var booked []booking
-	rollbackAll := func() {
-		for k := len(booked) - 1; k >= 0; k-- {
-			b := booked[k]
-			if err := b.tl.Unbook(b.start, b.dur); err != nil {
-				panic("sched: rollback unbook failed: " + err.Error())
-			}
-		}
-		rollbackEnergy()
-	}
+	// Book intervals; the rollback scratch is reused across commits.
+	booked := s.commitBook[:0]
 	for _, tr := range plan.Transfers {
 		dur := tr.End - tr.Start
 		if dur == 0 {
 			continue
 		}
 		if err := s.SendTL[tr.From].Book(tr.Start, dur); err != nil {
-			rollbackAll()
+			s.commitBook = booked
+			s.rollbackCommit(&plan, charged, len(booked))
 			return err
 		}
-		booked = append(booked, booking{s.SendTL[tr.From], tr.Start, dur})
+		booked = append(booked, tentBooking{s.SendTL[tr.From], tr.Start, dur})
 		if err := s.RecvTL[tr.To].Book(tr.Start, dur); err != nil {
-			rollbackAll()
+			s.commitBook = booked
+			s.rollbackCommit(&plan, charged, len(booked))
 			return err
 		}
-		booked = append(booked, booking{s.RecvTL[tr.To], tr.Start, dur})
+		booked = append(booked, tentBooking{s.RecvTL[tr.To], tr.Start, dur})
 	}
+	s.commitBook = booked
 	if err := s.ExecTL[j].Book(plan.Start, plan.End-plan.Start); err != nil {
-		rollbackAll()
+		s.rollbackCommit(&plan, charged, len(booked))
 		return err
 	}
 
-	a := plan.Assignment // copy
-	s.Assignments[i] = &a
+	a := s.newAssignment()
+	*a = plan.Assignment
+	a.Transfers = s.internTransfers(plan.Transfers)
+	s.Assignments[i] = a
 	s.Mapped++
 	if a.Version == workload.Primary {
 		s.T100++
@@ -457,6 +608,22 @@ func (s *State) Commit(plan Plan) error {
 		s.bumpGen(tr.From)
 	}
 	return nil
+}
+
+// rollbackCommit undoes a partially applied Commit: the first `booked`
+// entries of the booking scratch in reverse order, then the execution
+// charge and the first `charged` transfer charges.
+func (s *State) rollbackCommit(plan *Plan, charged, booked int) {
+	for k := booked - 1; k >= 0; k-- {
+		b := s.commitBook[k]
+		if err := b.tl.Unbook(b.start, b.dur); err != nil {
+			panic("sched: rollback unbook failed: " + err.Error())
+		}
+	}
+	s.Ledger.Refund(plan.Machine, plan.ExecEnergy)
+	for k := 0; k < charged; k++ {
+		s.Ledger.Refund(plan.Transfers[k].From, plan.Transfers[k].Energy)
+	}
 }
 
 // Metrics summarizes a completed (or partial) schedule.

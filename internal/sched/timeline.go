@@ -33,7 +33,34 @@ const timelineChunkMax = 128
 // the flat-slice representation this replaces paid an O(n) copy per Book.
 type Timeline struct {
 	chunks [][]Interval // each non-empty, globally sorted and disjoint
-	size   int
+	// spare holds emptied chunk backings (length 0, capacity > 0) for
+	// reuse, so a cleared timeline re-books a whole horizon without
+	// touching the allocator. Spare chunks are storage only: they are
+	// never iterated and Validate ignores them.
+	spare [][]Interval
+	size  int
+}
+
+// takeSpare pops a reusable chunk backing (len 0) or returns nil.
+func (t *Timeline) takeSpare() []Interval {
+	if n := len(t.spare); n > 0 {
+		s := t.spare[n-1]
+		t.spare[n-1] = nil
+		t.spare = t.spare[:n-1]
+		return s
+	}
+	return nil
+}
+
+// Clear empties the timeline in place. Chunk backings move to the spare
+// list, so the next horizon's bookings reuse them instead of allocating.
+func (t *Timeline) Clear() {
+	for k, c := range t.chunks {
+		t.spare = append(t.spare, c[:0])
+		t.chunks[k] = nil
+	}
+	t.chunks = t.chunks[:0]
+	t.size = 0
 }
 
 // Len returns the number of booked intervals.
@@ -129,7 +156,7 @@ func (t *Timeline) Book(start, dur int64) error {
 	}
 	end := start + dur
 	if len(t.chunks) == 0 {
-		t.chunks = append(t.chunks, []Interval{{Start: start, End: end}})
+		t.chunks = append(t.chunks, append(t.takeSpare(), Interval{Start: start, End: end}))
 		t.size++
 		return nil
 	}
@@ -159,14 +186,16 @@ func (t *Timeline) Book(start, dur int64) error {
 	return nil
 }
 
-// splitChunk halves an over-full chunk in place.
+// splitChunk halves an over-full chunk in place. The right half copies
+// into a spare backing when one is free; the left half keeps its full
+// capacity (the tail past mid is dead storage that later inserts reuse).
 func (t *Timeline) splitChunk(ci int) {
 	c := t.chunks[ci]
 	mid := len(c) / 2
-	right := append([]Interval(nil), c[mid:]...)
+	right := append(t.takeSpare(), c[mid:]...)
 	t.chunks = append(t.chunks, nil)
 	copy(t.chunks[ci+2:], t.chunks[ci+1:])
-	t.chunks[ci] = c[:mid:mid]
+	t.chunks[ci] = c[:mid]
 	t.chunks[ci+1] = right
 }
 
@@ -190,6 +219,7 @@ func (t *Timeline) Unbook(start, dur int64) error {
 	t.chunks[ci] = append(c[:i], c[i+1:]...)
 	t.size--
 	if len(t.chunks[ci]) == 0 {
+		t.spare = append(t.spare, t.chunks[ci])
 		t.chunks = append(t.chunks[:ci], t.chunks[ci+1:]...)
 	}
 	return nil

@@ -102,6 +102,17 @@ func Execute(req Request, maxN int) (*Outcome, error) {
 // service's result cache and the `slrhsim -json` parity both survive
 // any fan-out.
 func ExecuteWorkers(req Request, maxN, scoreWorkers int) (*Outcome, error) {
+	return ExecuteArena(req, maxN, scoreWorkers, nil)
+}
+
+// ExecuteArena is ExecuteWorkers backed by an arena pool: SLRH runs
+// borrow a core.Arena for the duration of the call, so a server in
+// steady state schedules without rebuilding runner or state storage.
+// The arena is released before returning — everything the Outcome
+// carries is copied out of the arena-owned state first — and the
+// response bytes are identical with and without a pool (the arena is
+// result-transparent; the parity tests pin it). ap may be nil.
+func ExecuteArena(req Request, maxN, scoreWorkers int, ap *core.ArenaPool) (*Outcome, error) {
 	req = req.Canonical()
 	if err := req.Validate(maxN); err != nil {
 		return nil, &RequestError{Err: err}
@@ -151,7 +162,17 @@ func ExecuteWorkers(req Request, maxN, scoreWorkers int) (*Outcome, error) {
 			rec = trace.NewRecorder(1)
 			cfg.Observer = rec.Observe
 		}
-		res, err := core.Run(inst, cfg)
+		var res *core.Result
+		if ap != nil {
+			a := ap.Get()
+			// Released on return: the result assembly below reads the
+			// arena-owned state, and nothing escaping this function keeps
+			// a reference to it.
+			defer ap.Put(a)
+			res, err = core.RunArena(inst, cfg, a)
+		} else {
+			res, err = core.Run(inst, cfg)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("run %s: %w", req.Heuristic, err)
 		}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"adhocgrid/internal/core"
 	"adhocgrid/internal/trace"
 )
 
@@ -387,6 +388,42 @@ func TestExecuteWorkersByteIdentical(t *testing.T) {
 			if !bytes.Equal(got.Bytes(), want.Bytes()) {
 				t.Errorf("%s: workers=%d response differs from serial", req.Heuristic, workers)
 			}
+		}
+	}
+}
+
+// TestExecuteArenaByteIdentical: borrowing a pooled arena must not
+// change a single response byte, including when the arena is reused
+// across different workloads. Requests alternate A, B, A so the third
+// run reuses the arena the first one grew — any state residue would
+// change the bytes.
+func TestExecuteArenaByteIdentical(t *testing.T) {
+	reqs := []Request{
+		{N: 48, Case: "A", Heuristic: "slrh1", Seed: 11, Alpha: 0.5, Beta: 0.3},
+		{N: 96, Case: "B", Heuristic: "slrh3", Seed: 12, Alpha: 0.5, Beta: 0.3},
+		{N: 48, Case: "A", Heuristic: "slrh1", Seed: 11, Alpha: 0.5, Beta: 0.3},
+		{N: 48, Case: "A", Heuristic: "slrh2", Seed: 11, Alpha: 0.5, Beta: 0.3, Faults: "lose:1@400,rejoin:1@900"},
+	}
+	ap := core.NewArenaPool()
+	for k, req := range reqs {
+		plain, err := ExecuteWorkers(req, 0, 0)
+		if err != nil {
+			t.Fatalf("req %d plain: %v", k, err)
+		}
+		var want bytes.Buffer
+		if err := EncodeResult(&want, plain.Result); err != nil {
+			t.Fatal(err)
+		}
+		out, err := ExecuteArena(req, 0, 0, ap)
+		if err != nil {
+			t.Fatalf("req %d arena: %v", k, err)
+		}
+		var got bytes.Buffer
+		if err := EncodeResult(&got, out.Result); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("req %d (%s n=%d): arena-backed response differs from plain", k, req.Heuristic, req.N)
 		}
 	}
 }

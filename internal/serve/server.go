@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adhocgrid/internal/core"
 	"adhocgrid/internal/exp"
 	"adhocgrid/internal/par"
 )
@@ -149,6 +150,7 @@ type Server struct {
 	reg       *Registry
 	model     *CostModel
 	admission *Admission
+	arenas    *core.ArenaPool
 	runSeq    atomic.Uint64
 	draining  atomic.Bool
 
@@ -188,6 +190,7 @@ func New(cfg Config) *Server {
 		reg:       NewRegistry(),
 		model:     model,
 		admission: NewAdmission(model, cfg.Workers, cfg.RetryAfterSeconds),
+		arenas:    core.NewArenaPool(),
 		flights:   make(map[string]*flight),
 	}
 	for _, code := range mapStatusCodes {
@@ -482,7 +485,7 @@ func (s *Server) executeJob(req Request, predicted float64) (CacheEntry, error) 
 	defer s.inflight.Add(-1)
 	runID := fmt.Sprintf("r%08d", s.runSeq.Add(1))
 	start := time.Now() //lint:wallclock elapsed-time reporting for the latency histograms and the admission cost model; never a scheduling input
-	out, err := ExecuteWorkers(req, s.cfg.MaxN, s.cfg.ScoreWorkers)
+	out, err := ExecuteArena(req, s.cfg.MaxN, s.cfg.ScoreWorkers, s.arenas)
 	wall := time.Since(start).Seconds() //lint:wallclock closes the latency-report pair above
 	if err != nil {
 		return CacheEntry{}, err

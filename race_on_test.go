@@ -1,0 +1,7 @@
+//go:build race
+
+package adhocgrid_test
+
+// raceEnabled reports whether the race detector is active; the
+// steady-state allocation pins only hold without its instrumentation.
+const raceEnabled = true
